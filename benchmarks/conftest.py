@@ -1,0 +1,61 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs the
+corresponding experiment driver, prints the same rows/series the paper
+reports, writes them under ``benchmarks/results/`` and asserts the *shape*
+claims (who wins, by roughly what factor, what fails) — absolute numbers come
+from an analytic cost model and are recorded, not asserted (EXPERIMENTS.md).
+
+Expensive PoocH searches are shared between benchmarks through
+``repro.experiments.cache`` (e.g. Fig. 15, Fig. 17 and Table 3 all reuse the
+ResNet-50/batch-512/x86 search), so run the whole directory in one pytest
+invocation for the intended total runtime (~25-30 min).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.pooch import PoochConfig
+
+#: search budget used by every benchmark (cache key — keep consistent)
+BENCH_CONFIG = PoochConfig(max_exact_li=8, step1_sim_budget=800)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Print a table and persist it under benchmarks/results/<name>.txt."""
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Register ``fn`` with pytest-benchmark as a single-shot measurement
+    (these experiments take seconds to minutes; statistical rounds would be
+    wasteful and the simulator is deterministic anyway)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def sweep_table(title: str, rows) -> str:
+    """Render a list of MethodResult rows as a figure-style table."""
+    from repro.analysis import Table
+
+    t = Table(title, ["size", "method", "img/s"])
+    for r in rows:
+        t.add(r.size_label, r.method,
+              f"{r.images_per_second:.1f}" if r.ok else f"FAIL ({r.failure[:40]})")
+    return t.render()

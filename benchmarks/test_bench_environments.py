@@ -1,0 +1,35 @@
+"""Tables 1 & 2 — the evaluation environments.
+
+Regenerates the two machine-description tables from the machine specs the
+whole simulation stack runs on, confirming the modelled environments match
+what the paper reports.
+"""
+
+from repro.analysis import Table
+from repro.hw import POWER9_V100, X86_V100
+
+from benchmarks.conftest import run_once
+
+
+def _env_table(machine, title):
+    t = Table(title, ["property", "value"])
+    for key, value in machine.environment_table():
+        t.add(key, value)
+    return t.render()
+
+
+def test_bench_tables_1_and_2_environments(benchmark, report):
+    def run():
+        return (
+            _env_table(X86_V100, "Table 1: evaluation environment (x86)"),
+            _env_table(POWER9_V100, "Table 2: evaluation environment (POWER9)"),
+        )
+
+    x86_text, p9_text = run_once(benchmark, run)
+    report("table1_environment_x86", x86_text)
+    report("table2_environment_power9", p9_text)
+
+    # paper-stated properties
+    assert "16 GB" in x86_text and "PCIe gen3 x16" in x86_text
+    assert "75 GB/sec" in p9_text and "NVLink" in p9_text
+    assert "1000 GB" in p9_text  # 1 TB host memory

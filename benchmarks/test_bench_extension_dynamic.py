@@ -1,0 +1,59 @@
+"""Extension — dynamic problem sizes (the paper's stated future work, §7).
+
+A training stream whose batch size varies per iteration (bucketed data,
+curriculum schedules).  Compares the two DynamicPoocH strategies against
+re-optimizing blindly every iteration and against a static
+worst-case plan.
+"""
+
+from repro.analysis import Table
+from repro.hw import X86_V100
+from repro.models import resnet50
+from repro.pooch import PoochConfig
+from repro.pooch.dynamic import DynamicPoocH
+from repro.runtime import execute
+
+from benchmarks.conftest import run_once
+
+#: bucketed batch sizes, large sizes rare (a realistic long tail)
+STREAM = [256, 256, 320, 256, 384, 256, 320, 256, 256, 384]
+CFG = PoochConfig(step1_sim_budget=300, max_exact_li=6)
+
+
+def test_bench_extension_dynamic_sizes(benchmark, report):
+    def run():
+        results = {}
+        for strategy in ("exact", "nearest"):
+            d = DynamicPoocH(X86_V100, lambda b: resnet50(b), CFG,
+                             strategy=strategy)
+            stats = d.run_stream(list(STREAM))
+            results[strategy] = stats
+        # static worst-case alternative: one plan for the largest size,
+        # executed at the largest size every iteration (padding)
+        d = DynamicPoocH(X86_V100, lambda b: resnet50(b), CFG)
+        plan = d.plan_for(max(STREAM))
+        g = d._graph(max(STREAM))
+        pad_iter = execute(g, plan, X86_V100).makespan
+        results["pad-to-max"] = pad_iter * len(STREAM)
+        return results
+
+    results = run_once(benchmark, run)
+    t = Table(
+        "Extension: dynamic batch sizes over a 10-iteration stream "
+        "(ResNet-50, x86)",
+        ["strategy", "optimizations", "total sim time (s)"],
+    )
+    exact, nearest = results["exact"], results["nearest"]
+    t.add("exact (plan per size)", exact.optimizations, exact.total_time)
+    t.add("nearest (transfer larger plan)", nearest.optimizations,
+          nearest.total_time)
+    t.add("pad everything to max size", 1, results["pad-to-max"])
+    report("extension_dynamic_sizes", t.render())
+
+    assert exact.iterations == len(STREAM)
+    # one search per distinct size, not per iteration
+    assert exact.optimizations == len(set(STREAM))
+    # the nearest strategy saves searches
+    assert nearest.optimizations <= exact.optimizations
+    # and padding to the max size wastes real time vs size-aware planning
+    assert exact.total_time < results["pad-to-max"]

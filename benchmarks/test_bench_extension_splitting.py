@@ -1,0 +1,65 @@
+"""Extension — ooc_cuDNN-style layer splitting (the §6 integration).
+
+A single-layer working set beyond GPU memory defeats every whole-map
+classification; splitting the layer into batch tiles brings it back into
+PoocH's reach.  This benchmark measures the enablement and its price on a
+ResNet-50-scale fat layer.
+"""
+
+from repro.analysis import Table
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import GB, GiB, MiB
+from repro.graph import GraphBuilder, max_layer_working_set, split_batch
+from repro.hw import MachineSpec
+from repro.pooch import PoocH, PoochConfig
+from repro.runtime import Classification, execute
+
+from benchmarks.conftest import run_once
+
+
+def fat_net(batch=64, channels=128, image=64):
+    b = GraphBuilder("fatnet")
+    x = b.input((batch, 3, image, image))
+    h = b.conv(x, channels, ksize=3, pad=1, activation="relu", name="fat")
+    h = b.global_avg_pool(h, name="pool")
+    h = b.linear(h, 10, name="head")
+    b.loss(h)
+    return b.build()
+
+
+def test_bench_extension_layer_splitting(benchmark, report):
+    graph = fat_net()
+    need, _ = max_layer_working_set(graph)
+    machine = MachineSpec(
+        name="small-gpu", cpu="host",
+        gpu_mem_capacity=int(need * 0.85),
+        gpu_mem_reserved=4 * MiB,
+        cpu_mem_capacity=64 * GB,
+    )
+
+    def run():
+        rows = []
+        try:
+            execute(graph, Classification.all_swap(graph), machine)
+            rows.append(("unsplit all-swap", "runs (unexpected)"))
+        except OutOfMemoryError:
+            rows.append(("unsplit all-swap", "FAIL (single-layer transient)"))
+        for parts in (2, 4, 8):
+            split = split_batch(graph, "fat", parts)
+            res = PoocH(machine, PoochConfig(step1_sim_budget=200)
+                        ).optimize(split)
+            t = res.execute()
+            rows.append((f"split x{parts} + PoocH",
+                         f"{t.makespan * 1e3:.2f} ms/iter, peak "
+                         f"{t.device_peak / GiB:.2f} GiB"))
+        return rows
+
+    rows = run_once(benchmark, run)
+    t = Table("Extension: layer splitting on a GPU smaller than one layer",
+              ["configuration", "outcome"])
+    for name, outcome in rows:
+        t.add(name, outcome)
+    report("extension_layer_splitting", t.render())
+
+    assert "FAIL" in rows[0][1]
+    assert all("ms/iter" in outcome for _, outcome in rows[1:])

@@ -1,0 +1,65 @@
+"""Extension — skip connections and forward re-fetch (U-Net case study).
+
+Under the paper's §3.1 rule a swapped map stays on the GPU until its *last
+forward* consumer, so U-Net's encoder skips are pinned through the whole
+forward pass: no classification can push the forward footprint below the sum
+of live skips.  The forward re-fetch extension
+(``ScheduleOptions.forward_refetch_gap``) frees a skip after its encoder
+consumer and swaps it back in just before the matching decoder stage.
+
+This benchmark measures the floor moving: the smallest GPU each strategy can
+train a fixed U-Net on, and the throughput each achieves on a mid-sized GPU.
+"""
+
+from repro.analysis import Table
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import MiB
+from repro.models import unet
+from repro.pooch import PoocH, PoochConfig
+from repro.runtime import Classification, ScheduleOptions, execute
+
+from benchmarks.conftest import run_once
+from tests.conftest import tiny_machine
+
+
+def _floor(graph, options) -> int:
+    """Smallest machine (MiB, 16 MiB steps) that runs all-swap."""
+    cls = Classification.all_swap(graph)
+    hi = int(graph.training_memory_bytes() / MiB)
+    floor = hi
+    for mem in range(hi, 32, -16):
+        try:
+            execute(graph, cls, tiny_machine(mem_mib=mem, link_gbps=4.0),
+                    options=options)
+            floor = mem
+        except OutOfMemoryError:
+            break
+    return floor
+
+
+def test_bench_extension_unet_forward_refetch(benchmark, report):
+    g = unet(16, image=128, base_channels=16, depth=3, num_classes=4)
+
+    def run():
+        plain_floor = _floor(g, ScheduleOptions())
+        refetch_floor = _floor(g, ScheduleOptions(forward_refetch_gap=8))
+        # throughput comparison on a machine below the plain floor
+        m = tiny_machine(mem_mib=int(plain_floor * 0.85), link_gbps=4.0)
+        res = PoocH(m, PoochConfig(max_exact_li=4, step1_sim_budget=200,
+                                   forward_refetch_gap=8)).optimize(g)
+        t = res.execute(m)
+        return plain_floor, refetch_floor, m, t
+
+    plain_floor, refetch_floor, m, t = run_once(benchmark, run)
+    tab = Table("Extension: U-Net skips — minimum GPU for all-swap",
+                ["strategy", "floor (MiB)"])
+    tab.add("paper rule (pinned skips)", plain_floor)
+    tab.add("forward re-fetch (gap=8)", refetch_floor)
+    tab.add(f"PoocH+refetch on {m.gpu_mem_capacity // MiB} MiB GPU",
+            f"{t.makespan * 1e3:.1f} ms/iter")
+    report("extension_unet_refetch", tab.render())
+
+    need = g.training_memory_bytes() / MiB
+    assert plain_floor < need  # out-of-core helps at all
+    assert refetch_floor < plain_floor * 0.92  # and re-fetch moves the floor
+    assert t.device_peak <= m.usable_gpu_memory

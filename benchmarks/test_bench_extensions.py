@@ -1,0 +1,91 @@
+"""Extensions beyond the paper's own evaluation.
+
+1. Extra baselines (vDNN-style swap-only, Chen-style recompute-all) against
+   PoocH on the ResNet-50/batch-512/x86 workload — the related-work methods
+   §6 discusses but does not measure.
+2. The cost of PoocH itself: profiling + classification wall time.  The
+   paper reports ~2 minutes for >300-layer ResNeXt-101 and argues it is
+   amortised; we measure our search the same way.
+"""
+
+import time
+
+from repro.analysis import Table
+from repro.baselines import plan_checkpoint, plan_recompute_all, plan_vdnn
+from repro.common.errors import OutOfMemoryError
+from repro.experiments import optimize_cached
+from repro.hw import X86_V100
+from repro.models import resnet50
+from repro.pooch import PoocH
+from repro.runtime import images_per_second
+
+from benchmarks.conftest import BENCH_CONFIG, run_once
+
+
+def test_bench_extension_related_work_baselines(benchmark, report):
+    g = resnet50(512)
+
+    def run():
+        rows = []
+        for plan in (plan_vdnn(g, X86_V100), plan_recompute_all(g, X86_V100),
+                     plan_checkpoint(g, X86_V100)):
+            try:
+                r = plan.execute(g, X86_V100)
+                rows.append((plan.name, f"{images_per_second(r, 512):.1f}"))
+            except OutOfMemoryError as e:
+                rows.append((plan.name, f"FAIL ({str(e)[:40]})"))
+        res = optimize_cached("resnet50:batch=512", lambda: resnet50(512),
+                              X86_V100, BENCH_CONFIG)
+        rows.append(("pooch", f"{images_per_second(res.execute(X86_V100), 512):.1f}"))
+        return rows
+
+    rows = run_once(benchmark, run)
+    t = Table("Extension: related-work baselines, ResNet-50 b512 on x86",
+              ["method", "img/s"])
+    for name, val in rows:
+        t.add(name, val)
+    report("extension_related_work_baselines", t.render())
+
+    by = dict(rows)
+    # vDNN's conv-focused swap-only plan keeps too much for this workload,
+    # and unsegmented recompute-all recurses itself out of memory — both are
+    # exactly the failure modes the hybrid method was designed to avoid
+    assert "FAIL" in by["vdnn"] or float(by["vdnn"]) < float(by["pooch"])
+    assert "FAIL" in by["recompute-all"] or (
+        float(by["recompute-all"]) < float(by["pooch"])
+    )
+    # proper sqrt(n) checkpointing runs at batch 512 but stays behind the
+    # hybrid (and hits its keep-floor at batch 640, where PoocH still runs)
+    ck = by["checkpoint(k=10)"]
+    assert "FAIL" in ck or float(ck) <= float(by["pooch"]) * 1.001
+    g640 = resnet50(640)
+    try:
+        plan_checkpoint(g640, X86_V100).execute(g640, X86_V100)
+        ck_640_runs = True
+    except OutOfMemoryError:
+        ck_640_runs = False
+    assert not ck_640_runs  # swap-free methods cannot reach batch 640
+
+
+def test_bench_extension_search_cost(benchmark, report):
+    """Wall-clock cost of profiling + classification (the paper: ~2 min for
+    its largest network, amortised over hours of training)."""
+
+    def run():
+        t0 = time.perf_counter()
+        res = PoocH(X86_V100, BENCH_CONFIG).optimize(resnet50(256))
+        elapsed = time.perf_counter() - t0
+        return elapsed, res
+
+    elapsed, res = run_once(benchmark, run)
+    sims = res.stats.sims_step1 + res.stats.sims_step2
+    report(
+        "extension_search_cost",
+        f"PoocH optimization of ResNet-50 (batch=256, x86): {elapsed:.1f} s "
+        f"wall, {sims} timeline simulations "
+        f"({res.stats.sims_step1} step-1 + {res.stats.sims_step2} step-2)",
+    )
+    # the paper's amortisation argument needs the search to stay in the
+    # minutes range
+    assert elapsed < 240
+    assert sims > 0

@@ -1,0 +1,47 @@
+"""Fig. 3 — ResNet-50 training memory vs batch size.
+
+Paper: memory grows proportionally to batch size and "exceeds 50 GB with the
+batch size of 640"; the 16 GB V100 line is crossed between batch 128 and 256
+(in-core execution fails from 256 upward in Fig. 17).
+"""
+
+from repro.common.units import GiB
+from repro.analysis import Table
+from repro.experiments import resnet50_memory_curve
+
+from benchmarks.conftest import run_once
+
+BATCHES = (32, 64, 128, 192, 256, 384, 512, 640)
+
+
+def test_bench_fig03_resnet50_memory(benchmark, report):
+    rows = run_once(
+        benchmark, lambda: resnet50_memory_curve(batches=BATCHES, measure=True)
+    )
+
+    t = Table("Fig. 3: ResNet-50 memory usage vs batch size",
+              ["batch", "estimate (GiB)", "measured in-core peak (GiB)",
+               "fits 16 GB V100"])
+    for row in rows:
+        measured = (f"{row.measured_peak / GiB:.2f}" if row.measured_peak
+                    else "OOM")
+        t.add(row.label, row.estimate_gib, measured,
+              "yes" if row.fits_16gb else "no")
+    report("fig03_memory_resnet50", t.render())
+
+    by_batch = {r.label: r for r in rows}
+    # proportional growth
+    est = [r.estimate_bytes for r in rows]
+    assert all(a < b for a, b in zip(est, est[1:]))
+    ratio = by_batch["batch=512"].estimate_bytes / by_batch["batch=128"].estimate_bytes
+    assert 3.3 < ratio < 4.5  # ~linear in batch
+    # the paper's anchors
+    assert by_batch["batch=640"].estimate_gib > 47  # ">50 GB" (GB vs GiB slack)
+    assert by_batch["batch=128"].fits_16gb
+    assert not by_batch["batch=256"].fits_16gb
+    # measured in-core peaks agree with the estimate where they fit
+    for r in rows:
+        if r.measured_peak is not None:
+            assert abs(r.measured_peak - r.estimate_bytes) / r.estimate_bytes < 0.35
+    # in-core actually OOMs from 256 on the 16 GB machine
+    assert by_batch["batch=256"].measured_peak is None

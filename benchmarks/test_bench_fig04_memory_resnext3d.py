@@ -1,0 +1,32 @@
+"""Fig. 4 — 3D-ResNeXt-101 training memory vs input size at batch 1.
+
+Paper: memory grows with the 3D input volume and reaches ~58 GB at the
+largest input even with batch size 1 — the workload where batching tricks
+cannot help and out-of-core execution is the only option.
+"""
+
+from repro.common.units import GiB
+from repro.analysis import Table
+from repro.experiments import resnext3d_memory_curve
+from repro.experiments.memusage import RESNEXT3D_SIZES
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig04_resnext3d_memory(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: resnext3d_memory_curve(sizes=RESNEXT3D_SIZES, measure=False),
+    )
+
+    t = Table("Fig. 4: ResNeXt-101 (3D) memory usage vs input size (batch=1)",
+              ["input (TxHxW)", "estimate (GiB)", "fits 16 GB V100"])
+    for row in rows:
+        t.add(row.label, row.estimate_gib, "yes" if row.fits_16gb else "no")
+    report("fig04_memory_resnext3d", t.render())
+
+    est = [r.estimate_bytes for r in rows]
+    assert all(a < b for a, b in zip(est, est[1:]))  # grows with input volume
+    assert rows[0].fits_16gb  # smallest clip trains in-core
+    assert not rows[-1].fits_16gb  # largest blows past the GPU at batch 1
+    assert rows[-1].estimate_gib > 45  # the paper's ~58 GB scale

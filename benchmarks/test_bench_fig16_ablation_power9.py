@@ -1,0 +1,60 @@
+"""Fig. 16 — contribution of each optimization, POWER9 machine.
+
+Paper: PoocH is still best, but the gaps between swap-opt and PoocH are small
+compared to the x86 figure — NVLink makes data-swapping cheap, so there is
+little overhead for the classification (and especially the recompute step)
+to remove.  Our idealized copy pipeline pushes that logic to its limit: the
+swap-all baseline is already close to optimal on NVLink (see EXPERIMENTS.md
+for the paper-vs-measured discussion).
+"""
+
+from repro.analysis import Table
+from repro.experiments import ablation_rows
+from repro.hw import POWER9_V100
+from repro.models import alexnet, resnet50, resnext101_3d
+
+from benchmarks.conftest import BENCH_CONFIG, run_once
+
+WORKLOADS = [
+    ("resnet50_b512", lambda: resnet50(512), 512),
+    ("alexnet_b3072", lambda: alexnet(3072), 3072),
+    ("resnext3d_96x512x512", lambda: resnext101_3d((96, 512, 512)), 1),
+]
+
+
+def test_bench_fig16_ablation_power9(benchmark, report):
+    def run():
+        return {
+            key: ablation_rows(key, build, batch, POWER9_V100, BENCH_CONFIG)
+            for key, build, batch in WORKLOADS
+        }
+
+    results = run_once(benchmark, run)
+
+    t = Table("Fig. 16: per-optimization speedup on POWER9 "
+              "(relative to swap-all w/o scheduling)",
+              ["model", "method", "img/s", "speedup"])
+    for key, rows in results.items():
+        for r in rows:
+            t.add(key, r.method,
+                  r.images_per_second if r.images_per_second else "FAIL",
+                  r.speedup if r.speedup else "-")
+    report("fig16_ablation_power9", t.render())
+
+    for key, rows in results.items():
+        by = {r.method: r for r in rows}
+        assert by["swap-all(w/o scheduling)"].ok
+        assert by["pooch"].speedup >= by["swap-all"].speedup * 0.999
+        # the paper's headline for this figure: swap-opt ≈ PoocH on NVLink
+        assert by["pooch"].speedup <= by["swap-opt"].speedup * 1.15
+
+    # cross-figure claim: the x86 classification gains exceed the POWER9
+    # ones for ResNet-50 (compare with Fig. 15 via the shared cache)
+    from repro.experiments import ablation_rows as ar
+    from repro.hw import X86_V100
+    x86_rows = {r.method: r for r in ar("resnet50_b512", lambda: resnet50(512),
+                                        512, X86_V100, BENCH_CONFIG)}
+    p9_rows = {r.method: r for r in results["resnet50_b512"]}
+    x86_gain = x86_rows["pooch"].speedup / x86_rows["swap-all"].speedup
+    p9_gain = p9_rows["pooch"].speedup / p9_rows["swap-all"].speedup
+    assert x86_gain > p9_gain

@@ -1,0 +1,85 @@
+"""Fig. 17 — ResNet-50 throughput vs batch size on the x86 machine.
+
+Paper: in-core runs at 316 img/s up to batch 128 and fails from 256; PoocH
+sustains 195-316 img/s (13-38 % degradation) through batch 640 (>50 GB);
+PoocH beats superneurons by x1.40-x1.73 at batches 256-512; superneurons
+fails at 640; and a plan optimized for the POWER9 machine runs worse on x86
+(and can fail) because the malloc/free order it was tuned for differs.
+
+Our substitution notes (EXPERIMENTS.md): superneurons degrades instead of
+crashing at 640 — our memory pool stalls ungated allocations that the real
+Chainer would have failed — and the x86/POWER9 plan gap is present but
+small-batch-dependent.
+"""
+
+from repro.experiments import performance_sweep
+from repro.hw import POWER9_V100, X86_V100
+from repro.models import resnet50
+
+from benchmarks.conftest import BENCH_CONFIG, run_once, sweep_table
+
+SIZES = [(f"batch={b}", b, (lambda b=b: resnet50(b)))
+         for b in (128, 256, 384, 512, 640)]
+
+
+def test_bench_fig17_resnet50_x86(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: performance_sweep(
+            "resnet50", SIZES, X86_V100,
+            methods=("in-core", "superneurons", "pooch"),
+            config=BENCH_CONFIG, cross_machine=POWER9_V100,
+        ),
+    )
+    report("fig17_resnet50_x86",
+           sweep_table("Fig. 17: ResNet-50 on x86 (#images/s)", rows))
+    from repro.analysis import bar_chart
+    report("fig17_resnet50_x86_chart", "\n\n".join(
+        bar_chart(
+            f"ResNet-50 x86, batch={b}",
+            [(r.method, r.images_per_second) for r in rows
+             if r.size_label == f"batch={b}"],
+            unit=" img/s",
+        )
+        for b in (128, 256, 384, 512, 640)
+    ))
+
+    by = {(r.method, r.size_label): r for r in rows}
+
+    # in-core: works at 128, fails from 256 (paper)
+    assert by[("in-core", "batch=128")].ok
+    for b in (256, 384, 512, 640):
+        assert not by[("in-core", f"batch={b}")].ok
+
+    # PoocH: sustains every size including the >50 GB batch-640 case
+    for b in (128, 256, 384, 512, 640):
+        assert by[("pooch", f"batch={b}")].ok
+
+    # degradation vs in-core is bounded and grows with batch (paper: 13-38 %)
+    incore = by[("in-core", "batch=128")].images_per_second
+    pooch_640 = by[("pooch", "batch=640")].images_per_second
+    assert pooch_640 > 0.5 * incore
+    assert pooch_640 < incore
+    pooch_256 = by[("pooch", "batch=256")].images_per_second
+    assert pooch_256 >= pooch_640 * 0.999
+
+    # PoocH beats superneurons where both run out-of-core (paper: 1.40-1.73x)
+    for b in (256, 384, 512):
+        sn = by[("superneurons", f"batch={b}")]
+        if sn.ok:
+            ratio = by[("pooch", f"batch={b}")].images_per_second / sn.images_per_second
+            assert ratio > 1.2, f"batch {b}: PoocH only {ratio:.2f}x superneurons"
+
+    # the POWER9-optimized plan is never better, and is strictly worse (or
+    # fails) somewhere in the out-of-core range (paper's portability claim)
+    worse_somewhere = False
+    for b in (256, 384, 512, 640):
+        native = by[("pooch", f"batch={b}")]
+        foreign = by[("pooch[power9-plan]", f"batch={b}")]
+        if not foreign.ok:
+            worse_somewhere = True
+            continue
+        assert foreign.images_per_second <= native.images_per_second * 1.01
+        if foreign.images_per_second < native.images_per_second * 0.98:
+            worse_somewhere = True
+    assert worse_somewhere

@@ -1,0 +1,55 @@
+"""Fig. 19 — AlexNet throughput vs batch size on the x86 machine.
+
+Paper: AlexNet's heavy convolutions hide the swap traffic, so PoocH degrades
+less than 6.1 % vs in-core even out-of-core, recomputation is rarely chosen,
+and the PoocH-superneurons gap is small.
+"""
+
+from repro.experiments import optimize_cached, performance_sweep
+from repro.hw import X86_V100
+from repro.models import alexnet
+from repro.runtime import MapClass
+
+from benchmarks.conftest import BENCH_CONFIG, run_once, sweep_table
+
+BATCHES = (1024, 2048, 2560, 3072)
+SIZES = [(f"batch={b}", b, (lambda b=b: alexnet(b))) for b in BATCHES]
+
+
+def test_bench_fig19_alexnet_x86(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: performance_sweep(
+            "alexnet", SIZES, X86_V100,
+            methods=("in-core", "superneurons", "pooch"),
+            config=BENCH_CONFIG,
+        ),
+    )
+    report("fig19_alexnet_x86",
+           sweep_table("Fig. 19: AlexNet on x86 (#images/s)", rows))
+
+    by = {(r.method, r.size_label): r for r in rows}
+
+    # in-core fits up to ~2.5k images, fails at 3072 (~18.5 GiB)
+    assert by[("in-core", "batch=1024")].ok
+    assert not by[("in-core", "batch=3072")].ok
+    assert by[("pooch", "batch=3072")].ok
+
+    # per-image throughput of out-of-core PoocH stays within ~25 % of the
+    # in-core rate.  (The paper reports ≤ 6.1 %; our cost model makes
+    # AlexNet's giant early LRN/pool maps — 6.6 GiB at batch 3072 — costlier
+    # to hide than the real machine did, see EXPERIMENTS.md.)
+    incore_rate = by[("in-core", "batch=2048")].images_per_second
+    pooch_rate = by[("pooch", "batch=3072")].images_per_second
+    assert pooch_rate > 0.75 * incore_rate
+
+    # superneurons is competitive here (paper: small difference)
+    sn = by[("superneurons", "batch=3072")]
+    if sn.ok:
+        assert pooch_rate >= sn.images_per_second * 0.95
+
+    # recomputation is rarely chosen for AlexNet (paper)
+    res = optimize_cached("alexnet:batch=3072", lambda: alexnet(3072),
+                          X86_V100, BENCH_CONFIG)
+    counts = res.classification.counts()
+    assert counts[MapClass.RECOMPUTE] <= counts[MapClass.SWAP] + counts[MapClass.KEEP]

@@ -1,0 +1,61 @@
+"""Fig. 21 — 3D-ResNeXt-101 throughput vs input size on the x86 machine.
+
+Paper: with batch fixed at 1, the 3D input volume is swept past GPU memory;
+3D convolutions are so compute-heavy that swaps hide well — PoocH degrades
+less than 10 % vs in-core and stays ahead of superneurons.  Throughput is
+reported as clips/s (batch 1), normalised per input volume in the table.
+"""
+
+from repro.experiments import performance_sweep
+from repro.hw import X86_V100
+from repro.models import resnext101_3d
+
+from benchmarks.conftest import BENCH_CONFIG, run_once, sweep_table
+
+SIZES = [
+    ("64x448x448", 1, lambda: resnext101_3d((64, 448, 448))),   # ~13 GiB: in-core
+    ("96x512x512", 1, lambda: resnext101_3d((96, 512, 512))),   # ~26 GiB
+    ("112x576x576", 1, lambda: resnext101_3d((112, 576, 576))),  # ~38 GiB
+]
+
+#: relative input volumes (T*H*W) for per-voxel rate comparisons
+VOLUME = {
+    "64x448x448": 64 * 448 * 448,
+    "96x512x512": 96 * 512 * 512,
+    "112x576x576": 112 * 576 * 576,
+}
+
+
+def test_bench_fig21_resnext3d_x86(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: performance_sweep(
+            "resnext3d", SIZES, X86_V100,
+            methods=("in-core", "superneurons", "pooch"),
+            config=BENCH_CONFIG,
+        ),
+    )
+    report("fig21_resnext3d_x86",
+           sweep_table("Fig. 21: ResNeXt-101 (3D) on x86 (clips/s, batch=1)",
+                       rows))
+
+    by = {(r.method, r.size_label): r for r in rows}
+    assert by[("in-core", "64x448x448")].ok
+    assert not by[("in-core", "96x512x512")].ok
+    assert by[("pooch", "96x512x512")].ok
+    assert by[("pooch", "112x576x576")].ok
+
+    # per-voxel processing rate of out-of-core PoocH within ~15 % of in-core
+    # (paper: < 10 % absolute degradation)
+    incore = by[("in-core", "64x448x448")]
+    incore_rate = incore.images_per_second * VOLUME["64x448x448"]
+    for label in ("96x512x512", "112x576x576"):
+        pooch_rate = by[("pooch", label)].images_per_second * VOLUME[label]
+        assert pooch_rate > 0.85 * incore_rate
+
+    # PoocH at least matches superneurons
+    for label in ("96x512x512", "112x576x576"):
+        sn = by[("superneurons", label)]
+        if sn.ok:
+            assert (by[("pooch", label)].images_per_second
+                    >= sn.images_per_second * 0.999)

@@ -1,0 +1,43 @@
+"""Fig. 22 — 3D-ResNeXt-101 throughput vs input size on the POWER9 machine.
+
+Paper: same sweep as Fig. 21 on NVLink; degradation below 10 % on both
+environments, PoocH ahead of superneurons.
+"""
+
+from repro.experiments import performance_sweep
+from repro.hw import POWER9_V100
+
+from benchmarks.conftest import BENCH_CONFIG, run_once, sweep_table
+from benchmarks.test_bench_fig21_resnext3d_x86 import SIZES, VOLUME
+
+
+def test_bench_fig22_resnext3d_power9(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: performance_sweep(
+            "resnext3d", SIZES, POWER9_V100,
+            methods=("in-core", "superneurons", "pooch"),
+            config=BENCH_CONFIG,
+        ),
+    )
+    report("fig22_resnext3d_power9",
+           sweep_table("Fig. 22: ResNeXt-101 (3D) on POWER9 (clips/s, batch=1)",
+                       rows))
+
+    by = {(r.method, r.size_label): r for r in rows}
+    assert by[("in-core", "64x448x448")].ok
+    assert not by[("in-core", "96x512x512")].ok
+    assert by[("pooch", "96x512x512")].ok
+    assert by[("pooch", "112x576x576")].ok
+
+    incore = by[("in-core", "64x448x448")]
+    incore_rate = incore.images_per_second * VOLUME["64x448x448"]
+    for label in ("96x512x512", "112x576x576"):
+        pooch_rate = by[("pooch", label)].images_per_second * VOLUME[label]
+        assert pooch_rate > 0.9 * incore_rate  # ≤10 % per-voxel degradation
+
+    for label in ("96x512x512", "112x576x576"):
+        sn = by[("superneurons", label)]
+        if sn.ok:
+            assert (by[("pooch", label)].images_per_second
+                    >= sn.images_per_second * 0.999)

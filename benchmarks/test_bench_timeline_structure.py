@@ -1,0 +1,79 @@
+"""Figs. 2, 7, 10, 11, 13, 14 — the worked timeline example.
+
+The paper develops PoocH on an 8-layer example: Fig. 2 the dense in-core
+timeline, Fig. 7 the idle regions swap-all introduces, Fig. 10 the swap-in
+move-up, Figs. 11/13 the un-hidden swap sets L_O/L_I (with L_O clustering at
+the *end* of forward) and the keep-from-the-back reduction.  This benchmark
+reconstructs all of those structures on the 8-layer poster network scaled to
+out-of-core-relevant size on the x86 machine, and renders the actual ASCII
+timelines into the results directory.
+"""
+
+from repro.analysis import render_timeline, total_idle
+from repro.baselines import plan_swap_all, plan_swap_all_unscheduled
+from repro.gpusim import StreamName
+from repro.hw import X86_V100
+from repro.models import poster_example
+from repro.pooch import analyze_overlap
+from repro.runtime import Classification, MapClass, execute, run_profiling
+
+from benchmarks.conftest import run_once
+
+BATCH = 2048  # ~1 GiB per feature map: swaps are expensive on PCIe
+
+
+def test_bench_timeline_structure(benchmark, report):
+    g = poster_example(batch=BATCH)
+
+    def run():
+        incore = execute(g, Classification.all_keep(g), X86_V100)
+        naive = plan_swap_all_unscheduled(g).execute(g, X86_V100)
+        eager = plan_swap_all(g).execute(g, X86_V100)
+        profile = run_profiling(g, X86_V100)
+        overlap = analyze_overlap(profile.baseline)
+        return incore, naive, eager, profile, overlap
+
+    incore, naive, eager, profile, overlap = run_once(benchmark, run)
+
+    art = [
+        "== Fig. 2: in-core timeline (no swapping) ==",
+        render_timeline(incore, width=110),
+        "",
+        "== Fig. 7: swap-all without swap-in scheduling (note compute idle) ==",
+        render_timeline(naive, width=110),
+        "",
+        "== Fig. 10 (right): swap-all with eager swap-in scheduling ==",
+        render_timeline(eager, width=110),
+        "",
+        f"== Fig. 11: un-hidden swap sets ==\n{overlap.describe()}",
+    ]
+    report("fig02_07_10_11_timelines", "\n".join(art))
+
+    # Fig. 2: in-core compute is dense (negligible idle)
+    assert total_idle(incore, StreamName.COMPUTE) < 0.02 * incore.makespan
+
+    # Fig. 7: swapping introduces real compute idle
+    naive_idle = total_idle(naive, StreamName.COMPUTE)
+    assert naive_idle > 0.05 * naive.makespan
+    assert naive.makespan > 1.2 * incore.makespan
+
+    # Fig. 10: moving swap-ins up reduces the iteration time
+    assert eager.makespan <= naive.makespan
+
+    # Fig. 11: both L_O and L_I are non-empty under PCIe pressure
+    assert overlap.L_O and overlap.L_I
+
+    # Fig. 13: un-hidden swap-outs cluster at the end of forward — the
+    # highest-index conv layers dominate L_O
+    convs = [i for i in g.classifiable_maps()]
+    top_half = set(convs[len(convs) // 2:])
+    assert len(overlap.L_O & top_half) >= len(overlap.L_O) / 2
+
+    # Fig. 13 (right): keeping maps from the output layer backwards removes
+    # trailing swap-out overhead
+    keeps = sorted(overlap.L_O)[-2:]
+    cls = Classification.all_swap(g).with_classes(
+        {m: MapClass.KEEP for m in keeps}
+    )
+    reduced = execute(g, cls, X86_V100)
+    assert reduced.makespan < eager.makespan

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Prove the out-of-core machinery computes the *right* answer.
+
+The simulator can execute real numpy payloads inside the task schedule: every
+forward, swap copy, recomputation and backward happens at its scheduled
+position, and arrays are destroyed the instant the memory pool frees their
+buffer.  This example trains a small residual CNN three ways — in-core,
+everything-swapped (on a GPU 10x too small for it), and everything-recomputed
+— and checks the weight gradients are **bit-identical**.
+
+Run:  python examples/numeric_validation.py     (seconds)
+"""
+
+import numpy as np
+
+from repro import Classification, X86_V100
+from repro.common.units import MiB
+from repro.hw import MachineSpec
+from repro.models import small_cnn
+from repro.runtime.numeric import run_numeric
+
+TINY = MachineSpec(
+    name="tiny-gpu",
+    cpu="host",
+    gpu_mem_capacity=24 * MiB,
+    gpu_mem_reserved=1 * MiB,
+)
+
+
+def grads_equal(a, b) -> bool:
+    return all(
+        np.array_equal(v, b[layer][name])
+        for layer, gr in a.items()
+        for name, v in gr.items()
+    )
+
+
+def main() -> None:
+    g = small_cnn(batch=16, image=32, with_residual=True)
+    print(g.summary())
+
+    print("\n1) in-core reference on a big GPU ...")
+    _, ref = run_numeric(g, Classification.all_keep(g), X86_V100)
+
+    print(f"2) all-swap on a {TINY.gpu_mem_capacity // MiB} MiB GPU "
+          f"(the model needs ~{g.training_memory_bytes() // MiB} MiB) ...")
+    swap_run, swapped = run_numeric(g, Classification.all_swap(g), TINY)
+    print(f"   peak device memory: {swap_run.device_peak / MiB:.1f} MiB — fits!")
+
+    print("3) all-recompute on the big GPU ...")
+    _, recomputed = run_numeric(g, Classification.all_recompute(g), X86_V100)
+
+    assert grads_equal(ref.weight_grads, swapped.weight_grads), "swap mismatch!"
+    assert grads_equal(ref.weight_grads, recomputed.weight_grads), "recompute mismatch!"
+    n = sum(len(gr) for gr in ref.weight_grads.values())
+    print(f"\nall {n} weight-gradient tensors are BIT-IDENTICAL across "
+          "in-core / swapped / recomputed execution ✓")
+    print("swapping is a pure data move and recomputation a pure replay — "
+          "the schedules move exactly the right bytes at the right time.")
+
+
+if __name__ == "__main__":
+    main()

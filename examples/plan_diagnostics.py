@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Diagnostics deep-dive: why did PoocH choose this plan, and where does the
+remaining time go?
+
+Walks the explainability tooling on ResNet-50 over GPU memory:
+
+* ``PoochResult.explain()`` — per-map rationale: sizes, the profiled
+  un-hidden swap overheads that made maps search candidates, the r(X)
+  recompute-vs-swap ratios;
+* ``analyze_bottlenecks`` — stall attribution for the chosen plan vs the
+  all-swap baseline (the quantitative version of the paper's Fig. 7);
+* ``memory_curve_plot`` — device memory over the iteration, against the
+  16 GB capacity line.
+
+Run:  python examples/plan_diagnostics.py    (~1-2 min)
+"""
+
+from repro import (
+    Classification,
+    PoocH,
+    PoochConfig,
+    X86_V100,
+    execute,
+    images_per_second,
+    resnet50,
+)
+from repro.analysis import analyze_bottlenecks, memory_curve_plot
+
+BATCH = 384
+
+
+def main() -> None:
+    graph = resnet50(BATCH)
+    machine = X86_V100
+
+    print("optimizing (profile + classify)...")
+    result = PoocH(machine, PoochConfig(step1_sim_budget=400)).optimize(graph)
+    print()
+    print(result.summary())
+
+    print("\n-- why: the 12 largest feature maps --")
+    print(result.explain(top=12))
+
+    baseline = execute(graph, Classification.all_swap(graph), machine)
+    chosen = result.execute()
+    print("\n-- where the time goes: all-swap baseline --")
+    print(analyze_bottlenecks(baseline).render())
+    print("\n-- where the time goes: PoocH plan --")
+    print(analyze_bottlenecks(chosen).render())
+    print(f"\nthroughput: {images_per_second(baseline, BATCH):.1f} -> "
+          f"{images_per_second(chosen, BATCH):.1f} img/s")
+
+    print("\n-- device memory over the PoocH iteration --")
+    print(memory_curve_plot(chosen, machine.usable_gpu_memory,
+                            height=10, width=90))
+
+
+if __name__ == "__main__":
+    main()

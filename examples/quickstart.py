@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: train a network that does not fit in GPU memory.
+
+This walks the full PoocH pipeline on the paper's headline case — ResNet-50
+with a batch size whose ~20 GiB working set exceeds the 16 GB V100:
+
+1. show that in-core execution fails,
+2. profile + classify with PoocH,
+3. execute the optimized plan and compare against the safe all-swap default.
+
+Run:  python examples/quickstart.py  [batch]   (default batch 256, ~1 min)
+"""
+
+import sys
+
+from repro import (
+    Classification,
+    OutOfMemoryError,
+    PoocH,
+    PoochConfig,
+    X86_V100,
+    execute,
+    images_per_second,
+    resnet50,
+)
+from repro.common.units import GiB
+
+
+def main() -> None:
+    batch = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    graph = resnet50(batch)
+    machine = X86_V100
+
+    print(graph.summary())
+    need = graph.training_memory_bytes() / GiB
+    have = machine.usable_gpu_memory / GiB
+    print(f"\ntraining needs ~{need:.1f} GiB; the {machine.name} GPU has "
+          f"{have:.1f} GiB usable\n")
+
+    # 1. in-core fails
+    try:
+        execute(graph, Classification.all_keep(graph), machine)
+        print("in-core: fits (try a larger batch for the out-of-core story)")
+    except OutOfMemoryError as e:
+        print(f"in-core: FAILS as expected -> {e}\n")
+
+    # 2. the safe default: swap everything
+    swap_all = execute(graph, Classification.all_swap(graph), machine)
+    print(f"all-swap baseline: {images_per_second(swap_all, batch):7.1f} img/s")
+
+    # 3. PoocH: profile, classify, execute
+    result = PoocH(machine, PoochConfig(step1_sim_budget=600)).optimize(graph)
+    print()
+    print(result.summary())
+    timeline = result.execute()
+    print(f"\nPoocH execution:   {images_per_second(timeline, batch):7.1f} img/s "
+          f"(peak GPU memory {timeline.device_peak / GiB:.2f} GiB)")
+    speedup = swap_all.makespan / timeline.makespan
+    print(f"speedup over all-swap: x{speedup:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The paper's worked example, rendered: Figs. 2, 7, 10, 11 on an 8-layer net.
+
+Prints ASCII timelines of the compute / D2H / H2D streams for:
+  * in-core execution (Fig. 2 — dense compute),
+  * swap-all without swap-in scheduling (Fig. 7 — idle regions appear),
+  * swap-all with PoocH's eager swap-in schedule (Fig. 10 right),
+  * the PoocH-optimized hybrid plan,
+and shows the extracted un-hidden swap sets L_O / L_I (Fig. 11) in between.
+
+Run:  python examples/timeline_walkthrough.py     (seconds)
+"""
+
+from repro import PoocH, PoochConfig, X86_V100, execute, Classification
+from repro.analysis import render_timeline, total_idle
+from repro.baselines import plan_swap_all, plan_swap_all_unscheduled
+from repro.gpusim import StreamName
+from repro.models import poster_example
+from repro.pooch import analyze_overlap
+from repro.runtime import run_profiling
+
+BATCH = 2048  # ~1 GiB per feature map: PCIe swaps genuinely hurt
+WIDTH = 110
+
+
+def show(title: str, result) -> None:
+    idle = total_idle(result, StreamName.COMPUTE)
+    print(f"\n== {title} ==")
+    print(f"iteration {result.makespan * 1e3:.1f} ms, compute idle "
+          f"{idle * 1e3:.1f} ms ({idle / result.makespan:.0%})")
+    print(render_timeline(result, width=WIDTH))
+
+
+def main() -> None:
+    g = poster_example(batch=BATCH)
+    machine = X86_V100
+    print(g.summary())
+    print("\nLegend: F=forward B=backward R=recompute o=swap-out i=swap-in "
+          "(numbers are layer indices)")
+
+    show("Fig. 2: in-core", execute(g, Classification.all_keep(g), machine))
+    show("Fig. 7: swap-all, naive swap-in",
+         plan_swap_all_unscheduled(g).execute(g, machine))
+    show("Fig. 10 (right): swap-all, eager swap-in",
+         plan_swap_all(g).execute(g, machine))
+
+    profile = run_profiling(g, machine)
+    overlap = analyze_overlap(profile.baseline)
+    print(f"\n== Fig. 11: swaps not hidden by computation ==\n"
+          f"{overlap.describe()}")
+
+    result = PoocH(machine, PoochConfig(step1_sim_budget=400)).optimize(
+        g, profile=profile
+    )
+    print()
+    print(result.summary())
+    print(result.classification.describe(g))
+    show("PoocH hybrid plan", result.execute())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Out-of-core 3D video training — the batch-size-1 blow-up (Figs. 4, 21, 22).
+
+3D CNNs can exceed GPU memory with a *single* clip, where data parallelism
+cannot help; out-of-core execution is the only option.  This example sweeps
+the input volume of 3D-ResNeXt-101, shows where in-core fails, and trains
+each out-of-core point with PoocH.
+
+Run:  python examples/video_3d_training.py     (~2-5 min)
+"""
+
+from repro import (
+    Classification,
+    OutOfMemoryError,
+    PoocH,
+    PoochConfig,
+    X86_V100,
+    execute,
+    resnext101_3d,
+)
+from repro.analysis import Table
+from repro.common.units import GiB
+from repro.runtime import MapClass
+
+SIZES = [(16, 112, 112), (64, 448, 448), (96, 512, 512)]
+
+
+def main() -> None:
+    machine = X86_V100
+    table = Table(
+        "3D-ResNeXt-101, batch=1, x86 machine",
+        ["input (TxHxW)", "memory (GiB)", "in-core", "PoocH iter (s)",
+         "plan (keep/swap/rec)"],
+    )
+    for size in SIZES:
+        g = resnext101_3d(size)
+        need = g.training_memory_bytes() / GiB
+        try:
+            r = execute(g, Classification.all_keep(g), machine)
+            incore = f"{r.makespan:.2f} s"
+        except OutOfMemoryError:
+            incore = "OOM"
+        res = PoocH(machine, PoochConfig(step1_sim_budget=400)).optimize(g)
+        t = res.execute()
+        c = res.classification.counts()
+        plan = f"{c[MapClass.KEEP]}/{c[MapClass.SWAP]}/{c[MapClass.RECOMPUTE]}"
+        label = "x".join(map(str, size))
+        table.add(label, need, incore, t.makespan, plan)
+        print(f"done {label}: iter {t.makespan:.2f}s, plan {plan}")
+
+    print()
+    print(table.render())
+    print("\nEven at batch 1 the large clips exceed the 16 GB GPU; PoocH "
+          "keeps training with bounded slowdown because 3D convolutions "
+          "hide most transfers (the paper's <10% degradation claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro — a full reproduction of PoocH (Profiling-based Out-of-core Hybrid
+method for large neural networks, PPoPP 2019 poster) on a simulated-GPU
+substrate.
+
+Quickstart::
+
+    from repro import PoocH, X86_V100, resnet50, images_per_second
+
+    graph = resnet50(batch=512)          # needs ~40 GiB; the V100 has 16 GB
+    result = PoocH(X86_V100).optimize(graph)
+    print(result.summary())              # keep/swap/recompute plan + prediction
+    timeline = result.execute()          # ground-truth simulated iteration
+    print(images_per_second(timeline, 512), "img/s")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.baselines import (
+    plan_incore,
+    plan_recompute_all,
+    plan_superneurons,
+    plan_swap_all,
+    plan_swap_all_unscheduled,
+    plan_swap_opt,
+    plan_vdnn,
+)
+from repro.common.errors import (
+    GraphError,
+    NumericError,
+    OutOfMemoryError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.graph import (
+    GraphBuilder,
+    NNGraph,
+    TensorSpec,
+    max_layer_working_set,
+    split_batch,
+)
+from repro.hw import CostModel, MachineSpec, POWER9_V100, X86_V100
+from repro.models import (
+    alexnet,
+    build_model,
+    googlenet,
+    resnet50,
+    resnet101,
+    resnext101_3d,
+    vgg16,
+)
+from repro.pooch import (
+    DynamicPoocH,
+    PoocH,
+    PoochConfig,
+    PoochResult,
+    TimelinePredictor,
+)
+from repro.runtime import (
+    Classification,
+    MapClass,
+    MomentumSGD,
+    Profile,
+    SGD,
+    SwapInPolicy,
+    Trainer,
+    execute,
+    images_per_second,
+    run_profiling,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError", "GraphError", "ScheduleError", "SimulationError",
+    "OutOfMemoryError", "NumericError",
+    # graph & models
+    "TensorSpec", "NNGraph", "GraphBuilder", "split_batch",
+    "max_layer_working_set",
+    "alexnet", "vgg16", "googlenet", "resnet50", "resnet101",
+    "resnext101_3d", "build_model",
+    # hardware
+    "MachineSpec", "X86_V100", "POWER9_V100", "CostModel",
+    # runtime
+    "Classification", "MapClass", "SwapInPolicy", "execute",
+    "images_per_second", "run_profiling", "Profile",
+    # runtime extensions
+    "Trainer", "SGD", "MomentumSGD",
+    # PoocH
+    "PoocH", "PoochConfig", "PoochResult", "TimelinePredictor",
+    "DynamicPoocH",
+    # baselines
+    "plan_incore", "plan_swap_all", "plan_swap_all_unscheduled",
+    "plan_swap_opt", "plan_superneurons", "plan_vdnn", "plan_recompute_all",
+]

@@ -1,0 +1,36 @@
+"""Timeline analysis and reporting: idle-region extraction, swap-overlap
+measurement (the basis of PoocH's `L_O`/`L_I` sets), ASCII timeline rendering
+(the paper's Figs. 2/7/10-style pictures), and tabular report helpers."""
+
+from repro.analysis.timeline import (
+    compute_busy,
+    hidden_fraction,
+    idle_intervals,
+    idle_overlap,
+    interval_overlap,
+    render_timeline,
+    total_idle,
+)
+from repro.analysis.bottleneck import BottleneckReport, Stall, analyze_bottlenecks
+from repro.analysis.chrometrace import to_chrome_trace, write_chrome_trace
+from repro.analysis.plots import bar_chart, memory_curve_plot
+from repro.analysis.report import Table, format_table
+
+__all__ = [
+    "bar_chart",
+    "memory_curve_plot",
+    "analyze_bottlenecks",
+    "BottleneckReport",
+    "Stall",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "interval_overlap",
+    "compute_busy",
+    "idle_intervals",
+    "total_idle",
+    "idle_overlap",
+    "hidden_fraction",
+    "render_timeline",
+    "Table",
+    "format_table",
+]

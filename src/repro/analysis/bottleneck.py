@@ -1,0 +1,102 @@
+"""Stall attribution: where did the iteration time go?
+
+Given a timeline, decompose the makespan into compute-busy time and idle
+gaps, and attribute each idle gap to the task whose completion ended it —
+the transfer or dependency the computation was actually waiting for.  This
+is the quantitative version of the paper's Fig. 7 red boxes, and the view a
+performance engineer would want before trusting any classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.timeline import idle_intervals
+from repro.common.units import format_seconds
+from repro.gpusim import RunResult, StreamName, TaskKind
+
+
+@dataclass(frozen=True)
+class Stall:
+    """One compute-idle gap and its attributed cause."""
+
+    start: float
+    end: float
+    blamed_task: str  # task whose completion released the compute stream
+    blamed_kind: TaskKind | None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class BottleneckReport:
+    """Decomposition of one run's makespan."""
+
+    makespan: float
+    compute_busy: float
+    stalls: list[Stall] = field(default_factory=list)
+
+    @property
+    def total_stall(self) -> float:
+        return sum(s.duration for s in self.stalls)
+
+    def stall_by_kind(self) -> dict[str, float]:
+        """Idle seconds attributed to each blamed task kind."""
+        acc: dict[str, float] = {}
+        for s in self.stalls:
+            key = s.blamed_kind.value if s.blamed_kind else "startup"
+            acc[key] = acc.get(key, 0.0) + s.duration
+        return acc
+
+    def top_stalls(self, n: int = 5) -> list[Stall]:
+        return sorted(self.stalls, key=lambda s: -s.duration)[:n]
+
+    def render(self) -> str:
+        lines = [
+            f"makespan {format_seconds(self.makespan)}: compute busy "
+            f"{format_seconds(self.compute_busy)} "
+            f"({self.compute_busy / self.makespan:.0%}), stalled "
+            f"{format_seconds(self.total_stall)} "
+            f"({self.total_stall / self.makespan:.0%})",
+        ]
+        by_kind = self.stall_by_kind()
+        if by_kind:
+            lines.append("stall attribution: " + ", ".join(
+                f"{k}={format_seconds(v)}"
+                for k, v in sorted(by_kind.items(), key=lambda kv: -kv[1])
+            ))
+        for s in self.top_stalls(5):
+            lines.append(
+                f"  waited {format_seconds(s.duration)} for "
+                f"{s.blamed_task or 'iteration start'}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_bottlenecks(result: RunResult) -> BottleneckReport:
+    """Attribute every compute-idle gap to the task whose completion ended
+    it (the completion at/nearest-before the gap's end)."""
+    gaps = idle_intervals(result, StreamName.COMPUTE,
+                          span=(0.0, result.makespan))
+    compute_busy = sum(
+        r.duration for r in result.records if r.stream is StreamName.COMPUTE
+    )
+    # completions sorted by end time, excluding compute tasks themselves
+    completions = sorted(
+        (r for r in result.records if r.stream is not StreamName.COMPUTE),
+        key=lambda r: r.end,
+    )
+    stalls: list[Stall] = []
+    for a, b in gaps:
+        blamed, kind = "", None
+        for r in completions:
+            if a < r.end <= b + 1e-15:
+                blamed, kind = r.tid, r.kind  # last completion inside the gap
+        stalls.append(Stall(a, b, blamed, kind))
+    return BottleneckReport(
+        makespan=result.makespan,
+        compute_busy=compute_busy,
+        stalls=stalls,
+    )

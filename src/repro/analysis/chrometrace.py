@@ -1,0 +1,73 @@
+"""Chrome trace-event export: open simulated timelines in a real profiler.
+
+:func:`to_chrome_trace` converts a :class:`~repro.gpusim.RunResult` into the
+Trace Event JSON format that ``chrome://tracing`` and https://ui.perfetto.dev
+render — one row per stream, one slice per task, plus a memory counter track
+from the allocator trace.  This gives the simulated runs the same tooling a
+real GPU profile would get from nsys.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.gpusim import RunResult, StreamName, TaskKind
+
+#: stable thread ids per stream row
+_STREAM_TID = {
+    StreamName.COMPUTE: 0,
+    StreamName.D2H: 1,
+    StreamName.H2D: 2,
+}
+
+#: trace-viewer colour names per task kind
+_KIND_COLOR = {
+    TaskKind.FWD: "thread_state_running",
+    TaskKind.BWD: "thread_state_runnable",
+    TaskKind.RECOMPUTE: "terrible",
+    TaskKind.SWAP_OUT: "bad",
+    TaskKind.SWAP_IN: "good",
+    TaskKind.UPDATE: "grey",
+}
+
+
+def to_chrome_trace(result: RunResult, name: str = "repro") -> dict[str, Any]:
+    """Build the trace dict (``traceEvents`` + metadata)."""
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "pid": 0, "name": "process_name",
+         "args": {"name": name}},
+    ]
+    for stream, tid in _STREAM_TID.items():
+        events.append({
+            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            "args": {"name": stream.value},
+        })
+    for rec in result.records:
+        events.append({
+            "ph": "X",
+            "pid": 0,
+            "tid": _STREAM_TID[rec.stream],
+            "name": rec.tid,
+            "cat": rec.kind.value,
+            "ts": rec.start * 1e6,  # trace units are microseconds
+            "dur": rec.duration * 1e6,
+            "cname": _KIND_COLOR.get(rec.kind, "grey"),
+            "args": {"layer": rec.layer, "kind": rec.kind.value},
+        })
+    for ev in result.device_trace:
+        events.append({
+            "ph": "C",
+            "pid": 0,
+            "name": "gpu memory",
+            "ts": ev.time * 1e6,
+            "args": {"bytes_in_use": ev.in_use_after},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(result: RunResult, path: str | pathlib.Path,
+                       name: str = "repro") -> None:
+    """Write the trace JSON; open it at chrome://tracing or perfetto.dev."""
+    pathlib.Path(path).write_text(json.dumps(to_chrome_trace(result, name)))

@@ -1,0 +1,82 @@
+"""Text-mode plots: horizontal bar charts and memory-over-time curves.
+
+The benchmarks regenerate the paper's figures as data tables; these helpers
+render the same data as terminal graphics so the *shape* of each figure
+(bar orderings, crossovers, the memory staircase) is visible at a glance in
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import format_bytes, format_seconds
+from repro.gpusim import RunResult
+
+
+def bar_chart(
+    title: str,
+    rows: list[tuple[str, float | None]],
+    width: int = 50,
+    unit: str = "",
+    fail_label: str = "FAIL",
+) -> str:
+    """Horizontal bar chart; ``None`` values render as failures.
+
+    >>> print(bar_chart("t", [("a", 2.0), ("b", 1.0), ("c", None)]))
+    """
+    label_w = max((len(label) for label, _ in rows), default=0)
+    values = [v for _, v in rows if v is not None]
+    peak = max(values, default=1.0) or 1.0
+    lines = [f"== {title} =="]
+    for label, value in rows:
+        if value is None:
+            lines.append(f"{label.ljust(label_w)} | {fail_label}")
+            continue
+        n = int(round(width * value / peak))
+        bar = "#" * max(n, 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def memory_curve_plot(
+    result: RunResult,
+    capacity: int,
+    height: int = 12,
+    width: int = 80,
+) -> str:
+    """Render device memory in use over simulated time as an area plot,
+    with the capacity line on top — the picture PoocH's profiling phase
+    effectively reconstructs from the malloc/free trace."""
+    trace = result.device_trace
+    if not trace or result.makespan <= 0:
+        return "(no memory trace)"
+    # sample the staircase at `width` time points
+    samples = [0] * width
+    cursor = 0
+    current = 0
+    events = list(trace)
+    for col in range(width):
+        t = (col + 1) / width * result.makespan
+        while cursor < len(events) and events[cursor].time <= t:
+            current = events[cursor].in_use_after
+            cursor += 1
+        samples[col] = current
+    peak = max(max(samples), 1)
+    scale_top = max(peak, capacity)
+    rows = []
+    for level in range(height, 0, -1):
+        band_top = scale_top * level / height
+        band_low = scale_top * (level - 1) / height
+        cap_row = capacity >= band_top > capacity - scale_top / height
+        # a cell is filled when usage reaches into this band
+        line = "".join(
+            "█" if s > band_low else ("-" if cap_row else " ")
+            for s in samples
+        )
+        prefix = format_bytes(band_top).rjust(11)
+        marker = " <- capacity" if cap_row else ""
+        rows.append(f"{prefix} |{line}|{marker}")
+    rows.append(
+        " " * 11
+        + f" 0{'-' * (width - 10)}t={format_seconds(result.makespan)}"
+    )
+    return "\n".join(rows)

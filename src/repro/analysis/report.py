@@ -1,0 +1,56 @@
+"""Small tabular report helpers shared by benchmarks and examples.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """An append-only table with aligned text rendering."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def format_table(title: str, columns: list[str], rows: list[list[str]]) -> str:
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    body = [
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows
+    ]
+    return "\n".join([f"== {title} ==", header, sep, *body])

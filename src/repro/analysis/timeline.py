@@ -1,0 +1,121 @@
+"""Timeline geometry: overlap and idle-time computations plus an ASCII
+renderer for simulated runs.
+
+The central question the paper keeps asking of a timeline is *"is this swap
+hidden by computation?"* (Figs. 7 and 11).  :func:`hidden_fraction` answers
+it for one task record: the fraction of the task's execution during which
+the compute stream was busy.  Swaps with a low hidden fraction are the
+overhead-causing maps that form ``L_O`` and ``L_I`` (§4.4.2).
+"""
+
+from __future__ import annotations
+
+from repro.gpusim import RunResult, StreamName, TaskKind, TaskRecord
+
+Interval = tuple[float, float]
+
+
+def interval_overlap(span: Interval, intervals: list[Interval]) -> float:
+    """Total length of ``span ∩ ∪intervals`` (``intervals`` must be sorted
+    and disjoint, as produced by :meth:`RunResult.busy_intervals`)."""
+    s, e = span
+    total = 0.0
+    for a, b in intervals:
+        if b <= s:
+            continue
+        if a >= e:
+            break
+        total += min(e, b) - max(s, a)
+    return total
+
+
+def compute_busy(result: RunResult) -> list[Interval]:
+    """Merged busy intervals of the compute stream."""
+    return result.busy_intervals(StreamName.COMPUTE)
+
+
+def idle_intervals(result: RunResult, stream: StreamName = StreamName.COMPUTE,
+                   span: Interval | None = None) -> list[Interval]:
+    """Gaps in a stream's busy time within ``span`` (default: the whole run,
+    from the stream's first task start to the run's makespan)."""
+    busy = result.busy_intervals(stream)
+    if not busy:
+        return [span] if span else []
+    lo = span[0] if span else busy[0][0]
+    hi = span[1] if span else result.makespan
+    gaps: list[Interval] = []
+    cursor = lo
+    for a, b in busy:
+        if a > cursor:
+            gaps.append((cursor, min(a, hi)))
+        cursor = max(cursor, b)
+        if cursor >= hi:
+            break
+    if cursor < hi:
+        gaps.append((cursor, hi))
+    return [(a, b) for a, b in gaps if b > a]
+
+
+def total_idle(result: RunResult, stream: StreamName = StreamName.COMPUTE) -> float:
+    """Summed idle time of a stream over the run."""
+    return sum(b - a for a, b in idle_intervals(result, stream))
+
+
+def idle_overlap(record: TaskRecord, busy: list[Interval]) -> float:
+    """Seconds of ``record``'s execution during which ``busy`` (typically the
+    compute stream) was idle — the un-hidden part of a swap."""
+    return record.duration - interval_overlap((record.start, record.end), busy)
+
+
+def hidden_fraction(record: TaskRecord, busy: list[Interval]) -> float:
+    """Fraction of the task's duration overlapped by ``busy`` (1.0 = fully
+    hidden; zero-duration tasks count as hidden)."""
+    if record.duration <= 0:
+        return 1.0
+    return interval_overlap((record.start, record.end), busy) / record.duration
+
+
+_KIND_GLYPH = {
+    TaskKind.FWD: "F",
+    TaskKind.BWD: "B",
+    TaskKind.RECOMPUTE: "R",
+    TaskKind.SWAP_OUT: "o",
+    TaskKind.SWAP_IN: "i",
+    TaskKind.UPDATE: "U",
+}
+
+
+def render_timeline(result: RunResult, width: int = 100,
+                    label_layers: bool = True) -> str:
+    """Render the run as fixed-width ASCII art, one row per stream.
+
+    Each task paints its kind glyph over its time span (``F``/``B``/``R`` on
+    compute, ``o``/``i`` on the copy streams); '.' is idle.  With
+    ``label_layers`` the layer index is written into boxes wide enough to
+    hold it — producing pictures directly comparable to the paper's Fig. 7.
+    """
+    if result.makespan <= 0:
+        return "(empty timeline)"
+    scale = width / result.makespan
+    rows: dict[StreamName, list[str]] = {
+        s: ["."] * width for s in StreamName
+    }
+    for rec in sorted(result.records, key=lambda r: r.start):
+        a = int(rec.start * scale)
+        b = max(a + 1, int(rec.end * scale))
+        b = min(b, width)
+        glyph = _KIND_GLYPH[rec.kind]
+        row = rows[rec.stream]
+        for x in range(a, b):
+            row[x] = glyph
+        if label_layers and rec.layer >= 0:
+            label = str(rec.layer)
+            if b - a >= len(label) + 2:
+                for off, ch in enumerate(label):
+                    row[a + 1 + off] = ch
+    name = {StreamName.COMPUTE: "compute", StreamName.D2H: "d2h    ",
+            StreamName.H2D: "h2d    "}
+    lines = [f"t=0 {'-' * (width - 8)} t={result.makespan:.4g}s"]
+    for s in (StreamName.COMPUTE, StreamName.D2H, StreamName.H2D):
+        lines.append(f"{name[s]} |{''.join(rows[s])}|")
+    return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``models`` — list the model zoo.
+* ``summary <model> [--batch N]`` — graph statistics and memory estimate.
+* ``optimize <model> [--batch N] [--machine x86|power9]`` — run PoocH and
+  print the plan.
+* ``run <model> --method pooch|in-core|swap-all|swap-all-naive|superneurons|
+  swap-opt|vdnn|recompute-all|checkpoint`` — simulate one iteration and
+  report throughput.
+* ``timeline <model> [--plan ...] [--policy ...]`` — render the ASCII
+  execution timeline.
+
+All commands are offline simulations; nothing touches real hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines import (
+    plan_checkpoint,
+    plan_incore,
+    plan_recompute_all,
+    plan_superneurons,
+    plan_swap_all,
+    plan_swap_all_unscheduled,
+    plan_swap_opt,
+    plan_vdnn,
+)
+from repro.common.errors import OutOfMemoryError, ReproError
+from repro.common.units import GiB, format_bytes
+from repro.hw import MachineSpec, POWER9_V100, X86_V100
+from repro.models import MODEL_ZOO, build_model
+from repro.pooch import PoocH, PoochConfig
+from repro.runtime import Classification, SwapInPolicy, execute, images_per_second
+
+_MACHINES: dict[str, MachineSpec] = {"x86": X86_V100, "power9": POWER9_V100}
+
+_SIMPLE_PLANNERS = {
+    "in-core": plan_incore,
+    "swap-all": plan_swap_all,
+    "swap-all-naive": plan_swap_all_unscheduled,
+    "superneurons": plan_superneurons,
+    "vdnn": plan_vdnn,
+    "recompute-all": plan_recompute_all,
+    "checkpoint": plan_checkpoint,
+}
+
+
+def _build(args) -> "NNGraph":  # noqa: F821 - doc reference
+    kwargs = {}
+    if args.model == "resnext101_3d":
+        kwargs["input_size"] = tuple(args.input_size)
+    return build_model(args.model, batch=args.batch, **kwargs)
+
+
+def _add_model_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("model", help="model name (see `models`)")
+    p.add_argument("--batch", type=int, default=32)
+    p.add_argument("--input-size", type=int, nargs=3, default=(16, 112, 112),
+                   metavar=("T", "H", "W"),
+                   help="3D input size for resnext101_3d")
+    p.add_argument("--machine", choices=sorted(_MACHINES), default="x86")
+
+
+def _cmd_models(args) -> int:
+    for name in sorted([*MODEL_ZOO, "resnext101_3d"]):
+        print(name)
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    graph = _build(args)
+    machine = _MACHINES[args.machine]
+    print(graph.summary())
+    need = graph.training_memory_bytes()
+    have = machine.usable_gpu_memory
+    print(f"training memory estimate: {format_bytes(need)} "
+          f"({'fits' if need <= have else 'EXCEEDS'} the "
+          f"{machine.name} GPU's {format_bytes(have)})")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from repro.runtime import save_plan
+
+    graph = _build(args)
+    machine = _MACHINES[args.machine]
+    config = PoochConfig(step1_sim_budget=args.budget)
+    result = PoocH(machine, config).optimize(graph)
+    print(result.summary())
+    if args.verbose:
+        print(result.classification.describe(graph))
+    timeline = result.execute()
+    print(f"ground-truth iteration: {timeline.makespan * 1e3:.2f} ms "
+          f"({images_per_second(timeline, args.batch):.1f} img/s), "
+          f"peak GPU memory {timeline.device_peak / GiB:.2f} GiB")
+    if args.save:
+        save_plan(args.save, result.classification, graph,
+                  machine=machine.name, predicted_time=result.predicted.time)
+        print(f"plan written to {args.save}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    graph = _build(args)
+    machine = _MACHINES[args.machine]
+    if args.plan:
+        from repro.runtime import load_plan
+
+        cls = load_plan(args.plan, graph)
+        timeline = execute(graph, cls, machine)
+        print(f"saved-plan on {machine.name}: {timeline.makespan * 1e3:.2f} ms "
+              f"per iteration = "
+              f"{images_per_second(timeline, args.batch):.1f} img/s "
+              f"(peak {timeline.device_peak / GiB:.2f} GiB)")
+        return 0
+    if args.method == "pooch":
+        result = PoocH(machine, PoochConfig(step1_sim_budget=args.budget)
+                       ).optimize(graph)
+        timeline = result.execute()
+    elif args.method == "swap-opt":
+        plan = plan_swap_opt(graph, machine)
+        timeline = plan.execute(graph, machine)
+    else:
+        plan = _SIMPLE_PLANNERS[args.method](graph, machine)
+        timeline = plan.execute(graph, machine)
+    print(f"{args.method} on {machine.name}: {timeline.makespan * 1e3:.2f} ms "
+          f"per iteration = {images_per_second(timeline, args.batch):.1f} img/s "
+          f"(peak {timeline.device_peak / GiB:.2f} GiB)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Collate generated benchmark result tables into one report."""
+    import pathlib
+
+    results = pathlib.Path(args.results_dir)
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        print(f"no results under {results}/ — run "
+              "`pytest benchmarks/ --benchmark-only` first", file=sys.stderr)
+        return 1
+    for f in files:
+        print(f.read_text().rstrip())
+        print()
+    print(f"({len(files)} result tables from {results}/)")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.analysis import render_timeline
+
+    graph = _build(args)
+    machine = _MACHINES[args.machine]
+    cls = {
+        "keep": Classification.all_keep,
+        "swap": Classification.all_swap,
+        "recompute": Classification.all_recompute,
+    }[args.plan](graph)
+    result = execute(graph, cls, machine,
+                     policy=SwapInPolicy(args.policy))
+    if args.trace:
+        from repro.analysis import write_chrome_trace
+
+        write_chrome_trace(result, args.trace, name=f"{args.model} {args.plan}")
+        print(f"chrome trace written to {args.trace} "
+              "(open at https://ui.perfetto.dev)")
+    print(render_timeline(result, width=args.width))
+    print(f"iteration {result.makespan * 1e3:.2f} ms, "
+          f"peak {result.device_peak / GiB:.2f} GiB")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PoocH reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list available models").set_defaults(
+        fn=_cmd_models
+    )
+
+    p = sub.add_parser("summary", help="graph statistics + memory estimate")
+    _add_model_args(p)
+    p.set_defaults(fn=_cmd_summary)
+
+    p = sub.add_parser("optimize", help="run PoocH and print the plan")
+    _add_model_args(p)
+    p.add_argument("--budget", type=int, default=600,
+                   help="step-1 simulation budget")
+    p.add_argument("--verbose", action="store_true",
+                   help="print the per-map classification")
+    p.add_argument("--save", metavar="PLAN.json",
+                   help="write the chosen plan to a JSON file")
+    p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser("run", help="simulate one iteration of a method")
+    _add_model_args(p)
+    p.add_argument("--method", default="pooch",
+                   choices=["pooch", "swap-opt", *sorted(_SIMPLE_PLANNERS)])
+    p.add_argument("--budget", type=int, default=600)
+    p.add_argument("--plan", metavar="PLAN.json",
+                   help="execute a saved plan instead of --method")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("report", help="collate benchmark result tables")
+    p.add_argument("--results-dir", default="benchmarks/results")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("timeline", help="render an execution timeline")
+    _add_model_args(p)
+    p.add_argument("--plan", choices=["keep", "swap", "recompute"],
+                   default="swap")
+    p.add_argument("--policy", choices=[pol.value for pol in SwapInPolicy],
+                   default="eager")
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("--trace", metavar="TRACE.json",
+                   help="also write a chrome://tracing / Perfetto trace file")
+    p.set_defaults(fn=_cmd_timeline)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except OutOfMemoryError as e:
+        print(f"OUT OF MEMORY: {e}", file=sys.stderr)
+        return 2
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

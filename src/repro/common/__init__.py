@@ -1,0 +1,39 @@
+"""Shared low-level utilities: units, errors, configuration helpers.
+
+This package has no dependencies on any other ``repro`` subpackage; every
+other layer of the system may import from it freely.
+"""
+
+from repro.common.errors import (
+    GraphError,
+    OutOfMemoryError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+from repro.common.units import (
+    GB,
+    GiB,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    format_bytes,
+    format_seconds,
+)
+
+__all__ = [
+    "GB",
+    "GiB",
+    "KB",
+    "KiB",
+    "MB",
+    "MiB",
+    "format_bytes",
+    "format_seconds",
+    "ReproError",
+    "GraphError",
+    "ScheduleError",
+    "SimulationError",
+    "OutOfMemoryError",
+]

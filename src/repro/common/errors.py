@@ -1,0 +1,61 @@
+"""Exception hierarchy for the whole library.
+
+Everything raised deliberately by ``repro`` derives from :class:`ReproError`
+so callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A neural-network graph is malformed (cycle, dangling input, shape
+    mismatch, duplicate name, ...)."""
+
+
+class ScheduleError(ReproError):
+    """A task schedule could not be built or is internally inconsistent
+    (e.g. a task reads a buffer that is never resident)."""
+
+
+class SimulationError(ReproError):
+    """The event-driven simulation reached an invalid state (deadlock that is
+    not a memory deadlock, event ordering violation, ...)."""
+
+
+class OutOfMemoryError(ReproError):
+    """GPU memory was exhausted.
+
+    Raised both by the allocator (a strict allocation that cannot be
+    satisfied) and by the engine (all streams blocked on memory with nothing
+    in flight — the simulated equivalent of ``cudaErrorMemoryAllocation``).
+
+    Attributes:
+        requested: bytes the failing allocation asked for (0 if unknown).
+        free: bytes free in the pool at failure time.
+        capacity: pool capacity in bytes.
+        context: human-readable description of what was being executed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested: int = 0,
+        free: int = 0,
+        capacity: int = 0,
+        context: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.free = free
+        self.capacity = capacity
+        self.context = context
+
+
+class NumericError(ReproError):
+    """The numeric validation backend detected incorrect data movement
+    (use-after-free, missing tensor, gradient mismatch)."""

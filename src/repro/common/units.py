@@ -1,0 +1,57 @@
+"""Byte and time units, plus human-readable formatting helpers.
+
+All sizes in the code base are plain ``int`` byte counts and all times are
+``float`` seconds of *simulated* time; these constants keep call sites
+readable (``16 * GiB``, ``12.5 * GB``) without introducing a unit type.
+"""
+
+from __future__ import annotations
+
+# Decimal (vendor-style) byte units — interconnect bandwidths are quoted in
+# these (e.g. "PCIe gen3 x16 = 16 GB/s").
+KB: int = 10**3
+MB: int = 10**6
+GB: int = 10**9
+
+# Binary byte units — memory capacities are quoted in these (a "16 GB" V100
+# exposes 16 GiB of HBM2).
+KiB: int = 2**10
+MiB: int = 2**20
+GiB: int = 2**30
+
+_BYTE_STEPS = (
+    (GiB, "GiB"),
+    (MiB, "MiB"),
+    (KiB, "KiB"),
+)
+
+_TIME_STEPS = (
+    (1.0, "s"),
+    (1e-3, "ms"),
+    (1e-6, "us"),
+    (1e-9, "ns"),
+)
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``format_bytes(3 * MiB)
+    == '3.00 MiB'``. Negative values keep their sign."""
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for step, suffix in _BYTE_STEPS:
+        if n >= step:
+            return f"{sign}{n / step:.2f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration with an SI suffix, e.g. ``format_seconds(2.5e-3) ==
+    '2.500 ms'``."""
+    sign = "-" if t < 0 else ""
+    t = abs(t)
+    if t == 0:
+        return "0 s"
+    for step, suffix in _TIME_STEPS:
+        if t >= step:
+            return f"{sign}{t / step:.3f} {suffix}"
+    return f"{sign}{t:.3g} s"

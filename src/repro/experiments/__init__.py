@@ -1,0 +1,27 @@
+"""Experiment drivers: one function per paper table/figure family.
+
+These are the single source of truth shared by ``benchmarks/`` (which times
+and prints them) and ``examples/`` (which narrates them).  Expensive PoocH
+optimizations are memoized per-process in :mod:`repro.experiments.cache` so
+that e.g. Fig. 17 and Table 3 share the ResNet-50/batch-512 search.
+"""
+
+from repro.experiments.ablation import ablation_rows, ABLATION_METHODS
+from repro.experiments.cache import clear_cache, optimize_cached, profile_cached
+from repro.experiments.memusage import memory_curve, resnet50_memory_curve, resnext3d_memory_curve
+from repro.experiments.perf import MethodResult, performance_sweep
+from repro.experiments.table3 import classification_table
+
+__all__ = [
+    "profile_cached",
+    "optimize_cached",
+    "clear_cache",
+    "memory_curve",
+    "resnet50_memory_curve",
+    "resnext3d_memory_curve",
+    "ablation_rows",
+    "ABLATION_METHODS",
+    "performance_sweep",
+    "MethodResult",
+    "classification_table",
+]

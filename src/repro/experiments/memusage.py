@@ -1,0 +1,102 @@
+"""Memory-requirement curves — the paper's Figs. 3 and 4.
+
+The paper plots the training-memory requirement of ResNet-50 against batch
+size (crossing the 16 GB V100 line around batch 160-192 and reaching >50 GB
+at 640) and of 3D-ResNeXt-101 against input volume at batch 1 (reaching
+~58 GB).  We report the same static estimate the graph carries plus the
+simulator-measured in-core peak where it fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import GiB
+from repro.graph import NNGraph
+from repro.hw import MachineSpec, X86_V100
+from repro.runtime.executor import execute
+from repro.runtime.plan import Classification
+from repro.models.resnet import resnet50
+from repro.models.resnext3d import resnext101_3d
+
+
+@dataclass(frozen=True)
+class MemoryPoint:
+    label: str
+    estimate_bytes: int  # static liveness estimate (what Figs. 3/4 plot)
+    measured_peak: int | None  # simulator in-core peak, None if it OOMs
+    fits_16gb: bool
+
+    @property
+    def estimate_gib(self) -> float:
+        return self.estimate_bytes / GiB
+
+
+def memory_curve(
+    points: list[tuple[str, Callable[[], NNGraph]]],
+    machine: MachineSpec = X86_V100,
+    measure: bool = True,
+) -> list[MemoryPoint]:
+    """Estimate (and, where feasible, measure) training memory for each
+    labelled graph."""
+    rows: list[MemoryPoint] = []
+    for label, build in points:
+        graph = build()
+        est = graph.training_memory_bytes()
+        measured: int | None = None
+        if measure:
+            try:
+                result = execute(graph, Classification.all_keep(graph), machine)
+                measured = result.device_peak
+            except OutOfMemoryError:
+                measured = None
+        rows.append(
+            MemoryPoint(
+                label=label,
+                estimate_bytes=est,
+                measured_peak=measured,
+                fits_16gb=est <= machine.usable_gpu_memory,
+            )
+        )
+    return rows
+
+
+#: Fig. 3's sweep (batch sizes; paper marks in-core failure from 256 up)
+RESNET50_BATCHES = (32, 64, 128, 192, 256, 384, 512, 640)
+
+#: Fig. 4's sweep ((frames, height, width) at batch 1, growing input volume)
+RESNEXT3D_SIZES = (
+    (16, 112, 112),
+    (32, 224, 224),
+    (64, 224, 224),
+    (64, 320, 320),
+    (64, 448, 448),
+    (96, 512, 512),
+    (128, 640, 640),
+)
+
+
+def resnet50_memory_curve(
+    batches: tuple[int, ...] = RESNET50_BATCHES, measure: bool = True
+) -> list[MemoryPoint]:
+    """Fig. 3: ResNet-50 memory vs batch size."""
+    return memory_curve(
+        [(f"batch={b}", (lambda b=b: resnet50(b))) for b in batches],
+        measure=measure,
+    )
+
+
+def resnext3d_memory_curve(
+    sizes: tuple[tuple[int, int, int], ...] = RESNEXT3D_SIZES,
+    measure: bool = True,
+) -> list[MemoryPoint]:
+    """Fig. 4: 3D-ResNeXt-101 memory vs input size (batch 1)."""
+    return memory_curve(
+        [
+            (f"{t}x{h}x{w}", (lambda s=(t, h, w): resnext101_3d(s)))
+            for t, h, w in sizes
+        ],
+        measure=measure,
+    )

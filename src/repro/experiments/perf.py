@@ -1,0 +1,104 @@
+"""Throughput sweeps — the engine behind Figs. 17-22.
+
+``performance_sweep`` runs a set of methods (in-core / superneurons / PoocH /
+PoocH-with-foreign-plan / extra baselines) over a set of problem sizes on one
+machine and reports #images/s or the failure, which is exactly the content of
+each performance figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines import (
+    plan_incore,
+    plan_superneurons,
+)
+from repro.common.errors import OutOfMemoryError
+from repro.experiments.cache import optimize_cached
+from repro.graph import NNGraph
+from repro.hw import MachineSpec
+from repro.pooch import PoochConfig
+from repro.runtime.executor import execute, images_per_second
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """One figure point: a method at a problem size."""
+
+    method: str
+    size_label: str
+    batch: int
+    images_per_second: float | None  # None => failed
+    failure: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.images_per_second is not None
+
+
+def _run(plan, graph: NNGraph, machine: MachineSpec, batch: int,
+         method: str, label: str) -> MethodResult:
+    try:
+        result = plan.execute(graph, machine)
+        return MethodResult(method, label, batch,
+                            images_per_second(result, batch))
+    except OutOfMemoryError as e:
+        return MethodResult(method, label, batch, None, failure=str(e)[:120])
+
+
+def performance_sweep(
+    model_key: str,
+    sizes: list[tuple[str, int, Callable[[], NNGraph]]],
+    machine: MachineSpec,
+    methods: tuple[str, ...] = ("in-core", "superneurons", "pooch"),
+    config: PoochConfig | None = None,
+    cross_machine: MachineSpec | None = None,
+) -> list[MethodResult]:
+    """Run ``methods`` over ``sizes`` on ``machine``.
+
+    ``sizes`` entries are ``(label, batch, build)``; ``batch`` is the divisor
+    for img/s (1 for the 3D input-size sweeps).  ``cross_machine`` adds the
+    paper's plan-portability line: optimize on that machine, execute here
+    (method name ``pooch[<other>-plan]``).
+    """
+    rows: list[MethodResult] = []
+    for label, batch, build in sizes:
+        graph = build()
+        for method in methods:
+            if method == "in-core":
+                rows.append(_run(plan_incore(graph), graph, machine, batch,
+                                 method, label))
+            elif method == "superneurons":
+                rows.append(_run(plan_superneurons(graph, machine), graph,
+                                 machine, batch, method, label))
+            elif method == "pooch":
+                try:
+                    res = optimize_cached(f"{model_key}:{label}", build,
+                                          machine, config)
+                except OutOfMemoryError as e:
+                    rows.append(MethodResult(method, label, batch, None,
+                                             failure=str(e)[:120]))
+                    continue
+                try:
+                    gt = res.execute(machine)
+                    rows.append(MethodResult(method, label, batch,
+                                             images_per_second(gt, batch)))
+                except OutOfMemoryError as e:
+                    rows.append(MethodResult(method, label, batch, None,
+                                             failure=str(e)[:120]))
+            else:
+                raise ValueError(f"unknown method {method!r}")
+        if cross_machine is not None:
+            method = f"pooch[{cross_machine.name}-plan]"
+            try:
+                foreign = optimize_cached(f"{model_key}:{label}", build,
+                                          cross_machine, config)
+                gt = foreign.execute(machine)
+                rows.append(MethodResult(method, label, batch,
+                                         images_per_second(gt, batch)))
+            except OutOfMemoryError as e:
+                rows.append(MethodResult(method, label, batch, None,
+                                         failure=str(e)[:120]))
+    return rows

@@ -1,0 +1,58 @@
+"""Classification-count comparison — the paper's Table 3.
+
+For ResNet-50 (batch 512) on both machines: how many feature maps PoocH and
+SuperNeurons put in each class.  The paper's headline observations, which the
+asserts in ``benchmarks/test_bench_table3_classification.py`` check:
+
+* PoocH chooses *more recompute on the x86 machine* (slow PCIe) than on the
+  POWER9 machine (fast NVLink);
+* SuperNeurons' static, type-based classification is *identical* on the two
+  machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines import plan_superneurons
+from repro.experiments.cache import optimize_cached
+from repro.graph import NNGraph
+from repro.hw import MachineSpec
+from repro.pooch import PoochConfig
+from repro.runtime.plan import MapClass
+
+
+@dataclass(frozen=True)
+class ClassificationRow:
+    method: str
+    machine: str
+    keep: int
+    swap: int
+    recompute: int
+
+
+def classification_table(
+    model_key: str,
+    build: Callable[[], NNGraph],
+    machines: tuple[MachineSpec, ...],
+    config: PoochConfig | None = None,
+) -> list[ClassificationRow]:
+    """Rows in the paper's Table 3 layout (PoocH and superneurons per
+    machine)."""
+    rows: list[ClassificationRow] = []
+    for machine in machines:
+        res = optimize_cached(model_key, build, machine, config)
+        c = res.classification.counts()
+        rows.append(
+            ClassificationRow("PoocH", machine.name, c[MapClass.KEEP],
+                              c[MapClass.SWAP], c[MapClass.RECOMPUTE])
+        )
+    for machine in machines:
+        graph = build()
+        c = plan_superneurons(graph, machine).classification.counts()
+        rows.append(
+            ClassificationRow("superneurons", machine.name, c[MapClass.KEEP],
+                              c[MapClass.SWAP], c[MapClass.RECOMPUTE])
+        )
+    return rows

@@ -1,0 +1,39 @@
+"""Event-driven single-GPU simulator: the "testbed" substrate.
+
+The engine executes a :class:`~repro.gpusim.engine.Schedule` — FIFO task
+queues for one compute stream and two DMA copy streams — against a
+capacity-limited memory pool, honouring task dependencies and memory gating,
+and records a full timeline.  It is used twice, mirroring the paper's
+architecture:
+
+* with durations from :class:`repro.hw.CostModel` it is the *ground truth*
+  machine (the stand-in for the real V100 testbed);
+* with durations from a recorded :class:`repro.runtime.profiler.Profile` it
+  is PoocH's internal *timeline predictor* (§4.1.2 of the paper).
+"""
+
+from repro.gpusim.allocator import AllocEvent, BlockMemoryPool, MemoryPool
+from repro.gpusim.engine import (
+    BufferSpec,
+    Engine,
+    RunResult,
+    Schedule,
+    StreamName,
+    Task,
+    TaskKind,
+    TaskRecord,
+)
+
+__all__ = [
+    "MemoryPool",
+    "BlockMemoryPool",
+    "AllocEvent",
+    "Task",
+    "TaskKind",
+    "TaskRecord",
+    "StreamName",
+    "BufferSpec",
+    "Schedule",
+    "Engine",
+    "RunResult",
+]

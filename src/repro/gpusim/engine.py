@@ -1,0 +1,474 @@
+"""The event-driven execution engine.
+
+Semantics (modelled on CUDA + a framework memory pool):
+
+* Three FIFO *streams* — ``COMPUTE`` (kernels), ``H2D`` and ``D2H`` (the two
+  DMA copy engines).  The head task of a stream *issues* when (1) the stream
+  is idle, (2) all its ``deps`` have completed, (3) all its ``start_deps``
+  have started, and (4) its memory needs are satisfiable.  Issued tasks run
+  for ``duration`` seconds of simulated time; streams never preempt or
+  reorder (head-of-line blocking is intentional — it is how real copy queues
+  stall).
+* Memory: every :class:`BufferSpec` names the task that allocates it
+  (``alloc_by``; ``None`` = preallocated before time 0) and the set of tasks
+  after whose completion it is freed (``free_after``; the buffer is released
+  when *all* of them have completed, at the timestamp of the last).  A task
+  additionally gets ``scratch_bytes`` of workspace for the span of its
+  execution.
+* Memory gating: a ``memory_gated`` task whose allocation does not fit simply
+  waits (the stream stalls) until frees make room — this is PoocH's
+  "swap in when there is room" behaviour and also how forward computation
+  naturally throttles against outstanding swap-outs.  A non-gated task
+  (modelling SuperNeurons' swap-in, issued without regard to actual memory
+  usage) raises :class:`OutOfMemoryError` immediately if it does not fit.
+  ``headroom`` demands that many bytes remain free *after* the allocation —
+  the predictor-derived reserve PoocH uses to keep prefetch from starving
+  computation.
+* Deadlock: if no task is in flight and unfinished tasks remain, the engine
+  raises :class:`OutOfMemoryError` when at least one stream head is blocked
+  purely on memory (every such stall is a memory-capacity failure of the
+  plan), otherwise :class:`ScheduleError` (a malformed dependency graph).
+
+The engine knows nothing about neural networks; schedules are produced by
+:mod:`repro.runtime.schedule`.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import OutOfMemoryError, ScheduleError, SimulationError
+from repro.common.units import format_bytes
+from repro.gpusim.allocator import BlockMemoryPool, MemoryPool, round_size
+
+
+class TaskKind(enum.Enum):
+    FWD = "fwd"
+    BWD = "bwd"
+    RECOMPUTE = "recompute"
+    SWAP_OUT = "swap_out"
+    SWAP_IN = "swap_in"
+    UPDATE = "update"
+
+
+class StreamName(enum.Enum):
+    COMPUTE = "compute"
+    D2H = "d2h"
+    H2D = "h2d"
+
+
+#: deterministic scan priority when several streams could issue at one instant
+_STREAM_ORDER = (StreamName.COMPUTE, StreamName.D2H, StreamName.H2D)
+
+
+@dataclass(slots=True)
+class Task:
+    """One unit of work on one stream.  See module docstring for issue rules.
+
+    ``layer`` is the graph-layer / feature-map index the task concerns
+    (-1 when not applicable); it is what profiling keys durations on.
+    """
+
+    tid: str
+    kind: TaskKind
+    stream: StreamName
+    duration: float
+    layer: int = -1
+    deps: tuple[str, ...] = ()
+    start_deps: tuple[str, ...] = ()
+    reads: tuple[str, ...] = ()
+    scratch_bytes: int = 0
+    memory_gated: bool = True
+    headroom: int = 0
+    #: reserve this task's output buffers the moment its deps/start_deps are
+    #: satisfied, even while it is still queued behind other transfers —
+    #: models DMA destinations allocated at scheduling time.  Combined with
+    #: ``memory_gated=False`` this is SuperNeurons' "swap-in scheduled
+    #: without considering the actual memory usage": the reservation itself
+    #: can OOM.
+    alloc_on_ready: bool = False
+    payload: Callable[[], None] | None = None
+
+
+@dataclass(slots=True)
+class BufferSpec:
+    """A single-lifetime buffer (one malloc, one free).
+
+    A logical feature map that leaves and re-enters GPU memory appears as
+    several BufferSpecs (forward instance, backward instance, ...).
+    """
+
+    bid: str
+    nbytes: int
+    alloc_by: str | None  # task id, or None => preallocated
+    free_after: frozenset[str] = frozenset()  # empty => lives to end of run
+    host: bool = False  # resides in CPU memory (swap destination)
+
+
+@dataclass
+class Schedule:
+    """Everything the engine needs: tasks, per-stream FIFO order, buffers."""
+
+    tasks: dict[str, Task]
+    queues: dict[StreamName, list[str]]
+    buffers: dict[str, BufferSpec]
+    #: free-form annotations from the builder (classification, policy, ...)
+    meta: dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Structural checks: queue/task agreement, dep/read name resolution,
+        buffer alloc/free task references."""
+        queued: list[str] = []
+        for stream, q in self.queues.items():
+            for tid in q:
+                t = self.tasks.get(tid)
+                if t is None:
+                    raise ScheduleError(f"queue {stream} references unknown task {tid!r}")
+                if t.stream is not stream:
+                    raise ScheduleError(f"task {tid!r} queued on {stream} but declares {t.stream}")
+                queued.append(tid)
+        if len(queued) != len(set(queued)):
+            raise ScheduleError("a task appears more than once across queues")
+        if set(queued) != set(self.tasks):
+            missing = set(self.tasks) - set(queued)
+            raise ScheduleError(f"tasks never queued: {sorted(missing)[:5]}")
+        for t in self.tasks.values():
+            for d in (*t.deps, *t.start_deps):
+                if d not in self.tasks:
+                    raise ScheduleError(f"task {t.tid!r} depends on unknown task {d!r}")
+            for b in t.reads:
+                if b not in self.buffers:
+                    raise ScheduleError(f"task {t.tid!r} reads unknown buffer {b!r}")
+        for b in self.buffers.values():
+            if b.alloc_by is not None and b.alloc_by not in self.tasks:
+                raise ScheduleError(f"buffer {b.bid!r} allocated by unknown task {b.alloc_by!r}")
+            for tid in b.free_after:
+                if tid not in self.tasks:
+                    raise ScheduleError(f"buffer {b.bid!r} freed after unknown task {tid!r}")
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task in the timeline."""
+
+    tid: str
+    kind: TaskKind
+    stream: StreamName
+    layer: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    makespan: float
+    records: list[TaskRecord]
+    device_peak: int
+    host_peak: int
+    device_trace: list  # list[AllocEvent]
+    meta: dict = field(default_factory=dict)
+
+    def records_by_kind(self, kind: TaskKind) -> list[TaskRecord]:
+        return [r for r in self.records if r.kind is kind]
+
+    def record_of(self, tid: str) -> TaskRecord:
+        for r in self.records:
+            if r.tid == tid:
+                return r
+        raise KeyError(tid)
+
+    def busy_intervals(self, stream: StreamName) -> list[tuple[float, float]]:
+        """Merged [start, end) busy intervals of one stream."""
+        spans = sorted(
+            (r.start, r.end) for r in self.records if r.stream is stream and r.end > r.start
+        )
+        merged: list[tuple[float, float]] = []
+        for s, e in spans:
+            if merged and s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+            else:
+                merged.append((s, e))
+        return merged
+
+
+class Engine:
+    """Executes one :class:`Schedule`; engines are single-use."""
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        device_capacity: int,
+        host_capacity: int | None = None,
+        validate: bool = True,
+        free_hook: Callable[[str], None] | None = None,
+        fragmentation: bool = False,
+    ) -> None:
+        if validate:
+            schedule.validate()
+        self.schedule = schedule
+        # fragmentation=True swaps in the best-fit block allocator, which can
+        # additionally fail when no contiguous block fits (DESIGN.md §5)
+        pool_cls = BlockMemoryPool if fragmentation else MemoryPool
+        self.device = pool_cls(device_capacity, "gpu")
+        self.host = MemoryPool(host_capacity or (1 << 62), "host")
+        #: called with the buffer id whenever a buffer is freed — lets the
+        #: numeric backend invalidate its arrays so that any use-after-free
+        #: in a schedule fails loudly instead of silently reusing stale data
+        self.free_hook = free_hook
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, int, str]] = []
+        self._started: dict[str, float] = {}
+        self._completed: dict[str, float] = {}
+        self._records: list[TaskRecord] = []
+        # per-stream cursor into the queue and in-flight task id
+        self._cursor: dict[StreamName, int] = {s: 0 for s in StreamName}
+        self._inflight: dict[StreamName, str | None] = {s: None for s in StreamName}
+        # alloc-on-ready bookkeeping
+        self._prealloc_pending: list[str] = [
+            t.tid for t in schedule.tasks.values() if t.alloc_on_ready
+        ]
+        self._prealloc_done: set[str] = set()
+        # buffer bookkeeping
+        self._allocs_by_task: dict[str, list[BufferSpec]] = {}
+        self._free_countdown: dict[str, set[str]] = {}
+        self._frees_by_task: dict[str, list[str]] = {}
+        for b in schedule.buffers.values():
+            if b.alloc_by is not None:
+                self._allocs_by_task.setdefault(b.alloc_by, []).append(b)
+            if b.free_after:
+                self._free_countdown[b.bid] = set(b.free_after)
+                for tid in b.free_after:
+                    self._frees_by_task.setdefault(tid, []).append(b.bid)
+
+    # -- issue machinery ---------------------------------------------------------
+
+    def _pool_of(self, b: BufferSpec) -> MemoryPool:
+        return self.host if b.host else self.device
+
+    def _device_need_sizes(self, task: Task) -> list[int]:
+        sizes = []
+        if task.scratch_bytes:
+            sizes.append(task.scratch_bytes)
+        if task.tid not in self._prealloc_done:
+            for b in self._allocs_by_task.get(task.tid, ()):
+                if not b.host:
+                    sizes.append(b.nbytes)
+        return sizes
+
+    def _device_need(self, task: Task) -> int:
+        return sum(round_size(s) for s in self._device_need_sizes(task))
+
+    def _blocked_reason(self, task: Task) -> str | None:
+        """None if the task can issue now, else 'deps' | 'memory'."""
+        for d in task.deps:
+            if d not in self._completed:
+                return "deps"
+        for d in task.start_deps:
+            if d not in self._started:
+                return "deps"
+        sizes = self._device_need_sizes(task)
+        if sizes:
+            need = sum(round_size(s) for s in sizes)
+            free = self.device.free_bytes
+            if not self.device.can_fit_all(sizes):
+                return "memory"
+            if free < need + task.headroom and self._any_inflight():
+                # headroom is a politeness reserve for upcoming computation;
+                # when nothing at all is in flight (computation is stalled
+                # waiting on this very transfer) insisting on it would
+                # deadlock, so it is waived.  Streams are scanned compute
+                # first, so computation always gets first claim on memory.
+                return "memory"
+        return None
+
+    def _any_inflight(self) -> bool:
+        return any(tid is not None for tid in self._inflight.values())
+
+    def _issue(self, task: Task) -> None:
+        # residency assertion: every read must be in its pool right now —
+        # a violation is a schedule-builder bug (use-after-free / missing dep)
+        for bid in task.reads:
+            b = self.schedule.buffers[bid]
+            if not self._pool_of(b).is_resident(bid):
+                raise ScheduleError(
+                    f"task {task.tid!r} reads buffer {bid!r} which is not resident "
+                    f"at t={self._now:.6f} (use-after-free or missing dependency)"
+                )
+        if task.tid not in self._prealloc_done:
+            for b in self._allocs_by_task.get(task.tid, ()):
+                self._pool_of(b).malloc(b.bid, b.nbytes, self._now, context=task.tid)
+        if task.scratch_bytes:
+            self.device.malloc(f"{task.tid}#ws", task.scratch_bytes, self._now,
+                               context=task.tid)
+        self._started[task.tid] = self._now
+        if task.payload is not None:
+            task.payload()
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + task.duration, self._seq, task.tid))
+        self._inflight[task.stream] = task.tid
+
+    def _try_issue_head(self, stream: StreamName) -> bool:
+        """Attempt to issue the next task of ``stream``; True if issued."""
+        if self._inflight[stream] is not None:
+            return False
+        q = self.schedule.queues.get(stream, [])
+        i = self._cursor[stream]
+        if i >= len(q):
+            return False
+        task = self.schedule.tasks[q[i]]
+        reason = self._blocked_reason(task)
+        if reason == "memory" and not task.memory_gated:
+            need = self._device_need(task)
+            raise OutOfMemoryError(
+                f"ungated task {task.tid!r} failed allocation at t={self._now:.6f}: "
+                f"needs {format_bytes(need)}, free {format_bytes(self.device.free_bytes)}",
+                requested=need,
+                free=self.device.free_bytes,
+                capacity=self.device.capacity,
+                context=task.tid,
+            )
+        if reason is not None:
+            return False
+        self._cursor[stream] = i + 1
+        self._issue(task)
+        return True
+
+    def _run_ready_preallocs(self) -> bool:
+        """Reserve output buffers of alloc-on-ready tasks whose dependencies
+        are satisfied, even while they wait in their queue.  An un-gated
+        reservation that does not fit raises (the SuperNeurons failure mode);
+        a gated one simply stays pending."""
+        progress = False
+        still_pending: list[str] = []
+        for tid in self._prealloc_pending:
+            task = self.schedule.tasks[tid]
+            ready = all(d in self._completed for d in task.deps) and all(
+                d in self._started for d in task.start_deps
+            )
+            if not ready or tid in self._started:
+                if tid not in self._started:
+                    still_pending.append(tid)
+                continue
+            buf_sizes = [
+                b.nbytes for b in self._allocs_by_task.get(tid, ()) if not b.host
+            ]
+            if task.memory_gated and not self.device.can_fit_all(buf_sizes):
+                still_pending.append(tid)
+                continue
+            for b in self._allocs_by_task.get(tid, ()):
+                self._pool_of(b).malloc(b.bid, b.nbytes, self._now,
+                                        context=f"{tid} (scheduled reservation)")
+            self._prealloc_done.add(tid)
+            progress = True
+        self._prealloc_pending = still_pending
+        return progress
+
+    def _scan(self) -> None:
+        """Issue every task that can start at the current instant (fixpoint:
+        a start may satisfy another task's start_deps)."""
+        progress = True
+        while progress:
+            progress = False
+            if self._prealloc_pending and self._run_ready_preallocs():
+                progress = True
+            for stream in _STREAM_ORDER:
+                if self._try_issue_head(stream):
+                    progress = True
+
+    def _complete(self, tid: str) -> None:
+        task = self.schedule.tasks[tid]
+        self._completed[tid] = self._now
+        self._inflight[task.stream] = None
+        self._records.append(
+            TaskRecord(tid, task.kind, task.stream, task.layer,
+                       self._started[tid], self._now)
+        )
+        if task.scratch_bytes:
+            self.device.free(f"{tid}#ws", self._now)
+        for bid in self._frees_by_task.get(tid, ()):
+            pending = self._free_countdown[bid]
+            pending.discard(tid)
+            if not pending:
+                b = self.schedule.buffers[bid]
+                self._pool_of(b).free(bid, self._now)
+                if self.free_hook is not None:
+                    self.free_hook(bid)
+
+    def _diagnose_stall(self) -> None:
+        """Called when the event heap is empty but tasks remain unfinished."""
+        memory_blocked: list[Task] = []
+        dep_blocked: list[Task] = []
+        for stream in _STREAM_ORDER:
+            q = self.schedule.queues.get(stream, [])
+            i = self._cursor[stream]
+            if i >= len(q):
+                continue
+            task = self.schedule.tasks[q[i]]
+            reason = self._blocked_reason(task)
+            if reason == "memory":
+                memory_blocked.append(task)
+            else:
+                dep_blocked.append(task)
+        if memory_blocked:
+            t = memory_blocked[0]
+            need = self._device_need(t)
+            raise OutOfMemoryError(
+                f"memory deadlock at t={self._now:.6f}: task {t.tid!r} needs "
+                f"{format_bytes(need)} (+{format_bytes(t.headroom)} headroom), "
+                f"free {format_bytes(self.device.free_bytes)} of "
+                f"{format_bytes(self.device.capacity)}, nothing in flight",
+                requested=need,
+                free=self.device.free_bytes,
+                capacity=self.device.capacity,
+                context=t.tid,
+            )
+        heads = [t.tid for t in dep_blocked]
+        raise ScheduleError(
+            f"dependency deadlock at t={self._now:.6f}: stream heads {heads} "
+            "can never issue (cyclic or unsatisfiable deps)"
+        )
+
+    # -- public --------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute the schedule to completion and return the timeline.
+
+        Raises :class:`OutOfMemoryError` for plan-infeasibility (the simulated
+        equivalent of a CUDA allocation failure) and :class:`ScheduleError`
+        for builder bugs.
+        """
+        # preallocated buffers (weights, gradients) occupy memory from t=0
+        for b in self.schedule.buffers.values():
+            if b.alloc_by is None:
+                self._pool_of(b).malloc(b.bid, b.nbytes, 0.0, context="prealloc")
+        self._scan()
+        while self._heap:
+            time, _, tid = heapq.heappop(self._heap)
+            self._now = time
+            self._complete(tid)
+            # batch all completions at identical timestamps before rescanning
+            while self._heap and self._heap[0][0] == time:
+                _, _, tid2 = heapq.heappop(self._heap)
+                self._complete(tid2)
+            self._scan()
+        if len(self._completed) != len(self.schedule.tasks):
+            self._diagnose_stall()
+        self._records.sort(key=lambda r: (r.start, r.tid))
+        return RunResult(
+            makespan=self._now,
+            records=self._records,
+            device_peak=self.device.peak,
+            host_peak=self.host.peak,
+            device_trace=self.device.trace,
+            meta=dict(self.schedule.meta),
+        )

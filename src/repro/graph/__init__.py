@@ -1,0 +1,28 @@
+"""Neural-network graph intermediate representation.
+
+A network is an :class:`~repro.graph.graph.NNGraph`: a DAG of
+:class:`~repro.graph.graph.Layer` objects in topological order, each holding
+an :class:`~repro.graph.ops.Op` (the computation) and the
+:class:`~repro.graph.tensor_spec.TensorSpec` of the *feature map* it
+produces.  "Feature map i" throughout the code base means "the output tensor
+of layer i", matching the paper's unit of classification.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Layer, NNGraph
+from repro.graph.ops import Op, OpKind
+from repro.graph.splitting import auto_split, max_layer_working_set, split_batch
+from repro.graph.tensor_spec import DTYPE_SIZES, TensorSpec
+
+__all__ = [
+    "TensorSpec",
+    "DTYPE_SIZES",
+    "Op",
+    "OpKind",
+    "Layer",
+    "NNGraph",
+    "GraphBuilder",
+    "split_batch",
+    "auto_split",
+    "max_layer_working_set",
+]

@@ -1,0 +1,173 @@
+"""Fluent construction of :class:`~repro.graph.graph.NNGraph` instances.
+
+The builder hands out integer *handles* (layer indices) so model definitions
+read naturally::
+
+    b = GraphBuilder("toy")
+    x = b.input((batch, 3, 224, 224))
+    h = b.conv(x, 64, ksize=7, stride=2, pad=3, activation="relu")
+    h = b.pool(h, ksize=3, stride=2, pad=1)
+    h = b.linear(h, 1000)
+    b.loss(h)
+    graph = b.build()
+
+Every method returns the handle of the layer it created.  Names are
+auto-generated (``conv0``, ``bn3``, ...) unless given explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import GraphError
+from repro.graph import ops
+from repro.graph.graph import Layer, NNGraph
+from repro.graph.tensor_spec import TensorSpec
+
+
+class GraphBuilder:
+    """Incremental graph constructor; see module docstring for usage."""
+
+    def __init__(self, name: str = "net", fuse_activations: bool = True) -> None:
+        self.name = name
+        #: when False, ``activation=`` arguments materialise standalone ReLU
+        #: layers instead of fusing into the producing op (Chainer-faithful
+        #: map counts; default True matches the paper's Table 3 scale).
+        self.fuse_activations = fuse_activations
+        self._layers: list[Layer] = []
+        self._names: set[str] = set()
+        self._counters: dict[str, int] = {}
+
+    # -- internals -----------------------------------------------------------
+
+    def _auto_name(self, prefix: str) -> str:
+        n = self._counters.get(prefix, 0)
+        self._counters[prefix] = n + 1
+        return f"{prefix}{n}"
+
+    def _add(self, name: str | None, prefix: str, op: ops.Op,
+             preds: tuple[int, ...], out_spec: TensorSpec) -> int:
+        if name is None:
+            name = self._auto_name(prefix)
+        if name in self._names:
+            raise GraphError(f"duplicate layer name {name!r}")
+        self._names.add(name)
+        idx = len(self._layers)
+        self._layers.append(Layer(idx, name, op, preds, out_spec))
+        return idx
+
+    def spec(self, handle: int) -> TensorSpec:
+        """Output spec of an already-added layer."""
+        return self._layers[handle].out_spec
+
+    def _maybe_relu(self, handle: int, activation: str | None) -> int:
+        """When fusing is disabled, append a standalone activation layer."""
+        if activation is None or self.fuse_activations:
+            return handle
+        return self.relu(handle)
+
+    # -- layer constructors ---------------------------------------------------
+
+    def input(self, shape: tuple[int, ...], dtype: str = "float32",
+              name: str | None = None) -> int:
+        op, spec = ops.input_op(TensorSpec(shape, dtype))
+        return self._add(name, "input", op, (), spec)
+
+    def conv(self, x: int, out_channels: int, ksize, stride=1, pad=0,
+             groups: int = 1, bias: bool = True,
+             activation: str | None = None, name: str | None = None) -> int:
+        fused = activation if self.fuse_activations else None
+        op, spec = ops.conv(self.spec(x), out_channels, ksize, stride, pad,
+                            groups, bias, fused)
+        h = self._add(name, "conv", op, (x,), spec)
+        return self._maybe_relu(h, activation)
+
+    def linear(self, x: int, out_features: int, bias: bool = True,
+               activation: str | None = None, name: str | None = None) -> int:
+        fused = activation if self.fuse_activations else None
+        op, spec = ops.linear(self.spec(x), out_features, bias, fused)
+        h = self._add(name, "fc", op, (x,), spec)
+        return self._maybe_relu(h, activation)
+
+    def batchnorm(self, x: int, activation: str | None = None,
+                  name: str | None = None) -> int:
+        fused = activation if self.fuse_activations else None
+        op, spec = ops.batchnorm(self.spec(x), fused)
+        h = self._add(name, "bn", op, (x,), spec)
+        return self._maybe_relu(h, activation)
+
+    def relu(self, x: int, name: str | None = None) -> int:
+        op, spec = ops.relu(self.spec(x))
+        return self._add(name, "relu", op, (x,), spec)
+
+    def pool(self, x: int, ksize, stride=None, pad=0, mode: str = "max",
+             name: str | None = None) -> int:
+        op, spec = ops.pool(self.spec(x), ksize, stride, pad, mode)
+        return self._add(name, "pool", op, (x,), spec)
+
+    def global_avg_pool(self, x: int, name: str | None = None) -> int:
+        op, spec = ops.global_avg_pool(self.spec(x))
+        return self._add(name, "gap", op, (x,), spec)
+
+    def add(self, xs: list[int], activation: str | None = None,
+            name: str | None = None) -> int:
+        fused = activation if self.fuse_activations else None
+        op, spec = ops.add([self.spec(x) for x in xs], fused)
+        h = self._add(name, "add", op, tuple(xs), spec)
+        return self._maybe_relu(h, activation)
+
+    def concat(self, xs: list[int], axis: int = 1,
+               name: str | None = None) -> int:
+        op, spec = ops.concat([self.spec(x) for x in xs], axis)
+        return self._add(name, "concat", op, tuple(xs), spec)
+
+    def dropout(self, x: int, p: float = 0.5, name: str | None = None) -> int:
+        op, spec = ops.dropout(self.spec(x), p)
+        return self._add(name, "dropout", op, (x,), spec)
+
+    def lrn(self, x: int, size: int = 5, name: str | None = None) -> int:
+        op, spec = ops.lrn(self.spec(x), size)
+        return self._add(name, "lrn", op, (x,), spec)
+
+    def upsample(self, x: int, scale: int = 2, name: str | None = None) -> int:
+        op, spec = ops.upsample(self.spec(x), scale)
+        return self._add(name, "up", op, (x,), spec)
+
+    def loss(self, x: int, name: str | None = None) -> int:
+        op, spec = ops.softmax_cross_entropy(self.spec(x))
+        return self._add(name, "loss", op, (x,), spec)
+
+    # -- sequence-model layers (Transformer support) ----------------------------
+
+    def token_linear(self, x: int, out_features: int, bias: bool = True,
+                     activation: str | None = None,
+                     name: str | None = None) -> int:
+        fused = activation if self.fuse_activations else None
+        op, spec = ops.token_linear(self.spec(x), out_features, bias, fused)
+        h = self._add(name, "tfc", op, (x,), spec)
+        return self._maybe_relu(h, activation)
+
+    def attention_scores(self, q: int, k: int, heads: int = 1,
+                         name: str | None = None) -> int:
+        op, spec = ops.attention_scores(self.spec(q), self.spec(k), heads)
+        return self._add(name, "attn_qk", op, (q, k), spec)
+
+    def attention_apply(self, scores: int, v: int,
+                        name: str | None = None) -> int:
+        op, spec = ops.attention_apply(self.spec(scores), self.spec(v))
+        return self._add(name, "attn_av", op, (scores, v), spec)
+
+    def softmax(self, x: int, name: str | None = None) -> int:
+        op, spec = ops.softmax(self.spec(x))
+        return self._add(name, "softmax", op, (x,), spec)
+
+    def layernorm(self, x: int, activation: str | None = None,
+                  name: str | None = None) -> int:
+        fused = activation if self.fuse_activations else None
+        op, spec = ops.layernorm(self.spec(x), fused)
+        h = self._add(name, "ln", op, (x,), spec)
+        return self._maybe_relu(h, activation)
+
+    # -- finalisation ----------------------------------------------------------
+
+    def build(self) -> NNGraph:
+        """Validate and return the finished graph."""
+        return NNGraph(self._layers, self.name)

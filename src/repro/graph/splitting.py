@@ -1,0 +1,224 @@
+"""ooc_cuDNN-style layer splitting: run one layer as batch tiles.
+
+The paper's §6 points at Ito's ooc_cuDNN as the complementary system for
+networks where *a single layer's* working set (input + output + workspace +
+backward transient) exceeds GPU memory, and names "integrating PoocH and
+ooc_cuDNN" as the way to support wider ranges of networks.  This module
+implements that integration at the graph level:
+
+:func:`split_batch` rewrites one layer into ``parts`` independent sub-layers
+over batch tiles::
+
+    x ──► op ──► y        becomes        x ─► slice₀ ─► op₀ ─┐
+                                         x ─► slice₁ ─► op₁ ─┴► concat ─► y
+
+Each tile's feature maps are separate, individually *classifiable* maps —
+PoocH can then swap/recompute/keep tiles independently, so the per-tile
+working set replaces the whole-layer working set in every memory bound.
+Weights are shared between the sub-layers (``param_share_with``), so the
+numeric backend still produces gradients equivalent to the unsplit layer
+(bitwise up to float summation order across tiles).
+
+Batch splitting is exact for batch-independent ops (conv, linear, relu,
+pooling, LRN, layernorm, softmax, slice).  It is *rejected* for batch-norm
+(statistics are batch-wide — splitting would change semantics), multi-input
+ops, dropout, and loss heads.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import GraphError
+from repro.graph import ops
+from repro.graph.graph import Layer, NNGraph
+from repro.graph.ops import Op, OpKind
+from repro.graph.tensor_spec import TensorSpec
+
+#: single-input, batch-independent kinds eligible for splitting
+_SPLITTABLE = frozenset({
+    OpKind.CONV, OpKind.LINEAR, OpKind.RELU, OpKind.POOL_MAX,
+    OpKind.POOL_AVG, OpKind.GLOBAL_AVG_POOL, OpKind.LRN, OpKind.SOFTMAX,
+    OpKind.LAYERNORM,
+})
+
+
+def rebind_op(op: Op, in_spec: TensorSpec) -> tuple[Op, TensorSpec]:
+    """Re-instantiate ``op`` for a new (single) input spec, reusing its
+    hyper-parameters; used to build the per-tile clones."""
+    a = op.attrs
+    act = op.fused_activation
+    if op.kind is OpKind.CONV:
+        return ops.conv(in_spec, a["out_channels"], a["ksize"], a["stride"],
+                        a["pad"], a["groups"], a["bias"], act)
+    if op.kind is OpKind.LINEAR:
+        if a.get("token_wise"):
+            return ops.token_linear(in_spec, a["out_features"], a["bias"], act)
+        return ops.linear(in_spec, a["out_features"], a["bias"], act)
+    if op.kind is OpKind.RELU:
+        return ops.relu(in_spec)
+    if op.kind in (OpKind.POOL_MAX, OpKind.POOL_AVG):
+        return ops.pool(in_spec, a["ksize"], a["stride"], a["pad"], a["mode"])
+    if op.kind is OpKind.GLOBAL_AVG_POOL:
+        return ops.global_avg_pool(in_spec)
+    if op.kind is OpKind.LRN:
+        return ops.lrn(in_spec, a["size"])
+    if op.kind is OpKind.SOFTMAX:
+        return ops.softmax(in_spec)
+    if op.kind is OpKind.LAYERNORM:
+        return ops.layernorm(in_spec, act)
+    raise GraphError(f"cannot rebind op kind {op.kind}")
+
+
+def split_batch(graph: NNGraph, layer_name: str, parts: int) -> NNGraph:
+    """Return a new graph with ``layer_name`` executed as ``parts`` batch
+    tiles.
+
+    The split layer's output map is replaced by the concat output of the
+    tiles; downstream layers are untouched (the concat restores the original
+    shape).  Multiple layers can be split by applying this repeatedly.
+    """
+    target = graph.by_name(layer_name)
+    if parts < 2:
+        raise GraphError("parts must be >= 2")
+    if target.op.kind not in _SPLITTABLE:
+        raise GraphError(
+            f"layer {layer_name!r} ({target.op.kind.value}) cannot be batch-"
+            "split (multi-input, batch-coupled like batch-norm, or stateful)"
+        )
+    if len(target.preds) != 1:
+        raise GraphError(f"layer {layer_name!r} must have exactly one input")
+    batch = graph[target.preds[0]].out_spec.batch
+    if batch % parts:
+        raise GraphError(f"batch {batch} not divisible into {parts} tiles")
+    tile = batch // parts
+
+    new_layers: list[Layer] = []
+    #: old layer index -> new index of the layer producing its feature map
+    remap: dict[int, int] = {}
+
+    def add(name: str, op: Op, preds: tuple[int, ...],
+            out_spec: TensorSpec) -> int:
+        idx = len(new_layers)
+        new_layers.append(Layer(idx, name, op, preds, out_spec))
+        return idx
+
+    for layer in graph:
+        preds = tuple(remap[p] for p in layer.preds)
+        if layer.index != target.index:
+            remap[layer.index] = add(layer.name, layer.op, preds,
+                                     layer.out_spec)
+            continue
+        # expand the target into slices -> tile ops -> concat
+        src = preds[0]
+        src_spec = new_layers[src].out_spec
+        tile_outputs: list[int] = []
+        share_with: int | None = None
+        for t in range(parts):
+            s_op, s_spec = ops.slice_op(src_spec, t * tile, tile, axis=0)
+            s_idx = add(f"{layer.name}#slice{t}", s_op, (src,), s_spec)
+            t_op, t_spec = rebind_op(layer.op, s_spec)
+            if share_with is None:
+                # tile 0 carries the (shared) parameters
+                t_op.attrs["split_master"] = True
+            else:
+                t_op.param_bytes = 0
+                t_op.attrs["param_share_with"] = share_with
+            t_idx = add(f"{layer.name}#tile{t}", t_op, (s_idx,), t_spec)
+            if share_with is None:
+                share_with = t_idx
+            tile_outputs.append(t_idx)
+        c_op, c_spec = ops.concat(
+            [new_layers[i].out_spec for i in tile_outputs], axis=0
+        )
+        if c_spec.shape != layer.out_spec.shape:
+            raise GraphError(
+                f"split of {layer_name!r} changed the output shape "
+                f"({c_spec.shape} vs {layer.out_spec.shape}) — op not "
+                "batch-separable"
+            )
+        remap[layer.index] = add(f"{layer.name}#join", c_op,
+                                 tuple(tile_outputs), c_spec)
+
+    return NNGraph(new_layers, f"{graph.name}+split[{layer_name}x{parts}]")
+
+
+def max_layer_working_set(graph: NNGraph) -> tuple[int, str]:
+    """(bytes, layer name) of the largest single-layer transient — the
+    quantity that decides whether splitting is needed at all (forward:
+    inputs + output + workspace; backward adds gradients and the restored
+    feature maps)."""
+    worst, worst_name = 0, ""
+    for layer in graph:
+        out = layer.out_spec.nbytes
+        ins = sum(graph[j].out_spec.nbytes for j in layer.preds)
+        ws = layer.op.workspace_bytes
+        fwd = out + ins + ws
+        bwd = out + ins + ws  # grad(out) + grads(ins) + workspace
+        if layer.op.bwd_needs_input:
+            bwd += ins
+        if layer.op.bwd_needs_output:
+            bwd += out
+        need = max(fwd, bwd)
+        if need > worst:
+            worst, worst_name = need, layer.name
+    return worst, worst_name
+
+
+def auto_split(
+    graph: NNGraph,
+    capacity: int,
+    *,
+    max_parts: int = 16,
+    safety: float = 0.9,
+) -> NNGraph:
+    """Split every layer whose single-layer transient exceeds
+    ``safety * capacity`` into just enough batch tiles to fit.
+
+    The transient bound used is the same as :func:`max_layer_working_set`
+    (forward inputs+output+workspace; backward adds gradients and restored
+    maps).  Layers that exceed the budget but cannot be batch-split
+    (batch-norm, joins, batch of 1, non-divisible parts) are left alone and
+    reported in the raised error only if *nothing* could be done.
+
+    Returns a (possibly unchanged) graph.  Raises
+    :class:`~repro.common.errors.GraphError` when a layer exceeds the budget
+    and no legal split brings it under.
+    """
+    budget = int(capacity * safety)
+    g = graph
+    # iterate to fixpoint: splitting renames layers and shifts indices
+    progress = True
+    while progress:
+        progress = False
+        for layer in list(g):
+            out = layer.out_spec.nbytes
+            ins = sum(g[j].out_spec.nbytes for j in layer.preds)
+            ws = layer.op.workspace_bytes
+            need = out + ins + ws
+            if layer.op.bwd_needs_input:
+                need += ins
+            if layer.op.bwd_needs_output:
+                need += out
+            need += out + ins  # gradients
+            if need <= budget:
+                continue
+            if layer.op.kind not in _SPLITTABLE or len(layer.preds) != 1:
+                continue
+            batch = g[layer.preds[0]].out_spec.batch
+            parts = 2
+            while parts <= max_parts:
+                if batch % parts == 0 and need / parts <= budget:
+                    break
+                parts += 1
+            if parts > max_parts or batch % parts:
+                continue
+            g = split_batch(g, layer.name, parts)
+            progress = True
+            break  # indices changed; rescan
+    worst, name = max_layer_working_set(g)
+    if worst > capacity:
+        raise GraphError(
+            f"auto_split could not fit layer {name!r} "
+            f"({worst} bytes transient > {capacity} capacity); it is either "
+            "not batch-splittable or needs more than max_parts tiles"
+        )
+    return g

@@ -1,0 +1,86 @@
+"""Shape/dtype descriptors for feature maps and parameters.
+
+The simulator never materialises large tensors; a :class:`TensorSpec` carries
+just enough information (shape, dtype) to derive byte sizes and FLOP counts.
+The numeric validation backend (:mod:`repro.runtime.numeric`) materialises
+real numpy arrays from the same specs for small graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import GraphError
+
+#: bytes per element for each supported dtype
+DTYPE_SIZES: dict[str, int] = {
+    "float64": 8,
+    "float32": 4,
+    "float16": 2,
+    "int64": 8,
+    "int32": 4,
+    "int8": 1,
+}
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """An immutable tensor descriptor.
+
+    Attributes:
+        shape: tensor dimensions; by convention activations are
+            ``(N, C, *spatial)`` with batch first.
+        dtype: numpy-style dtype name; must be a key of :data:`DTYPE_SIZES`.
+    """
+
+    shape: tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise GraphError("TensorSpec shape must be non-empty")
+        if any((not isinstance(d, int)) or d <= 0 for d in self.shape):
+            raise GraphError(f"TensorSpec shape must be positive ints, got {self.shape}")
+        if self.dtype not in DTYPE_SIZES:
+            raise GraphError(f"unsupported dtype {self.dtype!r}")
+
+    @property
+    def numel(self) -> int:
+        """Number of elements."""
+        return math.prod(self.shape)
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return DTYPE_SIZES[self.dtype]
+
+    @property
+    def nbytes(self) -> int:
+        """Total size in bytes."""
+        return self.numel * self.itemsize
+
+    @property
+    def batch(self) -> int:
+        """Leading (batch) dimension."""
+        return self.shape[0]
+
+    @property
+    def channels(self) -> int:
+        """Second (channel) dimension; errors for 1-D tensors."""
+        if len(self.shape) < 2:
+            raise GraphError(f"TensorSpec {self.shape} has no channel dimension")
+        return self.shape[1]
+
+    @property
+    def spatial(self) -> tuple[int, ...]:
+        """Trailing spatial dimensions (may be empty)."""
+        return self.shape[2:]
+
+    def with_batch(self, batch: int) -> "TensorSpec":
+        """Return a copy with a different leading dimension."""
+        return TensorSpec((batch, *self.shape[1:]), self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{dims}:{self.dtype}"

@@ -1,0 +1,7 @@
+"""Hardware models: machine specifications and the analytic operator cost
+model that substitutes for real V100 kernel timings (see DESIGN.md §2)."""
+
+from repro.hw.costmodel import CostModel
+from repro.hw.machine import MachineSpec, POWER9_V100, X86_V100, scaled_machine
+
+__all__ = ["MachineSpec", "X86_V100", "POWER9_V100", "scaled_machine", "CostModel"]

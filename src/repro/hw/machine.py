@@ -1,0 +1,105 @@
+"""Machine specifications — the paper's Tables 1 and 2 as data.
+
+The two evaluation machines differ only in host side and, crucially, in the
+CPU-GPU interconnect: PCIe gen3 x16 (16 GB/s) vs 2×NVLink2.0 (75 GB/s).
+Everything PoocH does differently between them flows from that bandwidth gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.units import GB, GiB, MiB
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A host + single-GPU execution environment.
+
+    Bandwidths are *peak* figures; the cost model applies the efficiency
+    fractions.  Capacities are bytes.
+    """
+
+    name: str
+    cpu: str
+    gpu: str = "NVIDIA Tesla V100"
+    #: GPU memory capacity (the V100 SKU the paper uses has 16 GB).
+    gpu_mem_capacity: int = 16 * GiB
+    #: memory the CUDA context / framework reserves; not available to the pool.
+    gpu_mem_reserved: int = 600 * MiB
+    #: host DRAM capacity — bounds total swap space.
+    cpu_mem_capacity: int = 192 * GB
+    #: peak fp32 throughput of the GPU (V100: 15.7 TFLOP/s).
+    gpu_peak_flops: float = 15.7e12
+    #: peak HBM2 bandwidth (V100: 900 GB/s).
+    gpu_mem_bandwidth: float = 900 * GB
+    #: peak CPU->GPU / GPU->CPU interconnect bandwidth, bytes/s.
+    h2d_bandwidth: float = 16 * GB
+    d2h_bandwidth: float = 16 * GB
+    #: fixed cost of initiating one DMA transfer, seconds.
+    copy_latency: float = 10e-6
+    interconnect: str = "PCIe gen3 x16"
+    os: str = ""
+    cuda: str = ""
+    cudnn: str = "cuDNN 7.1"
+
+    @property
+    def usable_gpu_memory(self) -> int:
+        """Bytes the memory pool may hand out."""
+        return self.gpu_mem_capacity - self.gpu_mem_reserved
+
+    def environment_table(self) -> list[tuple[str, str]]:
+        """Rows matching the paper's Table 1 / Table 2 layout."""
+        return [
+            ("GPU", self.gpu),
+            ("GPU memory capacity", f"{self.gpu_mem_capacity / GiB:.0f} GB"),
+            ("CPU", self.cpu),
+            ("CPU memory capacity", f"{self.cpu_mem_capacity / GB:.0f} GB"),
+            ("CPU-GPU interconnect", self.interconnect),
+            ("CPU-GPU bandwidth", f"{self.h2d_bandwidth / GB:.0f} GB/sec"),
+            ("OS", self.os),
+            ("CUDA", self.cuda),
+            ("cuDNN", self.cudnn),
+        ]
+
+
+#: the paper's x86 machine (Table 1): Xeon Gold 6140 + V100 over PCIe gen3.
+X86_V100 = MachineSpec(
+    name="x86",
+    cpu="Intel Xeon Gold 6140",
+    cpu_mem_capacity=192 * GB,
+    h2d_bandwidth=16 * GB,
+    d2h_bandwidth=16 * GB,
+    interconnect="PCIe gen3 x16",
+    os="CentOS 7.4",
+    cuda="CUDA 9.1",
+)
+
+#: the paper's POWER9 machine (Table 2): POWER9 + V100 over 2×NVLink2.0.
+POWER9_V100 = MachineSpec(
+    name="power9",
+    cpu="IBM POWER9",
+    cpu_mem_capacity=1000 * GB,
+    h2d_bandwidth=75 * GB,
+    d2h_bandwidth=75 * GB,
+    interconnect="NVLink2.0 x2",
+    os="RHEL 7.5 (Maipo)",
+    cuda="CUDA 9.2",
+)
+
+
+def scaled_machine(base: MachineSpec, *, name: str | None = None,
+                   mem_scale: float = 1.0, flops_scale: float = 1.0,
+                   link_scale: float = 1.0) -> MachineSpec:
+    """Derive a hypothetical machine from ``base`` by scaling capacity,
+    compute and interconnect — used by ablation benchmarks and tests to
+    construct e.g. 'x86 with half the GPU memory'."""
+    return replace(
+        base,
+        name=name or f"{base.name}_scaled",
+        gpu_mem_capacity=int(base.gpu_mem_capacity * mem_scale),
+        gpu_peak_flops=base.gpu_peak_flops * flops_scale,
+        gpu_mem_bandwidth=base.gpu_mem_bandwidth * flops_scale,
+        h2d_bandwidth=base.h2d_bandwidth * link_scale,
+        d2h_bandwidth=base.d2h_bandwidth * link_scale,
+    )

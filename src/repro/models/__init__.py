@@ -1,0 +1,47 @@
+"""Model zoo: graph builders for the networks the paper evaluates.
+
+Every function returns an :class:`~repro.graph.NNGraph` parameterised by
+batch size (and input size for the 3D network).  ``fuse_activations=True``
+(default) folds ReLUs into the producing ops, matching the feature-map count
+scale of the paper's Table 3; pass ``False`` for Chainer-faithful per-op maps.
+"""
+
+from repro.models.alexnet import alexnet
+from repro.models.densenet import densenet, densenet121, densenet169
+from repro.models.googlenet import googlenet
+from repro.models.mobilenet import mobilenet_v1
+from repro.models.resnet import resnet, resnet18, resnet34, resnet50, resnet101, resnet152
+from repro.models.resnext import resnext50_32x4d, resnext101_32x4d
+from repro.models.resnext3d import resnext101_3d
+from repro.models.toys import linear_chain, mlp, poster_example, small_cnn
+from repro.models.transformer import transformer_encoder
+from repro.models.unet import unet
+from repro.models.vgg import vgg16
+from repro.models.zoo import MODEL_ZOO, build_model
+
+__all__ = [
+    "alexnet",
+    "densenet",
+    "densenet121",
+    "densenet169",
+    "transformer_encoder",
+    "unet",
+    "mobilenet_v1",
+    "vgg16",
+    "googlenet",
+    "resnet",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "resnext50_32x4d",
+    "resnext101_32x4d",
+    "resnext101_3d",
+    "mlp",
+    "small_cnn",
+    "linear_chain",
+    "poster_example",
+    "MODEL_ZOO",
+    "build_model",
+]

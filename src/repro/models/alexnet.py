@@ -1,0 +1,44 @@
+"""AlexNet (Krizhevsky et al., NIPS 2012), the paper's compute-heavy workload.
+
+Large convolution kernels and huge fully-connected layers give AlexNet a high
+FLOP-per-activation-byte ratio, which is why the paper finds swap traffic is
+almost fully hidden and PoocH rarely chooses recompute for it (Figs. 19/20).
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, NNGraph
+
+
+def alexnet(
+    batch: int,
+    num_classes: int = 1000,
+    fuse_activations: bool = True,
+    with_dropout: bool = True,
+) -> NNGraph:
+    """Build AlexNet for ``(batch, 3, 227, 227)`` inputs.
+
+    Uses the original two-tower grouping on conv2/4/5 and LRN after
+    conv1/conv2, matching the network the paper benchmarked.
+    """
+    b = GraphBuilder(f"alexnet_b{batch}", fuse_activations)
+    x = b.input((batch, 3, 227, 227))
+    h = b.conv(x, 96, ksize=11, stride=4, activation="relu", name="conv1")
+    h = b.lrn(h, name="lrn1")
+    h = b.pool(h, ksize=3, stride=2, name="pool1")
+    h = b.conv(h, 256, ksize=5, pad=2, groups=2, activation="relu", name="conv2")
+    h = b.lrn(h, name="lrn2")
+    h = b.pool(h, ksize=3, stride=2, name="pool2")
+    h = b.conv(h, 384, ksize=3, pad=1, activation="relu", name="conv3")
+    h = b.conv(h, 384, ksize=3, pad=1, groups=2, activation="relu", name="conv4")
+    h = b.conv(h, 256, ksize=3, pad=1, groups=2, activation="relu", name="conv5")
+    h = b.pool(h, ksize=3, stride=2, name="pool5")
+    h = b.linear(h, 4096, activation="relu", name="fc6")
+    if with_dropout:
+        h = b.dropout(h, name="drop6")
+    h = b.linear(h, 4096, activation="relu", name="fc7")
+    if with_dropout:
+        h = b.dropout(h, name="drop7")
+    h = b.linear(h, num_classes, name="fc8")
+    b.loss(h, name="loss")
+    return b.build()

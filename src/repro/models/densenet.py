@@ -1,0 +1,75 @@
+"""DenseNet (Huang et al., CVPR 2017) — an extension workload beyond the
+paper's three networks.
+
+Dense connectivity makes every layer's input the concatenation of all
+previous features in the block, so activation memory grows quadratically
+with depth inside a block — a famously memory-hungry family (the official
+implementation needed the "memory-efficient DenseNet" rewrite) and therefore
+a natural stress test for out-of-core classification: many medium-sized,
+cheap-to-recompute concat/BN maps.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import GraphError
+from repro.graph import GraphBuilder, NNGraph
+
+_CONFIGS: dict[int, tuple[int, ...]] = {
+    121: (6, 12, 24, 16),
+    169: (6, 12, 32, 32),
+    201: (6, 12, 48, 32),
+}
+
+
+def _dense_layer(b: GraphBuilder, x: int, growth: int, prefix: str) -> int:
+    """BN-ReLU-Conv1x1(4k) -> BN-ReLU-Conv3x3(k), returns the new features."""
+    h = b.batchnorm(x, activation="relu", name=f"{prefix}_bn1")
+    h = b.conv(h, 4 * growth, ksize=1, bias=False, name=f"{prefix}_conv1")
+    h = b.batchnorm(h, activation="relu", name=f"{prefix}_bn2")
+    return b.conv(h, growth, ksize=3, pad=1, bias=False, name=f"{prefix}_conv2")
+
+
+def densenet(
+    depth: int,
+    batch: int,
+    growth: int = 32,
+    num_classes: int = 1000,
+    fuse_activations: bool = True,
+) -> NNGraph:
+    """Build DenseNet-121/169/201 for ``(batch, 3, 224, 224)`` inputs."""
+    if depth not in _CONFIGS:
+        raise GraphError(f"unsupported DenseNet depth {depth}; choose {sorted(_CONFIGS)}")
+    repeats = _CONFIGS[depth]
+    b = GraphBuilder(f"densenet{depth}_b{batch}", fuse_activations)
+    x = b.input((batch, 3, 224, 224))
+    h = b.conv(x, 2 * growth, ksize=7, stride=2, pad=3, bias=False, name="conv1")
+    h = b.batchnorm(h, activation="relu", name="bn1")
+    h = b.pool(h, ksize=3, stride=2, pad=1, name="pool1")
+
+    channels = 2 * growth
+    for stage, n_layers in enumerate(repeats):
+        features = h
+        for i in range(n_layers):
+            new = _dense_layer(b, features, growth, f"d{stage}l{i}")
+            features = b.concat([features, new], name=f"d{stage}l{i}_cat")
+            channels += growth
+        h = features
+        if stage < len(repeats) - 1:  # transition: compress + downsample
+            h = b.batchnorm(h, activation="relu", name=f"t{stage}_bn")
+            channels //= 2
+            h = b.conv(h, channels, ksize=1, bias=False, name=f"t{stage}_conv")
+            h = b.pool(h, ksize=2, stride=2, mode="avg", name=f"t{stage}_pool")
+
+    h = b.batchnorm(h, activation="relu", name="bn_final")
+    h = b.global_avg_pool(h, name="gap")
+    h = b.linear(h, num_classes, name="fc")
+    b.loss(h, name="loss")
+    return b.build()
+
+
+def densenet121(batch: int, **kw) -> NNGraph:
+    return densenet(121, batch, **kw)
+
+
+def densenet169(batch: int, **kw) -> NNGraph:
+    return densenet(169, batch, **kw)

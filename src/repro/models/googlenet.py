@@ -1,0 +1,64 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015).
+
+The paper cites GoogLeNet as the motivating example for *why* swap timing
+must be profiled rather than predicted statically: its many-branch inception
+modules make the execution timing of swaps hard to model analytically (§4.2).
+We include it to exercise branching graphs in the scheduler and classifier.
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, NNGraph
+
+#: inception configs: (1x1, 3x3reduce, 3x3, 5x5reduce, 5x5, pool-proj)
+_INCEPTION = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(b: GraphBuilder, x: int, cfg: tuple[int, ...], prefix: str) -> int:
+    c1, c3r, c3, c5r, c5, cp = cfg
+    b1 = b.conv(x, c1, ksize=1, activation="relu", name=f"{prefix}_1x1")
+    b3 = b.conv(x, c3r, ksize=1, activation="relu", name=f"{prefix}_3x3r")
+    b3 = b.conv(b3, c3, ksize=3, pad=1, activation="relu", name=f"{prefix}_3x3")
+    b5 = b.conv(x, c5r, ksize=1, activation="relu", name=f"{prefix}_5x5r")
+    b5 = b.conv(b5, c5, ksize=5, pad=2, activation="relu", name=f"{prefix}_5x5")
+    bp = b.pool(x, ksize=3, stride=1, pad=1, name=f"{prefix}_pool")
+    bp = b.conv(bp, cp, ksize=1, activation="relu", name=f"{prefix}_proj")
+    return b.concat([b1, b3, b5, bp], name=f"{prefix}_out")
+
+
+def googlenet(
+    batch: int, num_classes: int = 1000, fuse_activations: bool = True
+) -> NNGraph:
+    """Build GoogLeNet (no auxiliary heads) for ``(batch, 3, 224, 224)``."""
+    b = GraphBuilder(f"googlenet_b{batch}", fuse_activations)
+    h = b.input((batch, 3, 224, 224))
+    h = b.conv(h, 64, ksize=7, stride=2, pad=3, activation="relu", name="conv1")
+    h = b.pool(h, ksize=3, stride=2, pad=1, name="pool1")
+    h = b.lrn(h, name="lrn1")
+    h = b.conv(h, 64, ksize=1, activation="relu", name="conv2r")
+    h = b.conv(h, 192, ksize=3, pad=1, activation="relu", name="conv2")
+    h = b.lrn(h, name="lrn2")
+    h = b.pool(h, ksize=3, stride=2, pad=1, name="pool2")
+    h = _inception(b, h, _INCEPTION["3a"], "i3a")
+    h = _inception(b, h, _INCEPTION["3b"], "i3b")
+    h = b.pool(h, ksize=3, stride=2, pad=1, name="pool3")
+    for key in ("4a", "4b", "4c", "4d", "4e"):
+        h = _inception(b, h, _INCEPTION[key], f"i{key}")
+    h = b.pool(h, ksize=3, stride=2, pad=1, name="pool4")
+    h = _inception(b, h, _INCEPTION["5a"], "i5a")
+    h = _inception(b, h, _INCEPTION["5b"], "i5b")
+    h = b.global_avg_pool(h, name="gap")
+    h = b.dropout(h, p=0.4, name="drop")
+    h = b.linear(h, num_classes, name="fc")
+    b.loss(h, name="loss")
+    return b.build()

@@ -1,0 +1,51 @@
+"""MobileNet-V1 (Howard et al., 2017) — an extension workload.
+
+Depthwise-separable convolutions have the *lowest* FLOP-per-activation-byte
+ratio of the common CNNs: the depthwise stage (groups == channels) does ~9
+FLOPs per element while producing a full-size feature map.  That is the
+opposite corner from AlexNet — on a slow interconnect almost nothing can
+hide behind computation, so MobileNet is where the hybrid method's
+recompute arm should dominate hardest.
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, NNGraph
+
+#: (output channels, stride) per depthwise-separable block
+_CFG = (
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+    (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1),
+)
+
+
+def _separable(b: GraphBuilder, x: int, out_channels: int, stride: int,
+               prefix: str) -> int:
+    in_c = b.spec(x).channels
+    h = b.conv(x, in_c, ksize=3, stride=stride, pad=1, groups=in_c,
+               bias=False, name=f"{prefix}_dw")
+    h = b.batchnorm(h, activation="relu", name=f"{prefix}_dw_bn")
+    h = b.conv(h, out_channels, ksize=1, bias=False, name=f"{prefix}_pw")
+    return b.batchnorm(h, activation="relu", name=f"{prefix}_pw_bn")
+
+
+def mobilenet_v1(
+    batch: int,
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    fuse_activations: bool = True,
+) -> NNGraph:
+    """Build MobileNet-V1 for ``(batch, 3, 224, 224)`` inputs."""
+    def c(ch: int) -> int:
+        return max(8, int(ch * width_mult))
+
+    b = GraphBuilder(f"mobilenet_v1_b{batch}", fuse_activations)
+    x = b.input((batch, 3, 224, 224))
+    h = b.conv(x, c(32), ksize=3, stride=2, pad=1, bias=False, name="conv1")
+    h = b.batchnorm(h, activation="relu", name="bn1")
+    for i, (ch, stride) in enumerate(_CFG):
+        h = _separable(b, h, c(ch), stride, prefix=f"blk{i}")
+    h = b.global_avg_pool(h, name="gap")
+    h = b.linear(h, num_classes, name="fc")
+    b.loss(h, name="loss")
+    return b.build()

@@ -1,0 +1,125 @@
+"""ResNet family (He et al., CVPR 2016) — the paper's headline workload.
+
+ResNet's many batch-norm / elementwise layers with large feature maps and
+small compute make it the network where the hybrid method matters most: on a
+slow interconnect their swap traffic cannot be hidden, and recomputing them is
+nearly free (§5.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import GraphError
+from repro.graph import GraphBuilder, NNGraph
+
+#: (block kind, repeats per stage) for the standard depths
+_CONFIGS: dict[int, tuple[str, tuple[int, int, int, int]]] = {
+    18: ("basic", (2, 2, 2, 2)),
+    34: ("basic", (3, 4, 6, 3)),
+    50: ("bottleneck", (3, 4, 6, 3)),
+    101: ("bottleneck", (3, 4, 23, 3)),
+    152: ("bottleneck", (3, 8, 36, 3)),
+}
+
+_STAGE_WIDTHS = (64, 128, 256, 512)
+
+
+def _basic_block(b: GraphBuilder, x: int, width: int, stride: int,
+                 prefix: str) -> int:
+    identity = x
+    h = b.conv(x, width, ksize=3, stride=stride, pad=1, bias=False,
+               name=f"{prefix}_conv1")
+    h = b.batchnorm(h, activation="relu", name=f"{prefix}_bn1")
+    h = b.conv(h, width, ksize=3, pad=1, bias=False, name=f"{prefix}_conv2")
+    h = b.batchnorm(h, name=f"{prefix}_bn2")
+    if stride != 1 or b.spec(identity).channels != width:
+        identity = b.conv(identity, width, ksize=1, stride=stride, bias=False,
+                          name=f"{prefix}_down")
+        identity = b.batchnorm(identity, name=f"{prefix}_down_bn")
+    return b.add([h, identity], activation="relu", name=f"{prefix}_add")
+
+
+def _bottleneck_block(b: GraphBuilder, x: int, width: int, stride: int,
+                      prefix: str, groups: int = 1,
+                      group_width: int | None = None) -> int:
+    """Standard (ResNet) or aggregated (ResNeXt, via groups/group_width)
+    bottleneck: 1x1 reduce -> 3x3 (grouped) -> 1x1 expand, + identity."""
+    mid = width if group_width is None else group_width
+    out_channels = width * 4
+    identity = x
+    h = b.conv(x, mid, ksize=1, bias=False, name=f"{prefix}_conv1")
+    h = b.batchnorm(h, activation="relu", name=f"{prefix}_bn1")
+    h = b.conv(h, mid, ksize=3, stride=stride, pad=1, groups=groups,
+               bias=False, name=f"{prefix}_conv2")
+    h = b.batchnorm(h, activation="relu", name=f"{prefix}_bn2")
+    h = b.conv(h, out_channels, ksize=1, bias=False, name=f"{prefix}_conv3")
+    h = b.batchnorm(h, name=f"{prefix}_bn3")
+    if stride != 1 or b.spec(identity).channels != out_channels:
+        identity = b.conv(identity, out_channels, ksize=1, stride=stride,
+                          bias=False, name=f"{prefix}_down")
+        identity = b.batchnorm(identity, name=f"{prefix}_down_bn")
+    return b.add([h, identity], activation="relu", name=f"{prefix}_add")
+
+
+def resnet(
+    depth: int,
+    batch: int,
+    num_classes: int = 1000,
+    fuse_activations: bool = True,
+    groups: int = 1,
+    base_group_width: int | None = None,
+    name: str | None = None,
+) -> NNGraph:
+    """Build a ResNet/ResNeXt-style network of the given ``depth`` for
+    ``(batch, 3, 224, 224)`` inputs.
+
+    ``groups``/``base_group_width`` turn bottleneck stages into ResNeXt's
+    aggregated transforms (``base_group_width`` is the stage-1 grouped-conv
+    width, doubled per stage, e.g. 32x4d → ``groups=32, base_group_width=128``).
+    """
+    if depth not in _CONFIGS:
+        raise GraphError(f"unsupported ResNet depth {depth}; choose {sorted(_CONFIGS)}")
+    kind, repeats = _CONFIGS[depth]
+    if groups != 1 and kind != "bottleneck":
+        raise GraphError("grouped (ResNeXt) variants need a bottleneck depth")
+
+    b = GraphBuilder(name or f"resnet{depth}_b{batch}", fuse_activations)
+    x = b.input((batch, 3, 224, 224))
+    h = b.conv(x, 64, ksize=7, stride=2, pad=3, bias=False, name="conv1")
+    h = b.batchnorm(h, activation="relu", name="bn1")
+    h = b.pool(h, ksize=3, stride=2, pad=1, name="pool1")
+
+    for stage, (width, n_blocks) in enumerate(zip(_STAGE_WIDTHS, repeats)):
+        gw = base_group_width * (2**stage) if base_group_width else None
+        for block in range(n_blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            prefix = f"s{stage + 2}b{block}"
+            if kind == "basic":
+                h = _basic_block(b, h, width, stride, prefix)
+            else:
+                h = _bottleneck_block(b, h, width, stride, prefix,
+                                      groups=groups, group_width=gw)
+
+    h = b.global_avg_pool(h, name="gap")
+    h = b.linear(h, num_classes, name="fc")
+    b.loss(h, name="loss")
+    return b.build()
+
+
+def resnet18(batch: int, **kw) -> NNGraph:
+    return resnet(18, batch, **kw)
+
+
+def resnet34(batch: int, **kw) -> NNGraph:
+    return resnet(34, batch, **kw)
+
+
+def resnet50(batch: int, **kw) -> NNGraph:
+    return resnet(50, batch, **kw)
+
+
+def resnet101(batch: int, **kw) -> NNGraph:
+    return resnet(101, batch, **kw)
+
+
+def resnet152(batch: int, **kw) -> NNGraph:
+    return resnet(152, batch, **kw)

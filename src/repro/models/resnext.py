@@ -1,0 +1,19 @@
+"""2D ResNeXt variants (Xie et al., CVPR 2017), built on the ResNet
+bottleneck machinery with aggregated (grouped) transforms."""
+
+from __future__ import annotations
+
+from repro.graph import NNGraph
+from repro.models.resnet import resnet
+
+
+def resnext50_32x4d(batch: int, **kw) -> NNGraph:
+    """ResNeXt-50 (32x4d): cardinality 32, stage-1 grouped width 128."""
+    return resnet(50, batch, groups=32, base_group_width=128,
+                  name=f"resnext50_32x4d_b{batch}", **kw)
+
+
+def resnext101_32x4d(batch: int, **kw) -> NNGraph:
+    """ResNeXt-101 (32x4d)."""
+    return resnet(101, batch, groups=32, base_group_width=128,
+                  name=f"resnext101_32x4d_b{batch}", **kw)

@@ -1,0 +1,70 @@
+"""3D ResNeXt-101 for video (Hara et al., CVPR 2018) — the paper's
+"memory blows up even at batch size 1" workload (Figs. 4, 21, 22).
+
+Structure follows Hara's 3D ResNeXt: a 7x7x7 stem with temporal stride 1,
+3x3x3 max-pool, four stages of grouped 3D bottlenecks [3, 4, 23, 3] with
+cardinality 32, global spatio-temporal average pooling and a classifier.
+Memory scales with the 3D input volume, so the evaluation sweeps input size
+at batch 1 instead of batch size.
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, NNGraph
+
+_REPEATS = (3, 4, 23, 3)
+_STAGE_WIDTHS = (128, 256, 512, 1024)  # grouped-conv widths (32x4d scale)
+_STAGE_OUT = (256, 512, 1024, 2048)
+
+
+def _bottleneck3d(b: GraphBuilder, x: int, mid: int, out_channels: int,
+                  stride: int, groups: int, prefix: str) -> int:
+    identity = x
+    h = b.conv(x, mid, ksize=1, bias=False, name=f"{prefix}_conv1")
+    h = b.batchnorm(h, activation="relu", name=f"{prefix}_bn1")
+    h = b.conv(h, mid, ksize=3, stride=stride, pad=1, groups=groups,
+               bias=False, name=f"{prefix}_conv2")
+    h = b.batchnorm(h, activation="relu", name=f"{prefix}_bn2")
+    h = b.conv(h, out_channels, ksize=1, bias=False, name=f"{prefix}_conv3")
+    h = b.batchnorm(h, name=f"{prefix}_bn3")
+    if stride != 1 or b.spec(identity).channels != out_channels:
+        identity = b.conv(identity, out_channels, ksize=1, stride=stride,
+                          bias=False, name=f"{prefix}_down")
+        identity = b.batchnorm(identity, name=f"{prefix}_down_bn")
+    return b.add([h, identity], activation="relu", name=f"{prefix}_add")
+
+
+def resnext101_3d(
+    input_size: tuple[int, int, int] = (16, 112, 112),
+    batch: int = 1,
+    num_classes: int = 400,
+    cardinality: int = 32,
+    fuse_activations: bool = True,
+) -> NNGraph:
+    """Build 3D ResNeXt-101 for ``(batch, 3, T, H, W)`` video clips.
+
+    ``input_size`` is ``(frames, height, width)``; the paper sweeps it with
+    ``batch=1`` until memory reaches ~58 GB (Fig. 4).
+    """
+    t, hh, ww = input_size
+    b = GraphBuilder(
+        f"resnext101_3d_{t}x{hh}x{ww}_b{batch}", fuse_activations
+    )
+    x = b.input((batch, 3, t, hh, ww))
+    h = b.conv(x, 64, ksize=7, stride=(1, 2, 2), pad=3, bias=False,
+               name="conv1")
+    h = b.batchnorm(h, activation="relu", name="bn1")
+    h = b.pool(h, ksize=3, stride=2, pad=1, name="pool1")
+
+    for stage, (mid, out_c, n_blocks) in enumerate(
+        zip(_STAGE_WIDTHS, _STAGE_OUT, _REPEATS)
+    ):
+        for block in range(n_blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            h = _bottleneck3d(b, h, mid, out_c, stride, cardinality,
+                              prefix=f"s{stage + 2}b{block}")
+
+    h = b.global_avg_pool(h, name="gap")
+    h = b.linear(h, num_classes, name="fc")
+    b.loss(h, name="loss")
+    return b.build()

@@ -1,0 +1,95 @@
+"""Small synthetic networks: unit-test fixtures, numeric-validation targets
+and the 8-layer chain used throughout the paper's worked figures."""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, NNGraph
+
+
+def mlp(
+    batch: int = 8,
+    in_features: int = 32,
+    hidden: tuple[int, ...] = (64, 64),
+    num_classes: int = 10,
+    fuse_activations: bool = True,
+) -> NNGraph:
+    """A plain multi-layer perceptron; the smallest trainable graph."""
+    b = GraphBuilder(f"mlp_b{batch}", fuse_activations)
+    h = b.input((batch, in_features))
+    for i, width in enumerate(hidden):
+        h = b.linear(h, width, activation="relu", name=f"fc{i}")
+    h = b.linear(h, num_classes, name="head")
+    b.loss(h, name="loss")
+    return b.build()
+
+
+def small_cnn(
+    batch: int = 4,
+    image: int = 16,
+    num_classes: int = 10,
+    fuse_activations: bool = True,
+    with_residual: bool = False,
+) -> NNGraph:
+    """A tiny CNN (conv/bn/pool/fc) small enough for the numpy numeric
+    backend to execute in milliseconds; optionally with one residual add to
+    exercise branch handling."""
+    b = GraphBuilder(f"small_cnn_b{batch}", fuse_activations)
+    x = b.input((batch, 3, image, image))
+    h = b.conv(x, 8, ksize=3, pad=1, bias=False, name="conv1")
+    h = b.batchnorm(h, activation="relu", name="bn1")
+    if with_residual:
+        skip = h
+        h = b.conv(h, 8, ksize=3, pad=1, bias=False, name="conv2")
+        h = b.batchnorm(h, name="bn2")
+        h = b.add([h, skip], activation="relu", name="res")
+    else:
+        h = b.conv(h, 8, ksize=3, pad=1, activation="relu", name="conv2")
+    h = b.pool(h, ksize=2, stride=2, name="pool")
+    h = b.linear(h, num_classes, name="head")
+    b.loss(h, name="loss")
+    return b.build()
+
+
+def linear_chain(
+    n_layers: int = 8,
+    batch: int = 32,
+    channels: int = 64,
+    image: int = 56,
+    heavy: tuple[int, ...] = (),
+    fuse_activations: bool = True,
+) -> NNGraph:
+    """A chain of ``n_layers`` conv layers over a constant-size feature map.
+
+    Layers whose index is in ``heavy`` use 3x3 kernels (compute-heavy);
+    the rest use 1x1 (light).  Useful for constructing scheduler scenarios
+    where specific swaps are / are not hidden by computation.
+    """
+    b = GraphBuilder(f"chain{n_layers}_b{batch}", fuse_activations)
+    h = b.input((batch, channels, image, image))
+    for i in range(n_layers):
+        k, p = (3, 1) if i in heavy else (1, 0)
+        h = b.conv(h, channels, ksize=k, pad=p, activation="relu",
+                   name=f"layer{i}")
+    h = b.global_avg_pool(h, name="gap")
+    h = b.linear(h, 10, name="head")
+    b.loss(h, name="loss")
+    return b.build()
+
+
+def poster_example(batch: int = 64, fuse_activations: bool = True) -> NNGraph:
+    """An 8-layer network shaped like the paper's running example
+    (Figs. 2, 7, 10–14): early layers compute-heavy with big maps, late
+    layers light — so swap-outs pile up un-hidden at the end of forward and
+    the interesting `L_O`/`L_I` structure appears."""
+    b = GraphBuilder(f"poster8_b{batch}", fuse_activations)
+    h = b.input((batch, 32, 64, 64))
+    # layers 0-3: convs heavy enough to hide their own swaps
+    for i in range(4):
+        h = b.conv(h, 32, ksize=3, pad=1, activation="relu", name=f"layer{i}")
+    # layers 4-7: cheap 1x1 / BN-like layers whose swap cannot be hidden
+    for i in range(4, 8):
+        h = b.conv(h, 32, ksize=1, activation="relu", name=f"layer{i}")
+    h = b.global_avg_pool(h, name="gap")
+    h = b.linear(h, 10, name="head")
+    b.loss(h, name="loss")
+    return b.build()

@@ -1,0 +1,62 @@
+"""Transformer encoder (Vaswani et al., 2017) — an extension workload.
+
+Long sequences make the ``(B, H, L, L)`` attention-score tensors the memory
+bottleneck (quadratic in L), a profile very different from CNN activations:
+scores are cheap to recompute from Q/K but expensive to swap, so on slow
+interconnects the classifier should lean on recomputation — the same Table-3
+logic on a modern workload the paper predates.
+
+The graph uses post-norm encoder blocks:
+
+    x ──► Q,K,V ─ QK^T ─ softmax ─ ·V ─ proj ─ +x ─ LN ─ FF(4D) ─ FF(D) ─ +  ─ LN
+
+and a mean-pool + classifier head so it trains end-to-end through the
+numeric backend like every other model.
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, NNGraph
+
+
+def _encoder_block(b: GraphBuilder, x: int, d_model: int, heads: int,
+                   d_ff: int, prefix: str) -> int:
+    q = b.token_linear(x, d_model, name=f"{prefix}_q")
+    k = b.token_linear(x, d_model, name=f"{prefix}_k")
+    v = b.token_linear(x, d_model, name=f"{prefix}_v")
+    scores = b.attention_scores(q, k, heads=heads, name=f"{prefix}_qk")
+    weights = b.softmax(scores, name=f"{prefix}_sm")
+    ctx = b.attention_apply(weights, v, name=f"{prefix}_av")
+    ctx = b.token_linear(ctx, d_model, name=f"{prefix}_proj")
+    h = b.add([ctx, x], name=f"{prefix}_res1")
+    h = b.layernorm(h, name=f"{prefix}_ln1")
+    ff = b.token_linear(h, d_ff, activation="relu", name=f"{prefix}_ff1")
+    ff = b.token_linear(ff, d_model, name=f"{prefix}_ff2")
+    h2 = b.add([ff, h], name=f"{prefix}_res2")
+    return b.layernorm(h2, name=f"{prefix}_ln2")
+
+
+def transformer_encoder(
+    batch: int = 8,
+    seq_len: int = 512,
+    d_model: int = 512,
+    heads: int = 8,
+    n_layers: int = 6,
+    d_ff: int | None = None,
+    num_classes: int = 2,
+    fuse_activations: bool = True,
+) -> NNGraph:
+    """Build an ``n_layers``-block encoder over ``(batch, seq_len, d_model)``
+    inputs with a mean-pool classification head."""
+    d_ff = d_ff or 4 * d_model
+    b = GraphBuilder(
+        f"transformer_L{n_layers}_s{seq_len}_d{d_model}_b{batch}",
+        fuse_activations,
+    )
+    h = b.input((batch, seq_len, d_model))
+    for i in range(n_layers):
+        h = _encoder_block(b, h, d_model, heads, d_ff, prefix=f"blk{i}")
+    # classification head: flatten (B, L, D) and project to the classes
+    h = b.linear(h, num_classes, name="head")
+    b.loss(h, name="loss")
+    return b.build()

@@ -1,0 +1,64 @@
+"""U-Net (Ronneberger et al., 2015) — segmentation, an extension workload.
+
+U-Net is the canonical *skip-connection* stress test for out-of-core
+training: every encoder stage's feature map must survive until the matching
+decoder stage consumes it — the longest feature-map lifetimes of any common
+architecture.  Those skips are the ideal swap candidates (produced early,
+needed late, with the whole bottleneck's compute available to hide the
+round-trip), which makes U-Net a showcase for the paper's classification:
+PoocH should swap the skips and keep/recompute the short-lived decoder maps.
+
+The head is global-pool + classifier so the graph trains end-to-end through
+the numeric backend like every other model (a dense segmentation loss would
+only change the head).
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, NNGraph
+
+
+def _double_conv(b: GraphBuilder, x: int, channels: int, prefix: str) -> int:
+    h = b.conv(x, channels, ksize=3, pad=1, bias=False, name=f"{prefix}_conv1")
+    h = b.batchnorm(h, activation="relu", name=f"{prefix}_bn1")
+    h = b.conv(h, channels, ksize=3, pad=1, bias=False, name=f"{prefix}_conv2")
+    return b.batchnorm(h, activation="relu", name=f"{prefix}_bn2")
+
+
+def unet(
+    batch: int,
+    image: int = 256,
+    base_channels: int = 64,
+    depth: int = 4,
+    num_classes: int = 10,
+    fuse_activations: bool = True,
+) -> NNGraph:
+    """Build a depth-``depth`` U-Net for ``(batch, 3, image, image)`` inputs.
+
+    ``image`` must be divisible by ``2**depth``.
+    """
+    b = GraphBuilder(f"unet_d{depth}_i{image}_b{batch}", fuse_activations)
+    x = b.input((batch, 3, image, image))
+
+    skips: list[int] = []
+    h = x
+    ch = base_channels
+    for d in range(depth):
+        h = _double_conv(b, h, ch, f"enc{d}")
+        skips.append(h)
+        h = b.pool(h, ksize=2, stride=2, name=f"down{d}")
+        ch *= 2
+
+    h = _double_conv(b, h, ch, "bottleneck")
+
+    for d in reversed(range(depth)):
+        ch //= 2
+        h = b.upsample(h, scale=2, name=f"up{d}")
+        h = b.conv(h, ch, ksize=1, bias=False, name=f"up{d}_proj")
+        h = b.concat([skips[d], h], name=f"skip{d}")
+        h = _double_conv(b, h, ch, f"dec{d}")
+
+    h = b.global_avg_pool(h, name="gap")
+    h = b.linear(h, num_classes, name="head")
+    b.loss(h, name="loss")
+    return b.build()

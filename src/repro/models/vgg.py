@@ -1,0 +1,34 @@
+"""VGG-16 (Simonyan & Zisserman) — a deep plain CNN used as an extra
+workload beyond the paper's three networks (heavy compute, large early
+feature maps, no branches)."""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, NNGraph
+
+_CFG = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))
+
+
+def vgg16(
+    batch: int,
+    num_classes: int = 1000,
+    fuse_activations: bool = True,
+    with_dropout: bool = True,
+) -> NNGraph:
+    """Build VGG-16 for ``(batch, 3, 224, 224)`` inputs."""
+    b = GraphBuilder(f"vgg16_b{batch}", fuse_activations)
+    h = b.input((batch, 3, 224, 224))
+    for stage, (width, n_convs) in enumerate(_CFG, start=1):
+        for i in range(n_convs):
+            h = b.conv(h, width, ksize=3, pad=1, activation="relu",
+                       name=f"conv{stage}_{i + 1}")
+        h = b.pool(h, ksize=2, stride=2, name=f"pool{stage}")
+    h = b.linear(h, 4096, activation="relu", name="fc6")
+    if with_dropout:
+        h = b.dropout(h, name="drop6")
+    h = b.linear(h, 4096, activation="relu", name="fc7")
+    if with_dropout:
+        h = b.dropout(h, name="drop7")
+    h = b.linear(h, num_classes, name="fc8")
+    b.loss(h, name="loss")
+    return b.build()

@@ -1,0 +1,58 @@
+"""Registry mapping model names to builder callables, for CLI-ish use in
+examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import GraphError
+from repro.graph import NNGraph
+from repro.models.alexnet import alexnet
+from repro.models.densenet import densenet121, densenet169
+from repro.models.googlenet import googlenet
+from repro.models.mobilenet import mobilenet_v1
+from repro.models.resnet import resnet18, resnet34, resnet50, resnet101, resnet152
+from repro.models.resnext import resnext50_32x4d, resnext101_32x4d
+from repro.models.resnext3d import resnext101_3d
+from repro.models.toys import linear_chain, mlp, poster_example, small_cnn
+from repro.models.unet import unet
+from repro.models.vgg import vgg16
+
+#: name -> builder(batch, **kwargs).  resnext101_3d takes ``input_size``
+#: instead of a meaningful batch (pass ``batch=1``).
+MODEL_ZOO: dict[str, Callable[..., NNGraph]] = {
+    "alexnet": alexnet,
+    "densenet121": densenet121,
+    "densenet169": densenet169,
+    "unet": unet,
+    "vgg16": vgg16,
+    "googlenet": googlenet,
+    "mobilenet_v1": mobilenet_v1,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "resnet152": resnet152,
+    "resnext50_32x4d": resnext50_32x4d,
+    "resnext101_32x4d": resnext101_32x4d,
+    "mlp": mlp,
+    "small_cnn": small_cnn,
+    "linear_chain": linear_chain,
+    "poster_example": poster_example,
+}
+
+
+def build_model(name: str, batch: int = 1, **kwargs) -> NNGraph:
+    """Build a zoo model by name.
+
+    ``resnext101_3d`` is special-cased: it is parameterised by ``input_size``
+    (frames, height, width) rather than batch.
+    """
+    if name == "resnext101_3d":
+        return resnext101_3d(batch=batch, **kwargs)
+    try:
+        builder = MODEL_ZOO[name]
+    except KeyError:
+        known = sorted([*MODEL_ZOO, "resnext101_3d"])
+        raise GraphError(f"unknown model {name!r}; known: {known}") from None
+    return builder(batch, **kwargs)

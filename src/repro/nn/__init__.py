@@ -1,0 +1,37 @@
+"""Numpy reference kernels: forward *and* backward for every op kind.
+
+These exist for one purpose: proving that the out-of-core schedules move the
+right data at the right time.  The numeric backend
+(:mod:`repro.runtime.numeric`) executes them as task payloads inside the
+simulator and checks that swap/recompute/hybrid plans produce weight
+gradients bit-identical to the in-core run.  They are written for clarity on
+small tensors, not for speed.
+"""
+
+from repro.nn import functional
+from repro.nn.functional import (
+    add_backward,
+    add_forward,
+    avgpool_backward,
+    avgpool_forward,
+    batchnorm_backward,
+    batchnorm_forward,
+    concat_backward,
+    concat_forward,
+    conv_backward,
+    conv_forward,
+    global_avg_pool_backward,
+    global_avg_pool_forward,
+    linear_backward,
+    linear_forward,
+    lrn_backward,
+    lrn_forward,
+    maxpool_backward,
+    maxpool_forward,
+    relu_backward,
+    relu_forward,
+    softmax_xent_backward,
+    softmax_xent_forward,
+)
+
+__all__ = ["functional"] + [n for n in dir(functional) if n.endswith(("_forward", "_backward"))]

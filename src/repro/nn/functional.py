@@ -1,0 +1,487 @@
+"""Dimension-agnostic numpy implementations of the operator set.
+
+Convolution and pooling work for any number of spatial dimensions (the model
+zoo uses 2 and 3) via :func:`numpy.lib.stride_tricks.sliding_window_view`.
+Backward passes follow the standard analytic formulas; each is exercised
+against numerical (finite-difference) gradients in
+``tests/test_nn_gradients.py``.
+
+Conventions: activations are ``(N, C, *spatial)`` float arrays; every
+``*_backward`` returns gradients in the same order as the forward inputs.
+All kernels are deterministic — a recomputation replays bit-identically,
+which the recompute-correctness tests rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+_LETTERS = "uvwxyz"
+
+
+def _windows(x: np.ndarray, ksize: tuple[int, ...], stride: tuple[int, ...],
+             pad: tuple[int, ...]) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Strided sliding windows of a padded input.
+
+    Returns ``(win, padded_shape)`` where ``win`` has shape
+    ``(N, C, *out_spatial, *ksize)``.
+    """
+    nd = len(ksize)
+    xp = np.pad(x, [(0, 0), (0, 0)] + [(p, p) for p in pad])
+    win = sliding_window_view(xp, ksize, axis=tuple(range(2, 2 + nd)))
+    sel = (slice(None), slice(None)) + tuple(slice(None, None, s) for s in stride)
+    return win[sel], xp.shape
+
+
+def _unpad(dxp: np.ndarray, pad: tuple[int, ...]) -> np.ndarray:
+    sel = [slice(None), slice(None)]
+    for p in pad:
+        sel.append(slice(p, dxp.shape[len(sel)] - p) if p else slice(None))
+    return dxp[tuple(sel)]
+
+
+# ---------------------------------------------------------------------------
+# convolution
+
+
+def conv_forward(
+    x: np.ndarray,
+    w: np.ndarray,
+    b: np.ndarray | None,
+    stride: tuple[int, ...],
+    pad: tuple[int, ...],
+    groups: int = 1,
+) -> np.ndarray:
+    """N-dimensional grouped convolution (cross-correlation, cuDNN-style).
+
+    ``x``: (N, Cin, *S); ``w``: (Cout, Cin/groups, *k); returns
+    (N, Cout, *out_S).
+    """
+    nd = w.ndim - 2
+    ksize = w.shape[2:]
+    win, _ = _windows(x, ksize, stride, pad)  # (N, Cin, *out, *k)
+    sp = _LETTERS[:nd]  # out-spatial letters
+    kl = _LETTERS[nd:2 * nd]  # kernel letters
+    eq = f"nc{sp}{kl},oc{kl}->no{sp}"
+    cin_g = w.shape[1]
+    cout_g = w.shape[0] // groups
+    outs = []
+    for g in range(groups):
+        xg = win[:, g * cin_g:(g + 1) * cin_g]
+        wg = w[g * cout_g:(g + 1) * cout_g]
+        outs.append(np.einsum(eq, xg, wg, optimize=True))
+    y = np.concatenate(outs, axis=1)
+    if b is not None:
+        y += b.reshape((1, -1) + (1,) * nd)
+    return y
+
+
+def conv_backward(
+    dy: np.ndarray,
+    x: np.ndarray,
+    w: np.ndarray,
+    stride: tuple[int, ...],
+    pad: tuple[int, ...],
+    groups: int = 1,
+    with_bias: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Gradients (dx, dw, db) of :func:`conv_forward`."""
+    nd = w.ndim - 2
+    ksize = w.shape[2:]
+    win, padded_shape = _windows(x, ksize, stride, pad)
+    sp = _LETTERS[:nd]
+    kl = _LETTERS[nd:2 * nd]
+    cin_g = w.shape[1]
+    cout_g = w.shape[0] // groups
+
+    # weight gradient: dW[o,c,*k] = sum_{n,pos} dy[n,o,*pos] win[n,c,*pos,*k]
+    dw_eq = f"no{sp},nc{sp}{kl}->oc{kl}"
+    dws = []
+    for g in range(groups):
+        dyg = dy[:, g * cout_g:(g + 1) * cout_g]
+        xg = win[:, g * cin_g:(g + 1) * cin_g]
+        dws.append(np.einsum(dw_eq, dyg, xg, optimize=True))
+    dw = np.concatenate(dws, axis=0)
+
+    # data gradient: scatter dy·w back over the padded input, one kernel
+    # offset at a time (kernels are small, loops stay cheap)
+    dxp = np.zeros(padded_shape, dtype=x.dtype)
+    out_spatial = dy.shape[2:]
+    dx_eq = f"no{sp},oc->nc{sp}"
+    for kidx in itertools.product(*(range(k) for k in ksize)):
+        sel = [slice(None), slice(None)]
+        for d, (ki, s, o) in enumerate(zip(kidx, stride, out_spatial)):
+            sel.append(slice(ki, ki + s * o, s))
+        for g in range(groups):
+            dyg = dy[:, g * cout_g:(g + 1) * cout_g]
+            wg = w[(slice(g * cout_g, (g + 1) * cout_g), slice(None)) + kidx]
+            contrib = np.einsum(dx_eq, dyg, wg, optimize=True)
+            dxp[tuple(sel)][:, g * cin_g:(g + 1) * cin_g] += contrib
+    dx = _unpad(dxp, pad)
+    db = dy.sum(axis=tuple(i for i in range(dy.ndim) if i != 1)) if with_bias else None
+    return dx, dw, db
+
+
+# ---------------------------------------------------------------------------
+# linear
+
+
+def linear_forward(x: np.ndarray, w: np.ndarray, b: np.ndarray | None) -> np.ndarray:
+    """Fully connected; >2-D inputs are flattened. ``w``: (out, in)."""
+    x2 = x.reshape(x.shape[0], -1)
+    y = x2 @ w.T
+    if b is not None:
+        y += b
+    return y
+
+
+def linear_backward(
+    dy: np.ndarray, x: np.ndarray, w: np.ndarray, with_bias: bool = True
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    x2 = x.reshape(x.shape[0], -1)
+    dx = (dy @ w).reshape(x.shape)
+    dw = dy.T @ x2
+    db = dy.sum(axis=0) if with_bias else None
+    return dx, dw, db
+
+
+# ---------------------------------------------------------------------------
+# batch normalisation (training mode, per-channel over batch+spatial)
+
+_EPS = 1e-5
+
+
+def _bn_axes(x: np.ndarray) -> tuple[int, ...]:
+    return (0,) + tuple(range(2, x.ndim))
+
+
+def batchnorm_forward(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray
+) -> np.ndarray:
+    axes = _bn_axes(x)
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    xhat = (x - mean) / np.sqrt(var + _EPS)
+    shape = (1, -1) + (1,) * (x.ndim - 2)
+    return gamma.reshape(shape) * xhat + beta.reshape(shape)
+
+
+def batchnorm_backward(
+    dy: np.ndarray, x: np.ndarray, gamma: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(dx, dgamma, dbeta); statistics are recomputed from ``x`` — the tiny
+    saved-stat buffers live on the GPU in the memory model, so recomputing
+    them here keeps the payloads functionally pure."""
+    axes = _bn_axes(x)
+    m = float(np.prod([x.shape[a] for a in axes]))
+    mean = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    invstd = 1.0 / np.sqrt(var + _EPS)
+    xhat = (x - mean) * invstd
+    shape = (1, -1) + (1,) * (x.ndim - 2)
+    dgamma = (dy * xhat).sum(axis=axes)
+    dbeta = dy.sum(axis=axes)
+    dxhat = dy * gamma.reshape(shape)
+    dx = (
+        dxhat
+        - dxhat.mean(axis=axes, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=axes, keepdims=True)
+    ) * invstd
+    # note: using mean ≡ sum/m keeps this the textbook formula
+    del m
+    return dx, dgamma, dbeta
+
+
+# ---------------------------------------------------------------------------
+# activations / elementwise
+
+
+def relu_forward(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(dy: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """ReLU gradient from the *output* (what cuDNN's activation backward
+    uses — the reason ReLU-ish ops only need their output kept)."""
+    return dy * (y > 0)
+
+
+def add_forward(xs: list[np.ndarray]) -> np.ndarray:
+    y = xs[0].copy()
+    for x in xs[1:]:
+        y += x
+    return y
+
+
+def add_backward(dy: np.ndarray, n_inputs: int) -> list[np.ndarray]:
+    return [dy.copy() for _ in range(n_inputs)]
+
+
+def concat_forward(xs: list[np.ndarray], axis: int) -> np.ndarray:
+    return np.concatenate(xs, axis=axis)
+
+
+def concat_backward(dy: np.ndarray, sizes: list[int], axis: int) -> list[np.ndarray]:
+    split_points = np.cumsum(sizes)[:-1]
+    return [np.ascontiguousarray(s) for s in np.split(dy, split_points, axis=axis)]
+
+
+# ---------------------------------------------------------------------------
+# pooling
+
+
+def maxpool_forward(x: np.ndarray, ksize, stride, pad) -> np.ndarray:
+    win, _ = _windows(x, ksize, stride, pad)
+    return win.max(axis=tuple(range(win.ndim - len(ksize), win.ndim)))
+
+
+def maxpool_backward(dy: np.ndarray, x: np.ndarray, y: np.ndarray,
+                     ksize, stride, pad) -> np.ndarray:
+    """Routes each output gradient to the argmax position(s), matching the
+    x/y/dy signature of cuDNN's pooling backward.  Ties (exactly equal
+    values inside one window) split the gradient — measure-zero for
+    continuous data."""
+    nd = len(ksize)
+    win, padded_shape = _windows(x, ksize, stride, pad)
+    kaxes = tuple(range(win.ndim - nd, win.ndim))
+    mask = win == np.expand_dims(y, axis=kaxes)
+    counts = mask.sum(axis=kaxes, keepdims=True)
+    grad_win = mask * np.expand_dims(dy, axis=kaxes) / counts
+    dxp = np.zeros(padded_shape, dtype=x.dtype)
+    out_spatial = y.shape[2:]
+    for kidx in itertools.product(*(range(k) for k in ksize)):
+        sel = [slice(None), slice(None)]
+        for ki, s, o in zip(kidx, stride, out_spatial):
+            sel.append(slice(ki, ki + s * o, s))
+        dxp[tuple(sel)] += grad_win[(Ellipsis,) + kidx]
+    return _unpad(dxp, pad)
+
+
+def avgpool_forward(x: np.ndarray, ksize, stride, pad) -> np.ndarray:
+    win, _ = _windows(x, ksize, stride, pad)
+    return win.mean(axis=tuple(range(win.ndim - len(ksize), win.ndim)))
+
+
+def avgpool_backward(dy: np.ndarray, in_shape: tuple[int, ...],
+                     ksize, stride, pad, dtype=np.float32) -> np.ndarray:
+    """Average pooling backward needs only shapes — no feature maps."""
+    nd = len(ksize)
+    k_elems = float(np.prod(ksize))
+    padded = list(in_shape)
+    for d in range(nd):
+        padded[2 + d] += 2 * pad[d]
+    dxp = np.zeros(padded, dtype=dtype)
+    out_spatial = dy.shape[2:]
+    share = dy / k_elems
+    for kidx in itertools.product(*(range(k) for k in ksize)):
+        sel = [slice(None), slice(None)]
+        for ki, s, o in zip(kidx, stride, out_spatial):
+            sel.append(slice(ki, ki + s * o, s))
+        dxp[tuple(sel)] += share
+    return _unpad(dxp, tuple(pad))
+
+
+def global_avg_pool_forward(x: np.ndarray) -> np.ndarray:
+    return x.mean(axis=tuple(range(2, x.ndim)))
+
+
+def global_avg_pool_backward(dy: np.ndarray, in_shape: tuple[int, ...]) -> np.ndarray:
+    spatial = in_shape[2:]
+    scale = 1.0 / float(np.prod(spatial))
+    return np.broadcast_to(
+        dy.reshape(dy.shape + (1,) * len(spatial)), in_shape
+    ).copy() * scale
+
+
+# ---------------------------------------------------------------------------
+# LRN (across channels, AlexNet-style)
+
+_LRN_K, _LRN_ALPHA, _LRN_BETA = 2.0, 1e-4, 0.75
+
+
+def _lrn_scale(x: np.ndarray, size: int) -> np.ndarray:
+    c = x.shape[1]
+    sq = x * x
+    acc = np.zeros_like(x)
+    half = size // 2
+    for j in range(-half, half + 1):
+        lo, hi = max(0, -j), min(c, c - j)
+        acc[:, lo:hi] += sq[:, lo + j:hi + j]
+    return _LRN_K + (_LRN_ALPHA / size) * acc
+
+
+def lrn_forward(x: np.ndarray, size: int) -> np.ndarray:
+    return x * _lrn_scale(x, size) ** (-_LRN_BETA)
+
+
+def lrn_backward(dy: np.ndarray, x: np.ndarray, y: np.ndarray, size: int) -> np.ndarray:
+    """Standard Caffe-style LRN gradient (needs x and y)."""
+    scale = _lrn_scale(x, size)
+    c = x.shape[1]
+    half = size // 2
+    ratio = dy * y / scale  # (dy ⊙ y) / scale, to be window-summed
+    acc = np.zeros_like(x)
+    for j in range(-half, half + 1):
+        lo, hi = max(0, -j), min(c, c - j)
+        acc[:, lo:hi] += ratio[:, lo + j:hi + j]
+    return dy * scale ** (-_LRN_BETA) - (2.0 * _LRN_ALPHA * _LRN_BETA / size) * x * acc
+
+
+# ---------------------------------------------------------------------------
+# loss
+
+
+def softmax_xent_forward(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Per-sample cross-entropy losses (shape (N,))."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    logp = z - np.log(np.exp(z).sum(axis=1, keepdims=True))
+    return -logp[np.arange(len(targets)), targets]
+
+
+def softmax_xent_backward(
+    dy: np.ndarray, logits: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """``dy`` is the gradient w.r.t. the per-sample losses."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    p = np.exp(z)
+    p /= p.sum(axis=1, keepdims=True)
+    p[np.arange(len(targets)), targets] -= 1.0
+    return p * dy[:, None]
+
+
+# ---------------------------------------------------------------------------
+# sequence-model kernels (Transformer support)
+
+
+def token_linear_forward(x: np.ndarray, w: np.ndarray,
+                         b: np.ndarray | None) -> np.ndarray:
+    """Per-token linear on (B, L, D); ``w``: (out, D)."""
+    y = np.einsum("bld,od->blo", x, w, optimize=True)
+    if b is not None:
+        y += b
+    return y
+
+
+def token_linear_backward(
+    dy: np.ndarray, x: np.ndarray, w: np.ndarray, with_bias: bool = True
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    dx = np.einsum("blo,od->bld", dy, w, optimize=True)
+    dw = np.einsum("blo,bld->od", dy, x, optimize=True)
+    db = dy.sum(axis=(0, 1)) if with_bias else None
+    return dx, dw, db
+
+
+def attention_scores_forward(q: np.ndarray, k: np.ndarray,
+                             heads: int) -> np.ndarray:
+    """(B, L, D) x (B, L, D) -> (B, H, L, L), scaled by 1/sqrt(D/H)."""
+    b, l, d = q.shape
+    dh = d // heads
+    qh = q.reshape(b, l, heads, dh)
+    kh = k.reshape(b, l, heads, dh)
+    scale = 1.0 / np.sqrt(dh)
+    return np.einsum("blhd,bmhd->bhlm", qh, kh, optimize=True) * scale
+
+
+def attention_scores_backward(
+    dy: np.ndarray, q: np.ndarray, k: np.ndarray, heads: int
+) -> tuple[np.ndarray, np.ndarray]:
+    b, l, d = q.shape
+    dh = d // heads
+    scale = 1.0 / np.sqrt(dh)
+    kh = k.reshape(b, l, heads, dh)
+    qh = q.reshape(b, l, heads, dh)
+    dq = np.einsum("bhlm,bmhd->blhd", dy, kh, optimize=True) * scale
+    dk = np.einsum("bhlm,blhd->bmhd", dy, qh, optimize=True) * scale
+    return dq.reshape(b, l, d), dk.reshape(b, l, d)
+
+
+def attention_apply_forward(scores: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """(B, H, L, L) x (B, L, D) -> (B, L, D)."""
+    b, h, l, _ = scores.shape
+    dh = v.shape[2] // h
+    vh = v.reshape(b, l, h, dh)
+    out = np.einsum("bhlm,bmhd->blhd", scores, vh, optimize=True)
+    return out.reshape(b, l, h * dh)
+
+
+def attention_apply_backward(
+    dy: np.ndarray, scores: np.ndarray, v: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    b, h, l, _ = scores.shape
+    dh = v.shape[2] // h
+    vh = v.reshape(b, l, h, dh)
+    dyh = dy.reshape(b, l, h, dh)
+    dscores = np.einsum("blhd,bmhd->bhlm", dyh, vh, optimize=True)
+    dv = np.einsum("bhlm,blhd->bmhd", scores, dyh, optimize=True)
+    return dscores, dv.reshape(b, l, h * dh)
+
+
+def softmax_forward(x: np.ndarray) -> np.ndarray:
+    """Softmax over the last axis."""
+    z = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def softmax_backward(dy: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Gradient from the output only: ``dx = y * (dy - sum(dy*y))``."""
+    s = (dy * y).sum(axis=-1, keepdims=True)
+    return y * (dy - s)
+
+
+_LN_EPS = 1e-5
+
+
+def layernorm_forward(x: np.ndarray, gamma: np.ndarray,
+                      beta: np.ndarray) -> np.ndarray:
+    """Normalise over the last axis of (B, L, D)."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    xhat = (x - mean) / np.sqrt(var + _LN_EPS)
+    return gamma * xhat + beta
+
+
+def layernorm_backward(
+    dy: np.ndarray, x: np.ndarray, gamma: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    invstd = 1.0 / np.sqrt(var + _LN_EPS)
+    xhat = (x - mean) * invstd
+    dgamma = (dy * xhat).sum(axis=tuple(range(x.ndim - 1)))
+    dbeta = dy.sum(axis=tuple(range(x.ndim - 1)))
+    dxhat = dy * gamma
+    dx = (
+        dxhat
+        - dxhat.mean(axis=-1, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+    ) * invstd
+    return dx, dgamma, dbeta
+
+
+# ---------------------------------------------------------------------------
+# slicing / upsampling (layer splitting & U-Net decoders)
+
+
+def upsample_forward(x: np.ndarray, scale: int) -> np.ndarray:
+    """Nearest-neighbour upsampling over all spatial dims of (N, C, *S)."""
+    y = x
+    for axis in range(2, x.ndim):
+        y = np.repeat(y, scale, axis=axis)
+    return y
+
+
+def upsample_backward(dy: np.ndarray, scale: int) -> np.ndarray:
+    """Sum each ``scale``-block back to the source element."""
+    nd = dy.ndim - 2
+    shape = list(dy.shape[:2])
+    for d in range(nd):
+        shape.extend([dy.shape[2 + d] // scale, scale])
+    blocked = dy.reshape(shape)
+    # sum the interleaved scale axes (positions 3, 5, ... from the left)
+    axes = tuple(3 + 2 * d for d in range(nd))
+    # after reshape the layout is (N, C, S1', s, S2', s, ...)
+    return blocked.sum(axis=axes)

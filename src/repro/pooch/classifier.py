@@ -1,0 +1,287 @@
+"""The two-step classification search (§4.4).
+
+Step 1 — keep vs swap (§4.4.2):
+  * simulate the all-swap baseline, extract ``L_O`` / ``L_I``;
+  * maps outside ``L_O ∪ L_I`` are classified ``swap`` immediately;
+  * a binary search tree enumerates keep/swap for the maps of ``L_I``
+    (the set for which the paper found no reliable greedy order);
+  * at each leaf, the maps of ``L_O \\ L_I`` are scanned from the output
+    layer toward the input, greedily switched ``swap → keep`` while the
+    simulated plan stays feasible and does not slow down (the paper's
+    observation: un-hidden swap-outs cluster at the end of forward, so
+    keeping from the back strictly removes them);
+  * every candidate is scored by the timeline predictor.
+
+Step 2 — swap vs recompute (§4.4.3):
+  * for every map still ``swap``, compute
+    ``r(X) = recompute_overhead(X) / swap_overhead(X)`` with other classes
+    fixed, both overheads measured by simulation against the "X kept"
+    baseline;
+  * discard ``r ≥ 1`` maps from consideration (they stay ``swap``), flip the
+    smallest ``r < 1`` to ``recompute``, and repeat until the pool is empty.
+
+Scalability deviations from the poster (documented in DESIGN.md §5): the
+exact tree is bounded at ``max_exact_li`` variables (the highest-overhead
+members of ``L_I``; the rest join the greedy scan), subtrees whose committed
+keep-bytes already exceed capacity are pruned, and a total simulation budget
+caps the search while keeping the best plan found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import OutOfMemoryError
+from repro.graph import NNGraph
+from repro.gpusim.allocator import round_size
+from repro.hw import MachineSpec
+from repro.pooch.overlap import OverlapAnalysis, analyze_overlap
+from repro.pooch.predictor import TimelinePredictor
+from repro.runtime.plan import Classification, MapClass, SwapInPolicy
+from repro.runtime.profiler import Profile
+
+
+@dataclass(frozen=True)
+class PoochConfig:
+    """Classifier knobs; defaults follow the paper where it specifies them."""
+
+    #: swap-in schedule used for every simulation and for execution (§4.3)
+    policy: SwapInPolicy = SwapInPolicy.EAGER
+    #: hidden-swap tolerances for the L_O/L_I extraction
+    abs_tolerance: float = 2e-6
+    rel_tolerance: float = 0.02
+    #: exact-search width: at most this many L_I maps get true binary-tree
+    #: enumeration; the rest fall back to the greedy scan
+    max_exact_li: int = 8
+    #: hard cap on step-1 predictor simulations (best plan so far is kept)
+    step1_sim_budget: int = 1200
+    #: accept a keep-switch when it does not slow the plan by more than this
+    time_epsilon: float = 1e-12
+    #: re-verify each r(X)<1 flip end-to-end and revert if it slowed the plan
+    #: (safety net on top of the paper's rule)
+    verify_flips: bool = True
+    #: bytes of device capacity the chosen plan must leave free — slack for
+    #: allocator fragmentation that the counting memory model cannot see
+    #: (0 reproduces the paper; see the fragmentation ablation benchmark)
+    capacity_margin: int = 0
+    #: forward re-fetch gap for long skip connections (extension; see
+    #: ScheduleOptions.forward_refetch_gap; None reproduces the paper)
+    forward_refetch_gap: int | None = None
+
+
+@dataclass
+class SearchStats:
+    """Bookkeeping the benchmarks and EXPERIMENTS.md report."""
+
+    overlap: OverlapAnalysis | None = None
+    exact_li: list[int] = field(default_factory=list)
+    scan_order: list[int] = field(default_factory=list)
+    sims_step1: int = 0
+    sims_step2: int = 0
+    budget_exhausted: bool = False
+    time_all_swap: float = float("inf")
+    time_after_step1: float = float("inf")
+    time_after_step2: float = float("inf")
+    flips_to_recompute: list[int] = field(default_factory=list)
+    #: the paper's r(X) ratio per map, from the first step-2 round (the
+    #: round where every step-1 swap map is evaluated)
+    r_values: dict[int, float] = field(default_factory=dict)
+
+
+class PoochClassifier:
+    """Runs the two-step search; one instance per (graph, profile, machine)."""
+
+    def __init__(
+        self,
+        graph: NNGraph,
+        profile: Profile,
+        machine: MachineSpec,
+        config: PoochConfig | None = None,
+        predictor: TimelinePredictor | None = None,
+    ) -> None:
+        self.graph = graph
+        self.profile = profile
+        self.machine = machine
+        self.config = config or PoochConfig()
+        self.predictor = predictor or TimelinePredictor(
+            graph, profile, machine, policy=self.config.policy,
+            capacity_margin=self.config.capacity_margin,
+            forward_refetch_gap=self.config.forward_refetch_gap,
+        )
+        self.stats = SearchStats()
+
+    # -- public -------------------------------------------------------------------
+
+    def classify(self, steps: int = 2) -> tuple[Classification, SearchStats]:
+        """Run the search and return the chosen classification.
+
+        ``steps=1`` stops after the keep/swap step — the paper's "swap-opt"
+        ablation configuration (§5.1); ``steps=2`` (default) is full PoocH.
+        """
+        if steps not in (1, 2):
+            raise ValueError(f"steps must be 1 or 2, got {steps}")
+        step1 = self._step1_keep_vs_swap()
+        if steps == 1:
+            self.stats.time_after_step2 = self.stats.time_after_step1
+            return step1, self.stats
+        step2 = self._step2_swap_vs_recompute(step1)
+        return step2, self.stats
+
+    # -- step 1 -------------------------------------------------------------------
+
+    def _step1_keep_vs_swap(self) -> Classification:
+        cfg = self.config
+        all_swap = Classification.all_swap(self.graph)
+        base_outcome = self.predictor.predict(all_swap)
+        if not base_outcome.feasible:
+            raise OutOfMemoryError(
+                "even the all-swap plan does not fit this machine "
+                f"({base_outcome.oom_context}); the network is too large for "
+                "out-of-core execution at this granularity"
+            )
+        self.stats.time_all_swap = base_outcome.time
+
+        if self.profile.baseline is None:
+            raise OutOfMemoryError("profile is missing its baseline timeline")
+        overlap = analyze_overlap(
+            self.profile.baseline,
+            abs_tolerance=cfg.abs_tolerance,
+            rel_tolerance=cfg.rel_tolerance,
+        )
+        self.stats.overlap = overlap
+
+        # maps eligible for KEEP consideration; everything else stays swap
+        candidates = overlap.candidates & set(all_swap.classes)
+        li = sorted(
+            overlap.L_I & candidates,
+            key=lambda m: overlap.overhead.get(m, 0.0),
+            reverse=True,
+        )
+        exact_li = li[: cfg.max_exact_li]
+        # the greedy scan covers L_O \ L_I plus any L_I overflow, walked from
+        # the output layer toward the input (descending map index)
+        scan = sorted(candidates - set(exact_li), reverse=True)
+        self.stats.exact_li = list(exact_li)
+        self.stats.scan_order = list(scan)
+
+        # conservative keep-budget prune: keeps beyond this certainly OOM
+        keep_budget = (
+            self.machine.usable_gpu_memory - cfg.capacity_margin
+            - 2 * round_size(self.graph.total_param_bytes)
+        )
+        map_bytes = {m: round_size(self.graph[m].out_spec.nbytes) for m in candidates}
+
+        best_cls = all_swap
+        best_time = base_outcome.time
+        sims_at_start = self.predictor.simulations
+
+        def budget_left() -> bool:
+            used = self.predictor.simulations - sims_at_start
+            if used >= cfg.step1_sim_budget:
+                self.stats.budget_exhausted = True
+                return False
+            return True
+
+        def evaluate_leaf(keeps: set[int]) -> None:
+            nonlocal best_cls, best_time
+            cls = all_swap.with_classes({m: MapClass.KEEP for m in keeps})
+            outcome = self.predictor.predict(cls)
+            if not outcome.feasible:
+                return  # keeping this L_I subset already over-commits memory
+            cur_cls, cur_time = cls, outcome.time
+            if cur_time < best_time:
+                best_cls, best_time = cur_cls, cur_time
+            kept_bytes = sum(map_bytes[m] for m in keeps)
+            for m in scan:
+                if not budget_left():
+                    return
+                if kept_bytes + map_bytes[m] > keep_budget:
+                    continue
+                trial = cur_cls.with_class(m, MapClass.KEEP)
+                out = self.predictor.predict(trial)
+                if out.feasible and out.time <= cur_time + cfg.time_epsilon:
+                    cur_cls, cur_time = trial, out.time
+                    kept_bytes += map_bytes[m]
+                    if cur_time < best_time:
+                        best_cls, best_time = cur_cls, cur_time
+
+        # DFS over the exact L_I variables, KEEP branch first (high-overhead
+        # maps are kept in the best plans, so good leaves are found early
+        # under a simulation budget)
+        def dfs(idx: int, keeps: set[int], kept_bytes: int) -> None:
+            if not budget_left():
+                return
+            if idx == len(exact_li):
+                evaluate_leaf(keeps)
+                return
+            m = exact_li[idx]
+            if kept_bytes + map_bytes[m] <= keep_budget:
+                keeps.add(m)
+                dfs(idx + 1, keeps, kept_bytes + map_bytes[m])
+                keeps.discard(m)
+            dfs(idx + 1, keeps, kept_bytes)
+
+        dfs(0, set(), 0)
+        self.stats.sims_step1 = self.predictor.simulations - sims_at_start
+        self.stats.time_after_step1 = best_time
+        return best_cls
+
+    # -- step 2 ----------------------------------------------------------------------
+
+    def _r_value(
+        self, current: Classification, x: int, t_swap: float
+    ) -> float:
+        """The paper's r(X) with classes of other maps fixed.
+
+        Overheads are measured against the plan with X kept (no transfer, no
+        recompute); when keeping X is itself infeasible, the cheaper of the
+        two alternatives serves as the zero point, which preserves the
+        comparison r(X) < 1 ⇔ recompute beats swap.
+        """
+        t_rec = self.predictor.predict(
+            current.with_class(x, MapClass.RECOMPUTE)
+        ).time
+        keep_outcome = self.predictor.predict(current.with_class(x, MapClass.KEEP))
+        t0 = keep_outcome.time if keep_outcome.feasible else min(t_swap, t_rec)
+        rec_overhead = max(0.0, t_rec - t0)
+        swap_overhead = max(0.0, t_swap - t0)
+        if swap_overhead <= 0.0:
+            return float("inf")
+        if rec_overhead == float("inf"):
+            return float("inf")
+        return rec_overhead / swap_overhead
+
+    def _step2_swap_vs_recompute(self, step1: Classification) -> Classification:
+        cfg = self.config
+        sims_at_start = self.predictor.simulations
+        current = step1
+        pool = [
+            m for m in step1.maps_of(MapClass.SWAP)
+            if self.graph[m].op.recomputable
+        ]
+        current_time = self.predictor.predict(current).time
+
+        first_round = True
+        while pool:
+            r_values = {x: self._r_value(current, x, current_time) for x in pool}
+            if first_round:
+                self.stats.r_values = dict(r_values)
+                first_round = False
+            pool = [x for x in pool if r_values[x] < 1.0]
+            if not pool:
+                break
+            x = min(pool, key=lambda m: r_values[m])
+            trial = current.with_class(x, MapClass.RECOMPUTE)
+            outcome = self.predictor.predict(trial)
+            accept = outcome.feasible
+            if accept and cfg.verify_flips:
+                accept = outcome.time <= current_time + cfg.time_epsilon
+            pool.remove(x)
+            if accept:
+                current = trial
+                current_time = outcome.time
+                self.stats.flips_to_recompute.append(x)
+
+        self.stats.sims_step2 = self.predictor.simulations - sims_at_start
+        self.stats.time_after_step2 = current_time
+        return current

@@ -1,0 +1,167 @@
+"""Dynamic problem sizes — the paper's stated future work (§7).
+
+"The current version of PoocH targets only NNs that compute the same problem
+size in each learning iteration.  As future work, we will extend PoocH in
+order to deal with NNs whose problem sizes change for each iteration."
+
+This module implements that extension.  :class:`DynamicPoocH` handles a
+training stream whose per-iteration size (batch, or 3D input volume) varies:
+
+* ``strategy="exact"`` — profile + classify once per *distinct* size and
+  cache the plan; every optimization is amortised over all iterations that
+  reuse its size (the natural extension of the paper's amortisation
+  argument).
+* ``strategy="nearest"`` — reuse the plan of the nearest already-optimized
+  *larger* size (plans are structurally transferable because the graph
+  topology is size-independent; a plan that fits a larger problem is
+  memory-safe for a smaller one).  This trades plan quality for far fewer
+  optimizations — the interesting knob when sizes are long-tailed.
+
+Both strategies validate a transferred plan through the timeline predictor
+of the target size before executing it and fall back to a fresh optimization
+when it is predicted infeasible — the same simulate-before-running discipline
+that lets PoocH avoid superneurons' memory failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.common.errors import ScheduleError
+from repro.graph import NNGraph
+from repro.gpusim import RunResult
+from repro.hw import MachineSpec
+from repro.pooch.classifier import PoochClassifier, PoochConfig
+from repro.pooch.predictor import TimelinePredictor
+from repro.runtime.executor import execute
+from repro.runtime.plan import Classification
+from repro.runtime.profiler import run_profiling
+
+#: a problem size is any hashable key with a total order (batch int,
+#: (T, H, W) tuple, ...)
+Size = Hashable
+
+
+@dataclass
+class DynamicStats:
+    """Bookkeeping for one :meth:`DynamicPoocH.run_stream` call."""
+
+    iterations: int = 0
+    optimizations: int = 0
+    plan_reuses: int = 0
+    transfers: int = 0  # nearest-plan reuses across different sizes
+    transfer_rejections: int = 0  # transferred plans predicted infeasible
+    iteration_times: list[float] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.iteration_times)
+
+
+class DynamicPoocH:
+    """Per-iteration-size out-of-core planning.
+
+    Args:
+        machine: execution environment.
+        build_graph: maps a size key to the (freshly built) graph for it.
+            All sizes must produce structurally identical graphs (same layer
+            names/indices) — only shapes may differ.
+        config: search configuration shared by every optimization.
+        strategy: ``"exact"`` or ``"nearest"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        build_graph: Callable[[Size], NNGraph],
+        config: PoochConfig | None = None,
+        strategy: str = "exact",
+    ) -> None:
+        if strategy not in ("exact", "nearest"):
+            raise ScheduleError(f"unknown strategy {strategy!r}")
+        self.machine = machine
+        self.build_graph = build_graph
+        self.config = config or PoochConfig()
+        self.strategy = strategy
+        self._plans: dict[Size, Classification] = {}
+        self._graphs: dict[Size, NNGraph] = {}
+        self.stats = DynamicStats()
+
+    # -- internals -------------------------------------------------------------
+
+    def _graph(self, size: Size) -> NNGraph:
+        if size not in self._graphs:
+            graph = self.build_graph(size)
+            if self._graphs:
+                ref = next(iter(self._graphs.values()))
+                if len(graph) != len(ref):
+                    raise ScheduleError(
+                        "dynamic sizes must share the graph structure "
+                        f"({len(graph)} layers vs {len(ref)})"
+                    )
+            self._graphs[size] = graph
+        return self._graphs[size]
+
+    def _optimize(self, size: Size) -> Classification:
+        graph = self._graph(size)
+        profile = run_profiling(graph, self.machine,
+                                policy=self.config.policy)
+        classifier = PoochClassifier(graph, profile, self.machine, self.config)
+        classification, _ = classifier.classify()
+        self.stats.optimizations += 1
+        return classification
+
+    def _transferable_plan(self, size: Size) -> Classification | None:
+        """nearest strategy: the plan of the smallest already-planned size
+        that is >= ``size`` (memory-safe direction), verified by simulation."""
+        candidates = sorted(
+            (s for s in self._plans if s >= size), key=lambda s: s
+        )
+        for donor in candidates:
+            plan = self._plans[donor]
+            graph = self._graph(size)
+            try:
+                remapped = Classification(dict(plan.classes))
+                remapped.validate(graph)
+            except ScheduleError:
+                continue
+            profile = run_profiling(graph, self.machine,
+                                    policy=self.config.policy)
+            predictor = TimelinePredictor(graph, profile, self.machine,
+                                          policy=self.config.policy)
+            if predictor.predict(remapped).feasible:
+                self.stats.transfers += 1
+                return remapped
+            self.stats.transfer_rejections += 1
+        return None
+
+    # -- public ------------------------------------------------------------------
+
+    def plan_for(self, size: Size) -> Classification:
+        """The classification used for iterations of ``size`` (cached)."""
+        if size in self._plans:
+            self.stats.plan_reuses += 1
+            return self._plans[size]
+        plan: Classification | None = None
+        if self.strategy == "nearest" and self._plans:
+            plan = self._transferable_plan(size)
+        if plan is None:
+            plan = self._optimize(size)
+        self._plans[size] = plan
+        return plan
+
+    def run_iteration(self, size: Size) -> RunResult:
+        """Execute one iteration of the given size under its plan."""
+        plan = self.plan_for(size)
+        graph = self._graph(size)
+        result = execute(graph, plan, self.machine, policy=self.config.policy)
+        self.stats.iterations += 1
+        self.stats.iteration_times.append(result.makespan)
+        return result
+
+    def run_stream(self, sizes: list[Size]) -> DynamicStats:
+        """Run a whole stream of per-iteration sizes; returns the stats."""
+        for size in sizes:
+            self.run_iteration(size)
+        return self.stats

@@ -1,0 +1,73 @@
+"""Extraction of the overhead-causing map sets ``L_O`` and ``L_I`` (§4.4.2).
+
+From the all-swap baseline timeline, a swap task is *hidden* when computation
+covers (almost) its entire execution; maps whose swap-out / swap-in is not
+hidden form ``L_O`` / ``L_I``.  Everything else is classified ``swap``
+immediately — by the paper's reasoning, their transfers are free, so no
+search is needed for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.timeline import compute_busy, idle_overlap
+from repro.gpusim import RunResult, TaskKind
+
+
+@dataclass
+class OverlapAnalysis:
+    """The sets the step-1 search operates on, plus per-map overheads.
+
+    ``overhead[m]`` is the un-hidden swap time of map ``m`` in seconds
+    (swap-out plus swap-in portions not covered by computation) — used to
+    rank maps when the exact search must be capped.
+    """
+
+    L_O: set[int] = field(default_factory=set)
+    L_I: set[int] = field(default_factory=set)
+    overhead: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def candidates(self) -> set[int]:
+        """Maps whose class is actually searched: ``L_O ∪ L_I``."""
+        return self.L_O | self.L_I
+
+    def describe(self) -> str:
+        return (
+            f"L_O={sorted(self.L_O)} L_I={sorted(self.L_I)} "
+            f"(total un-hidden swap time "
+            f"{sum(self.overhead.values()) * 1e3:.3f} ms)"
+        )
+
+
+def analyze_overlap(
+    baseline: RunResult,
+    *,
+    abs_tolerance: float = 2e-6,
+    rel_tolerance: float = 0.02,
+) -> OverlapAnalysis:
+    """Compute ``L_O``/``L_I`` from an all-swap timeline.
+
+    A swap task is considered hidden when its idle overlap (the part of its
+    execution during which the compute stream sat idle) is below
+    ``max(abs_tolerance, rel_tolerance · duration)`` — the small tolerances
+    absorb kernel-launch-scale scheduling noise just as the authors'
+    inspection of real timelines must have.
+    """
+    busy = compute_busy(baseline)
+    analysis = OverlapAnalysis()
+    for rec in baseline.records:
+        if rec.kind not in (TaskKind.SWAP_OUT, TaskKind.SWAP_IN):
+            continue
+        unhidden = idle_overlap(rec, busy)
+        threshold = max(abs_tolerance, rel_tolerance * rec.duration)
+        if unhidden > threshold:
+            if rec.kind is TaskKind.SWAP_OUT:
+                analysis.L_O.add(rec.layer)
+            else:
+                analysis.L_I.add(rec.layer)
+            analysis.overhead[rec.layer] = (
+                analysis.overhead.get(rec.layer, 0.0) + unhidden
+            )
+    return analysis

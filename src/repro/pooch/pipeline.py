@@ -1,0 +1,156 @@
+"""End-to-end PoocH facade: profile → classify → execute."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph import NNGraph
+from repro.gpusim import RunResult
+from repro.hw import CostModel, MachineSpec
+from repro.pooch.classifier import PoochClassifier, PoochConfig, SearchStats
+from repro.pooch.predictor import PredictedOutcome, TimelinePredictor
+from repro.runtime.executor import execute
+from repro.runtime.plan import Classification
+from repro.runtime.profiler import Profile, run_profiling
+
+
+@dataclass
+class PoochResult:
+    """Everything the optimization produced.
+
+    ``execute()`` runs the plan on a machine (default: the one it was
+    optimized for) as ground truth; executing on a *different* machine
+    reproduces the paper's plan-portability experiment (a POWER9-optimized
+    plan running slower — or failing — on the x86 machine, Fig. 17).
+    """
+
+    graph: NNGraph
+    machine: MachineSpec
+    classification: Classification
+    profile: Profile
+    stats: SearchStats
+    predicted: PredictedOutcome
+    config: PoochConfig = field(default_factory=PoochConfig)
+
+    def execute(
+        self,
+        machine: MachineSpec | None = None,
+        cost_model: CostModel | None = None,
+    ) -> RunResult:
+        """Ground-truth execution of the chosen plan."""
+        from repro.runtime.schedule import ScheduleOptions
+
+        return execute(
+            self.graph,
+            self.classification,
+            machine or self.machine,
+            cost_model=cost_model,
+            options=ScheduleOptions(
+                policy=self.config.policy,
+                forward_refetch_gap=self.config.forward_refetch_gap,
+            ),
+        )
+
+    def explain(self, top: int | None = None) -> str:
+        """Per-map rationale table: size, class, the profiled un-hidden swap
+        overhead that made it a step-1 candidate, and the paper's r(X)
+        recompute-vs-swap ratio where step 2 evaluated it.
+
+        ``top`` limits output to the N largest maps.
+        """
+        from repro.analysis.report import Table
+        from repro.common.units import format_bytes
+
+        overhead = (self.stats.overlap.overhead
+                    if self.stats.overlap is not None else {})
+        rows = sorted(
+            self.classification.classes.items(),
+            key=lambda kv: -self.graph[kv[0]].out_spec.nbytes,
+        )
+        if top is not None:
+            rows = rows[:top]
+        t = Table(
+            f"plan rationale for {self.graph.name!r} on {self.machine.name}",
+            ["map", "layer", "size", "class", "unhidden swap (ms)", "r(X)"],
+        )
+        for i, cls in rows:
+            r = self.stats.r_values.get(i)
+            t.add(
+                i,
+                self.graph[i].name,
+                format_bytes(self.graph[i].out_spec.nbytes),
+                cls.value,
+                f"{overhead[i] * 1e3:.3f}" if i in overhead else "-",
+                f"{r:.3g}" if r is not None and r != float("inf") else "-",
+            )
+        return t.render()
+
+    def summary(self) -> str:
+        counts = self.classification.counts()
+        lines = [
+            f"PoocH plan for {self.graph.name!r} on {self.machine.name}:",
+            "  classes: " + " ".join(
+                f"{k.value}={v}" for k, v in counts.items()
+            ),
+            f"  predicted iteration time: {self.predicted.time * 1e3:.3f} ms "
+            f"(all-swap baseline {self.stats.time_all_swap * 1e3:.3f} ms)",
+            f"  search simulations: step1={self.stats.sims_step1} "
+            f"step2={self.stats.sims_step2}",
+        ]
+        return "\n".join(lines)
+
+
+class PoocH:
+    """The system: construct with a machine, call :meth:`optimize`.
+
+    Args:
+        machine: execution environment to optimize for.
+        config: search knobs (see :class:`PoochConfig`).
+        cost_model: ground-truth cost model used for the profiling
+            iterations; defaults to a deterministic model of ``machine``
+            (pass one with ``jitter > 0`` to exercise noisy profiling).
+        profile_iterations: how many iterations the profiling phase averages
+            (the paper runs "several"; 1 suffices when deterministic).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        config: PoochConfig | None = None,
+        cost_model: CostModel | None = None,
+        profile_iterations: int = 1,
+    ) -> None:
+        self.machine = machine
+        self.config = config or PoochConfig()
+        self.cost_model = cost_model
+        self.profile_iterations = profile_iterations
+
+    def optimize(self, graph: NNGraph, profile: Profile | None = None) -> PoochResult:
+        """Run profiling (unless a profile is supplied) and classification."""
+        if profile is None:
+            profile = run_profiling(
+                graph,
+                self.machine,
+                cost_model=self.cost_model,
+                iterations=self.profile_iterations,
+                policy=self.config.policy,
+                forward_refetch_gap=self.config.forward_refetch_gap,
+            )
+        predictor = TimelinePredictor(
+            graph, profile, self.machine, policy=self.config.policy,
+            capacity_margin=self.config.capacity_margin,
+            forward_refetch_gap=self.config.forward_refetch_gap,
+        )
+        classifier = PoochClassifier(
+            graph, profile, self.machine, self.config, predictor
+        )
+        classification, stats = classifier.classify()
+        return PoochResult(
+            graph=graph,
+            machine=self.machine,
+            classification=classification,
+            profile=profile,
+            stats=stats,
+            predicted=predictor.predict(classification),
+            config=self.config,
+        )

@@ -1,0 +1,39 @@
+"""Out-of-core training runtime.
+
+Turns (graph, classification, swap-in policy) into a :class:`repro.gpusim.Schedule`
+and executes it: forward, swap-outs, swap-ins, recompute closures, backward,
+parameter update.  Also hosts the profiler (the paper's §4.2) and the numpy
+numeric backend that validates schedules produce correct gradients.
+"""
+
+from repro.runtime.durations import CostModelDurations, DurationProvider
+from repro.runtime.executor import execute, iteration_time, images_per_second
+from repro.runtime.plan import Classification, MapClass, SwapInPolicy
+from repro.runtime.plan_io import load_plan, save_plan
+from repro.runtime.profiler import Profile, ProfileDurations, run_profiling
+from repro.runtime.schedule import ScheduleBuilder, ScheduleOptions, build_schedule
+from repro.runtime.training import Adam, MomentumSGD, SGD, Trainer, TrainingReport
+
+__all__ = [
+    "MapClass",
+    "Classification",
+    "SwapInPolicy",
+    "DurationProvider",
+    "CostModelDurations",
+    "ScheduleBuilder",
+    "ScheduleOptions",
+    "build_schedule",
+    "execute",
+    "iteration_time",
+    "images_per_second",
+    "Profile",
+    "ProfileDurations",
+    "run_profiling",
+    "Trainer",
+    "TrainingReport",
+    "SGD",
+    "MomentumSGD",
+    "Adam",
+    "save_plan",
+    "load_plan",
+]

@@ -1,0 +1,56 @@
+"""Ground-truth execution conveniences.
+
+``execute`` runs one training iteration of a graph under a classification on
+a machine spec and returns the full timeline; the helpers convert timelines
+to the paper's reporting units (#images/s)."""
+
+from __future__ import annotations
+
+from repro.graph import NNGraph
+from repro.gpusim import Engine, RunResult
+from repro.hw import CostModel, MachineSpec
+from repro.runtime.durations import CostModelDurations, DurationProvider
+from repro.runtime.plan import Classification, SwapInPolicy
+from repro.runtime.schedule import ScheduleOptions, build_schedule
+
+
+def execute(
+    graph: NNGraph,
+    classification: Classification,
+    machine: MachineSpec,
+    *,
+    policy: SwapInPolicy = SwapInPolicy.EAGER,
+    cost_model: CostModel | None = None,
+    durations: DurationProvider | None = None,
+    options: ScheduleOptions | None = None,
+    fragmentation: bool = False,
+) -> RunResult:
+    """Simulate one training iteration (ground truth).
+
+    Raises :class:`~repro.common.errors.OutOfMemoryError` when the plan does
+    not fit the machine — the simulated analogue of the "execution fails"
+    outcomes in the paper's Figs. 17–22.
+    """
+    if durations is None:
+        durations = CostModelDurations(graph, cost_model or CostModel(machine))
+    opts = options or ScheduleOptions(policy=policy)
+    schedule = build_schedule(graph, classification, durations, opts)
+    engine = Engine(
+        schedule,
+        device_capacity=machine.usable_gpu_memory,
+        host_capacity=machine.cpu_mem_capacity,
+        fragmentation=fragmentation,
+    )
+    return engine.run()
+
+
+def iteration_time(result: RunResult) -> float:
+    """Duration of the simulated iteration, seconds."""
+    return result.makespan
+
+
+def images_per_second(result: RunResult, batch: int) -> float:
+    """The paper's throughput metric: batch size / iteration time."""
+    if result.makespan <= 0:
+        raise ValueError("empty timeline")
+    return batch / result.makespan

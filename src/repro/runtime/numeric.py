@@ -1,0 +1,406 @@
+"""Numeric validation backend: run a schedule with real numpy payloads.
+
+This is the strongest correctness oracle in the repository.  It executes a
+training iteration *through the simulator* — every forward, swap, recompute
+and backward happens as a task payload at its simulated position — while the
+engine's ``free_hook`` deletes arrays the instant their buffer is freed.  Any
+scheduling bug (use-after-free, missing dependency, wrong recompute chain)
+therefore surfaces as a hard :class:`~repro.common.errors.NumericError`
+instead of silently producing a plausible timeline.
+
+``verify_against_incore`` runs the same graph in-core and under a candidate
+out-of-core plan and demands bit-identical weight gradients: swapping must be
+a pure data move and recomputation a pure replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import NumericError
+from repro.graph import NNGraph
+from repro.graph.ops import OpKind
+from repro.gpusim import Engine, RunResult, Schedule
+from repro.hw import CostModel, MachineSpec
+from repro.nn import functional as F
+from repro.runtime.durations import CostModelDurations
+from repro.runtime.plan import Classification, SwapInPolicy
+from repro.runtime.schedule import ScheduleOptions, build_schedule
+
+
+class NumericExecutor:
+    """Owns parameters, the input batch, and the live array stores."""
+
+    def __init__(self, graph: NNGraph, seed: int = 0) -> None:
+        self.graph = graph
+        self.rng = np.random.default_rng(seed)
+        self.params: dict[int, dict[str, np.ndarray]] = {}
+        self.weight_grads: dict[int, dict[str, np.ndarray]] = {}
+        self.device: dict[str, np.ndarray] = {}
+        self.host: dict[str, np.ndarray] = {}
+        self.targets: np.ndarray | None = None
+        self._init_params()
+
+    # -- initialisation -------------------------------------------------------
+
+    def _params_of(self, layer) -> dict[str, np.ndarray]:
+        """Resolve the parameter dict, following split-tile sharing."""
+        key = layer.op.attrs.get("param_share_with", layer.index)
+        return self.params[key]
+
+    def _init_params(self) -> None:
+        for layer in self.graph:
+            op = layer.op
+            a = op.attrs
+            if "param_share_with" in a:
+                continue  # split tile sharing another layer's parameters
+            if op.kind is OpKind.CONV:
+                in_c = self.graph[layer.preds[0]].out_spec.channels
+                shape = (a["out_channels"], in_c // a["groups"], *a["ksize"])
+                p = {"w": self._weight(shape)}
+                if a["bias"]:
+                    p["b"] = np.zeros(a["out_channels"], dtype=np.float32)
+                self.params[layer.index] = p
+            elif op.kind is OpKind.LINEAR:
+                in_spec = self.graph[layer.preds[0]].out_spec
+                if a.get("token_wise"):
+                    in_f = in_spec.shape[-1]
+                else:
+                    in_f = in_spec.numel // in_spec.batch
+                p = {"w": self._weight((a["out_features"], in_f))}
+                if a["bias"]:
+                    p["b"] = np.zeros(a["out_features"], dtype=np.float32)
+                self.params[layer.index] = p
+            elif op.kind is OpKind.LAYERNORM:
+                d = a["dim"]
+                self.params[layer.index] = {
+                    "gamma": np.ones(d, dtype=np.float32)
+                    + 0.1 * self.rng.standard_normal(d).astype(np.float32),
+                    "beta": 0.1 * self.rng.standard_normal(d).astype(np.float32),
+                }
+            elif op.kind is OpKind.BATCHNORM:
+                c = a["channels"]
+                self.params[layer.index] = {
+                    "gamma": np.ones(c, dtype=np.float32)
+                    + 0.1 * self.rng.standard_normal(c).astype(np.float32),
+                    "beta": 0.1 * self.rng.standard_normal(c).astype(np.float32),
+                }
+
+    def _weight(self, shape: tuple[int, ...]) -> np.ndarray:
+        fan_in = int(np.prod(shape[1:]))
+        std = (2.0 / max(fan_in, 1)) ** 0.5
+        return (std * self.rng.standard_normal(shape)).astype(np.float32)
+
+    # -- array store ------------------------------------------------------------
+
+    def _get(self, store: dict[str, np.ndarray], bid: str, task: str) -> np.ndarray:
+        try:
+            return store[bid]
+        except KeyError:
+            raise NumericError(
+                f"task {task!r} read buffer {bid!r} which holds no live array "
+                "(use-after-free or missing data movement)"
+            ) from None
+
+    def on_free(self, bid: str) -> None:
+        """Engine free hook: drop the array with the buffer."""
+        self.device.pop(bid, None)
+        self.host.pop(bid, None)
+
+    # -- payload construction ------------------------------------------------------
+
+    def attach(self, schedule: Schedule) -> None:
+        """Install a numpy payload on every task of ``schedule``."""
+        io_map: dict[str, dict] = schedule.meta.get("io", {})
+        for tid, task in schedule.tasks.items():
+            io = io_map.get(tid)
+            if not io:
+                continue
+            if io["op"] == "fwd":
+                task.payload = self._make_fwd(tid, io)
+            elif io["op"] == "swap_out":
+                task.payload = self._make_swap(tid, io, out=True)
+            elif io["op"] == "swap_in":
+                task.payload = self._make_swap(tid, io, out=False)
+            elif io["op"] == "bwd":
+                task.payload = self._make_bwd(tid, io)
+
+    def _make_swap(self, tid: str, io: dict, out: bool):
+        src_store, dst_store = (
+            (self.device, self.host) if out else (self.host, self.device)
+        )
+
+        def payload() -> None:
+            dst_store[io["dst"]] = self._get(src_store, io["src"], tid).copy()
+
+        return payload
+
+    def _make_fwd(self, tid: str, io: dict):
+        layer = self.graph[io["layer"]]
+
+        def payload() -> None:
+            xs = [self._get(self.device, bid, tid) for bid in io["ins"]]
+            self.device[io["out"]] = self._forward(layer, xs)
+
+        return payload
+
+    def _make_bwd(self, tid: str, io: dict):
+        layer = self.graph[io["layer"]]
+
+        def payload() -> None:
+            self._backward(layer, io, tid)
+
+        return payload
+
+    # -- op dispatch ------------------------------------------------------------------
+
+    def _forward(self, layer, xs: list[np.ndarray]) -> np.ndarray:
+        op = layer.op
+        a = op.attrs
+        kind = op.kind
+        if kind is OpKind.INPUT:
+            # deterministic batch per executor instance
+            if "input" not in self.__dict__:
+                self.input = self.rng.standard_normal(
+                    layer.out_spec.shape).astype(np.float32)
+            return self.input.copy()
+        if kind is OpKind.CONV:
+            p = self._params_of(layer)
+            y = F.conv_forward(xs[0], p["w"], p.get("b"), a["stride"], a["pad"],
+                               a["groups"])
+        elif kind is OpKind.LINEAR:
+            p = self._params_of(layer)
+            if a.get("token_wise"):
+                y = F.token_linear_forward(xs[0], p["w"], p.get("b"))
+            else:
+                y = F.linear_forward(xs[0], p["w"], p.get("b"))
+        elif kind is OpKind.BATCHNORM:
+            p = self._params_of(layer)
+            y = F.batchnorm_forward(xs[0], p["gamma"], p["beta"])
+        elif kind is OpKind.MATMUL:
+            if a["mode"] == "scores":
+                y = F.attention_scores_forward(xs[0], xs[1], a["heads"])
+            else:
+                y = F.attention_apply_forward(xs[0], xs[1])
+        elif kind is OpKind.SOFTMAX:
+            y = F.softmax_forward(xs[0])
+        elif kind is OpKind.LAYERNORM:
+            p = self._params_of(layer)
+            y = F.layernorm_forward(xs[0], p["gamma"], p["beta"])
+        elif kind is OpKind.RELU:
+            y = F.relu_forward(xs[0])
+        elif kind is OpKind.POOL_MAX:
+            y = F.maxpool_forward(xs[0], a["ksize"], a["stride"], a["pad"])
+        elif kind is OpKind.POOL_AVG:
+            y = F.avgpool_forward(xs[0], a["ksize"], a["stride"], a["pad"])
+        elif kind is OpKind.GLOBAL_AVG_POOL:
+            y = F.global_avg_pool_forward(xs[0])
+        elif kind is OpKind.ADD:
+            y = F.add_forward(xs)
+        elif kind is OpKind.CONCAT:
+            y = F.concat_forward(xs, a["axis"])
+        elif kind is OpKind.LRN:
+            y = F.lrn_forward(xs[0], a["size"])
+        elif kind is OpKind.UPSAMPLE:
+            y = F.upsample_forward(xs[0], a["scale"])
+        elif kind is OpKind.SLICE:
+            sl = [slice(None)] * xs[0].ndim
+            sl[a["axis"]] = slice(a["start"], a["start"] + a["size"])
+            y = xs[0][tuple(sl)].copy()
+        elif kind is OpKind.DROPOUT:
+            # per-layer deterministic mask (a fresh run reuses it, so swap
+            # round-trips stay consistent; recompute of dropout is forbidden)
+            mask_rng = np.random.default_rng(hash((17, layer.index)) % 2**32)
+            mask = mask_rng.random(xs[0].shape) >= a["p"]
+            y = xs[0] * mask / (1.0 - a["p"])
+        elif kind is OpKind.SOFTMAX_XENT:
+            if self.targets is None:
+                n = layer.out_spec.batch
+                classes = self.graph[layer.preds[0]].out_spec.shape[1]
+                self.targets = self.rng.integers(0, classes, size=n)
+            y = F.softmax_xent_forward(xs[0], self.targets)
+        else:  # pragma: no cover - exhaustive above
+            raise NumericError(f"no numeric forward for {kind}")
+        if op.fused_activation == "relu":
+            y = F.relu_forward(y)
+        # device tensors are contiguous (as on a real GPU); this also makes
+        # reductions bit-stable across keep / swap-round-trip / recompute
+        # paths (numpy's pairwise summation order depends on strides)
+        return np.ascontiguousarray(y.astype(np.float32, copy=False))
+
+    def _backward(self, layer, io: dict, tid: str) -> None:
+        op = layer.op
+        a = op.attrs
+        if io["grad_out"] not in self.device and not any(
+            self.graph[k].op.has_backward
+            for k in self.graph.consumers[layer.index]
+        ):
+            # sink layer (the loss head): seed d(total loss)/d(loss_i) = 1
+            self.device[io["grad_out"]] = np.ones(
+                layer.out_spec.shape, dtype=np.float32
+            )
+        dy = self._get(self.device, io["grad_out"], tid)
+        fm_ins = {
+            m: self._get(self.device, bid, tid) for m, bid in io["fm_ins"].items()
+        }
+        y = (
+            self._get(self.device, io["fm_out"], tid)
+            if io["fm_out"] is not None else None
+        )
+        if op.fused_activation == "relu":
+            if y is None:
+                raise NumericError(f"{tid}: fused relu backward needs the output map")
+            dy = F.relu_backward(dy, y)
+
+        kind = op.kind
+        wg: dict[str, np.ndarray] = {}
+        if kind is OpKind.CONV:
+            x = fm_ins[layer.preds[0]]
+            p = self._params_of(layer)
+            dx, dw, db = F.conv_backward(dy, x, p["w"], a["stride"], a["pad"],
+                                         a["groups"], a["bias"])
+            dxs, wg = [dx], {"w": dw} | ({"b": db} if db is not None else {})
+        elif kind is OpKind.LINEAR:
+            x = fm_ins[layer.preds[0]]
+            p = self._params_of(layer)
+            if a.get("token_wise"):
+                dx, dw, db = F.token_linear_backward(dy, x, p["w"], a["bias"])
+            else:
+                dx, dw, db = F.linear_backward(dy, x, p["w"], a["bias"])
+            dxs, wg = [dx], {"w": dw} | ({"b": db} if db is not None else {})
+        elif kind is OpKind.MATMUL:
+            lhs = fm_ins[layer.preds[0]]
+            rhs = fm_ins[layer.preds[1]]
+            if a["mode"] == "scores":
+                dq, dk = F.attention_scores_backward(dy, lhs, rhs, a["heads"])
+                dxs = [dq, dk]
+            else:
+                dscores, dv = F.attention_apply_backward(dy, lhs, rhs)
+                dxs = [dscores, dv]
+        elif kind is OpKind.SOFTMAX:
+            dxs = [F.softmax_backward(dy, y)]
+        elif kind is OpKind.LAYERNORM:
+            x = fm_ins[layer.preds[0]]
+            p = self._params_of(layer)
+            dx, dgamma, dbeta = F.layernorm_backward(dy, x, p["gamma"])
+            dxs, wg = [dx], {"gamma": dgamma, "beta": dbeta}
+        elif kind is OpKind.BATCHNORM:
+            x = fm_ins[layer.preds[0]]
+            p = self._params_of(layer)
+            dx, dgamma, dbeta = F.batchnorm_backward(dy, x, p["gamma"])
+            dxs, wg = [dx], {"gamma": dgamma, "beta": dbeta}
+        elif kind is OpKind.RELU:
+            dxs = [F.relu_backward(dy, y)]
+        elif kind is OpKind.POOL_MAX:
+            x = fm_ins[layer.preds[0]]
+            # undo any fused-activation masking: max-pool backward uses the
+            # raw pooled output, which for pooling has no fused activation
+            dxs = [F.maxpool_backward(dy, x, y, a["ksize"], a["stride"], a["pad"])]
+        elif kind is OpKind.POOL_AVG:
+            in_shape = self.graph[layer.preds[0]].out_spec.shape
+            dxs = [F.avgpool_backward(dy, in_shape, a["ksize"], a["stride"],
+                                      a["pad"])]
+        elif kind is OpKind.GLOBAL_AVG_POOL:
+            in_shape = self.graph[layer.preds[0]].out_spec.shape
+            dxs = [F.global_avg_pool_backward(dy, in_shape)]
+        elif kind is OpKind.ADD:
+            dxs = F.add_backward(dy, a["n_inputs"])
+        elif kind is OpKind.CONCAT:
+            sizes = [self.graph[j].out_spec.shape[a["axis"]] for j in layer.preds]
+            dxs = F.concat_backward(dy, sizes, a["axis"])
+        elif kind is OpKind.LRN:
+            x = fm_ins[layer.preds[0]]
+            dxs = [F.lrn_backward(dy, x, y, a["size"])]
+        elif kind is OpKind.UPSAMPLE:
+            dxs = [F.upsample_backward(dy, a["scale"])]
+        elif kind is OpKind.SLICE:
+            in_shape = self.graph[layer.preds[0]].out_spec.shape
+            dx = np.zeros(in_shape, dtype=np.float32)
+            sl = [slice(None)] * dx.ndim
+            sl[a["axis"]] = slice(a["start"], a["start"] + a["size"])
+            dx[tuple(sl)] = dy
+            dxs = [dx]
+        elif kind is OpKind.DROPOUT:
+            dxs = [dy * (y != 0) / (1.0 - a["p"])]
+        elif kind is OpKind.SOFTMAX_XENT:
+            x = fm_ins[layer.preds[0]]
+            dxs = [F.softmax_xent_backward(dy, x, self.targets)]
+        else:  # pragma: no cover
+            raise NumericError(f"no numeric backward for {kind}")
+
+        if wg:
+            key = a.get("param_share_with", layer.index)
+            acc = self.weight_grads.get(key)
+            if acc is None:
+                self.weight_grads[key] = wg
+            else:
+                for name, g in wg.items():
+                    acc[name] = acc[name] + g
+        # accumulate into predecessor gradient buffers (INPUT preds carry none)
+        grad_targets = io["grad_ins"]
+        k = 0
+        for j, dx in zip(layer.preds, dxs):
+            if not self.graph[j].op.has_backward:
+                continue
+            bid = grad_targets[k]
+            k += 1
+            if bid in self.device:
+                self.device[bid] += dx.astype(np.float32, copy=False)
+            else:
+                self.device[bid] = np.ascontiguousarray(
+                    dx.astype(np.float32, copy=False)
+                )
+
+def run_numeric(
+    graph: NNGraph,
+    classification: Classification,
+    machine: MachineSpec,
+    *,
+    policy: SwapInPolicy = SwapInPolicy.EAGER,
+    seed: int = 0,
+    executor: NumericExecutor | None = None,
+) -> tuple[RunResult, NumericExecutor]:
+    """Simulate one iteration with numeric payloads; returns the timeline and
+    the executor holding the resulting weight gradients."""
+    ex = executor or NumericExecutor(graph, seed)
+    durations = CostModelDurations(graph, CostModel(machine))
+    schedule = build_schedule(graph, classification, durations,
+                              ScheduleOptions(policy=policy))
+    ex.attach(schedule)
+    engine = Engine(
+        schedule,
+        device_capacity=machine.usable_gpu_memory,
+        host_capacity=machine.cpu_mem_capacity,
+        free_hook=ex.on_free,
+    )
+    result = engine.run()
+    return result, ex
+
+
+def verify_against_incore(
+    graph: NNGraph,
+    classification: Classification,
+    machine: MachineSpec,
+    *,
+    policy: SwapInPolicy = SwapInPolicy.EAGER,
+    seed: int = 0,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+) -> None:
+    """Assert the plan's weight gradients equal the in-core run's, exactly by
+    default.  Raises :class:`NumericError` on any mismatch."""
+    _, ref = run_numeric(graph, Classification.all_keep(graph), machine,
+                         seed=seed)
+    _, got = run_numeric(graph, classification, machine, policy=policy,
+                         seed=seed)
+    for layer_idx, grads in ref.weight_grads.items():
+        other = got.weight_grads.get(layer_idx)
+        if other is None:
+            raise NumericError(f"plan produced no gradients for layer {layer_idx}")
+        for name, g in grads.items():
+            if not np.allclose(g, other[name], rtol=rtol, atol=atol):
+                worst = float(np.max(np.abs(g - other[name])))
+                raise NumericError(
+                    f"gradient mismatch at layer {layer_idx} ({graph[layer_idx].name}) "
+                    f"param {name!r}: max abs diff {worst}"
+                )

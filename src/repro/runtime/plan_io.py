@@ -1,0 +1,86 @@
+"""Classification (de)serialization: optimize once, run anywhere.
+
+Plans are stored as JSON with enough provenance (graph name, map count,
+machine, predicted time) to catch mismatched reuse early — loading a plan
+against a structurally different graph fails loudly instead of producing a
+silently wrong schedule.  This is also the vehicle for the paper's
+plan-portability experiment in tool form: save the POWER9 plan, load it on
+the x86 machine, watch it underperform.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.common.errors import ScheduleError
+from repro.graph import NNGraph
+from repro.runtime.plan import Classification, MapClass
+
+FORMAT_VERSION = 1
+
+
+def plan_to_dict(
+    classification: Classification,
+    graph: NNGraph,
+    *,
+    machine: str = "",
+    predicted_time: float | None = None,
+) -> dict[str, Any]:
+    """JSON-ready dict with provenance."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "graph_name": graph.name,
+        "n_layers": len(graph),
+        "classifiable_maps": len(graph.classifiable_maps()),
+        "machine": machine,
+        "predicted_time_s": predicted_time,
+        "classes": {
+            str(i): cls.value for i, cls in sorted(classification.classes.items())
+        },
+    }
+
+
+def plan_from_dict(data: dict[str, Any], graph: NNGraph) -> Classification:
+    """Rebuild and validate a classification against ``graph``."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ScheduleError(f"unsupported plan format version {version!r}")
+    if data.get("n_layers") != len(graph):
+        raise ScheduleError(
+            f"plan was made for a {data.get('n_layers')}-layer graph "
+            f"({data.get('graph_name')!r}); this graph has {len(graph)} layers"
+        )
+    try:
+        classes = {
+            int(i): MapClass(value) for i, value in data["classes"].items()
+        }
+    except (KeyError, ValueError) as e:
+        raise ScheduleError(f"malformed plan file: {e}") from e
+    classification = Classification(classes)
+    classification.validate(graph)
+    return classification
+
+
+def save_plan(
+    path: str | pathlib.Path,
+    classification: Classification,
+    graph: NNGraph,
+    *,
+    machine: str = "",
+    predicted_time: float | None = None,
+) -> None:
+    """Write a plan JSON file."""
+    payload = plan_to_dict(classification, graph, machine=machine,
+                           predicted_time=predicted_time)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_plan(path: str | pathlib.Path, graph: NNGraph) -> Classification:
+    """Read and validate a plan JSON file against ``graph``."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise ScheduleError(f"cannot read plan file {path}: {e}") from e
+    return plan_from_dict(data, graph)

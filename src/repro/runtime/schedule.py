@@ -1,0 +1,608 @@
+"""Build an executable task schedule from (graph, classification, policy).
+
+This module encodes the paper's execution semantics:
+
+* **Forward** (§2.1): layers run in topological order on the compute stream;
+  each produces its feature map's *forward instance* ``fm{i}@f``.
+* **Swap-out** (§3.1, Fig. 5): for a SWAP-classified map, a D2H copy task is
+  enqueued that may start once the producing forward *and every forward
+  consumer* have finished; the forward instance is freed when the copy and
+  the last forward consumer are done.  Forward computation throttles itself
+  against outstanding swap-outs purely through memory gating.
+* **Recompute** (§3.2, Figs. 8/9): a RECOMPUTE-classified map's forward
+  instance is freed after its last forward use; when a backward task needs
+  it, a recompute task (cost = the layer's forward time) is inserted on the
+  compute stream immediately before the needing task, with its input chain
+  resolved *recursively* (a recomputed map whose inputs were also discarded
+  triggers their swap-in/recompute first, exactly as the paper describes).
+* **Backward** (§2.1): layers run in reverse topological order; the backward
+  task of layer *i* reads the gradient buffer ``gr{i}`` (written by its
+  consumers' backward tasks, freed right after — the paper's "lifetimes of
+  gradient data tend to be short") and whichever feature maps its op needs
+  (input maps, and/or its own output).  Swap-ins restoring those maps are
+  enqueued on the H2D stream in first-need order, and their start condition
+  is the :class:`~repro.runtime.plan.SwapInPolicy`.
+* **Update**: a single parameter-update task closes the iteration.
+
+Each logical feature map can appear as up to three single-lifetime buffer
+instances: ``fm{i}@f`` (forward), ``fm{i}@b`` (swapped back in), ``fm{i}@r``
+(recomputed).  A buffer is freed when its producer and every reader have
+completed, which the builder derives exactly from the reader sets it
+collects — the engine then enforces residency, so any liveness bug here
+fails loudly as a ``ScheduleError`` rather than silently mis-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ScheduleError
+from repro.graph import NNGraph
+from repro.graph.ops import OpKind
+from repro.gpusim import BufferSpec, Schedule, StreamName, Task, TaskKind
+from repro.gpusim.allocator import round_size
+from repro.runtime.durations import DurationProvider
+from repro.runtime.plan import Classification, MapClass, SwapInPolicy
+
+
+@dataclass(frozen=True)
+class ScheduleOptions:
+    """Builder knobs.
+
+    Attributes:
+        policy: swap-in start policy (see :class:`SwapInPolicy`).
+        include_update: append the optimizer-update task (on by default;
+            benchmarks measure full iterations like the paper).
+        headroom: bytes that must stay free when an EAGER swap-in issues.
+            ``None`` (default) computes the reserve automatically as the
+            largest single allocation any backward-phase compute task makes —
+            the profiled bound that keeps prefetching from starving
+            computation (§4.3: "the amount of free memory ... can be judged
+            from profiling result").
+        forward_refetch_gap: extension beyond the paper (§3.1 keeps a
+            swapped map on the GPU until its *last* forward consumer, which
+            pins long skip connections for the whole forward pass).  When
+            set, a swapped map whose consecutive forward consumers are more
+            than this many layers apart is freed after the earlier group and
+            swapped back in just before the later one — U-Net-style skips
+            then stop dominating the forward footprint.  ``None`` (default)
+            reproduces the paper's conservative rule.
+    """
+
+    policy: SwapInPolicy = SwapInPolicy.EAGER
+    include_update: bool = True
+    headroom: int | None = None
+    forward_refetch_gap: int | None = None
+
+
+@dataclass(slots=True)
+class _BufferDraft:
+    bid: str
+    nbytes: int
+    alloc_by: str | None
+    host: bool = False
+    writers: set[str] = field(default_factory=set)
+    readers: set[str] = field(default_factory=set)
+
+    def to_spec(self) -> BufferSpec:
+        return BufferSpec(
+            bid=self.bid,
+            nbytes=self.nbytes,
+            alloc_by=self.alloc_by,
+            free_after=frozenset(self.writers | self.readers),
+            host=self.host,
+        )
+
+
+@dataclass(slots=True)
+class _TaskDraft:
+    tid: str
+    kind: TaskKind
+    stream: StreamName
+    duration: float
+    layer: int
+    deps: set[str] = field(default_factory=set)
+    start_deps: set[str] = field(default_factory=set)
+    reads: set[str] = field(default_factory=set)
+    scratch_bytes: int = 0
+    memory_gated: bool = True
+    headroom: int = 0
+    alloc_on_ready: bool = False
+    #: io annotation consumed by the numeric backend: input/output instance
+    #: ids and the map/gradient ids involved.
+    io: dict = field(default_factory=dict)
+
+    def to_task(self) -> Task:
+        return Task(
+            tid=self.tid,
+            kind=self.kind,
+            stream=self.stream,
+            duration=self.duration,
+            layer=self.layer,
+            deps=tuple(self.deps),
+            start_deps=tuple(self.start_deps),
+            reads=tuple(self.reads),
+            scratch_bytes=self.scratch_bytes,
+            memory_gated=self.memory_gated,
+            headroom=self.headroom,
+            alloc_on_ready=self.alloc_on_ready,
+        )
+
+
+class ScheduleBuilder:
+    """Single-use builder; call :meth:`build`."""
+
+    def __init__(
+        self,
+        graph: NNGraph,
+        classification: Classification,
+        durations: DurationProvider,
+        options: ScheduleOptions | None = None,
+    ) -> None:
+        self.graph = graph
+        self.cls = classification
+        self.dur = durations
+        self.opt = options or ScheduleOptions()
+        classification.validate(graph)
+
+        self._tasks: dict[str, _TaskDraft] = {}
+        self._buffers: dict[str, _BufferDraft] = {}
+        self._compute_q: list[str] = []
+        self._h2d_q: list[str] = []
+        self._d2h_q: list[str] = []
+        #: map id -> (instance buffer id, producing task id) currently
+        #: readable by *forward* tasks (advances across re-fetch segments)
+        self._fwd_inst: dict[int, tuple[str, str]] = {}
+        #: swap maps with forward re-fetch: remaining consumer segments
+        #: (each a list of layer indices, headed by the segment's first
+        #: consumer) and the consumers belonging to segment 0
+        self._fwd_segments: dict[int, list[list[int]]] = {}
+        self._seg0_consumers: dict[int, list[int]] = {}
+        #: forward re-fetch SIs that read a host buffer created later (the
+        #: SO task block runs after the forward loop)
+        self._pending_host_readers: dict[int, set[str]] = {}
+        #: map id -> (instance buffer id, producing task id) available for
+        #: backward reads at the current point of backward construction
+        self._resident: dict[int, tuple[str, str]] = {}
+        #: swap-in task id -> tid of the first compute task that reads the
+        #: restored instance (for NAIVE / SUPERNEURONS start triggers)
+        self._si_first_reader: dict[str, str] = {}
+
+    # -- small helpers -----------------------------------------------------------
+
+    def _add_task(self, draft: _TaskDraft) -> _TaskDraft:
+        if draft.tid in self._tasks:
+            raise ScheduleError(f"duplicate task {draft.tid!r}")
+        self._tasks[draft.tid] = draft
+        if draft.stream is StreamName.COMPUTE:
+            self._compute_q.append(draft.tid)
+        elif draft.stream is StreamName.H2D:
+            self._h2d_q.append(draft.tid)
+        else:
+            self._d2h_q.append(draft.tid)
+        return draft
+
+    def _add_buffer(self, draft: _BufferDraft) -> _BufferDraft:
+        if draft.bid in self._buffers:
+            raise ScheduleError(f"duplicate buffer {draft.bid!r}")
+        self._buffers[draft.bid] = draft
+        return draft
+
+    def _read(self, task: _TaskDraft, bid: str, producer: str | None) -> None:
+        task.reads.add(bid)
+        self._buffers[bid].readers.add(task.tid)
+        if producer is not None:
+            task.deps.add(producer)
+
+    # -- forward phase ---------------------------------------------------------------
+
+    def _plan_forward_segments(self) -> None:
+        """Split each swapped map's forward consumers into residency
+        segments when ``forward_refetch_gap`` is enabled (extension beyond
+        the paper, see :class:`ScheduleOptions`)."""
+        gap = self.opt.forward_refetch_gap
+        g = self.graph
+        for i in g.classifiable_maps():
+            if self.cls.of(i) is not MapClass.SWAP:
+                continue
+            cons = list(g.consumers[i])
+            if gap is None or len(cons) == 0:
+                self._seg0_consumers[i] = cons
+                continue
+            seg0: list[int] = []
+            later: list[list[int]] = []
+            prev = i  # residency starts at the producer
+            current = seg0
+            for c in cons:
+                if c - prev > gap:
+                    current = []
+                    later.append(current)
+                current.append(c)
+                prev = c
+            self._seg0_consumers[i] = seg0
+            if later:
+                self._fwd_segments[i] = later
+
+    def _begin_refetch_segments(self, layer_index: int) -> None:
+        """Create the forward swap-in for every map whose next residency
+        segment starts at ``layer_index`` (called before that layer's F
+        task is built)."""
+        for j, segments in list(self._fwd_segments.items()):
+            if not segments or segments[0][0] != layer_index:
+                continue
+            seg = segments.pop(0)
+            if not segments:
+                del self._fwd_segments[j]
+            s_idx = len([t for t in self._tasks if t.startswith(f"SI{j}~f")]) + 1
+            si = _TaskDraft(
+                tid=f"SI{j}~f{s_idx}",
+                kind=TaskKind.SWAP_IN,
+                stream=StreamName.H2D,
+                duration=self.dur.swap_in(j),
+                layer=j,
+            )
+            si.deps.add(f"SO{j}")
+            bid = f"fm{j}@f{s_idx}"
+            si.io = {"op": "swap_in", "layer": j, "src": f"fm{j}@host",
+                     "dst": bid}
+            self._add_task(si)
+            # the host buffer is created with the SO block after the forward
+            # loop; register this reader then
+            si.reads.add(f"fm{j}@host")
+            self._pending_host_readers.setdefault(j, set()).add(si.tid)
+            inst = self._add_buffer(
+                _BufferDraft(bid, self.graph[j].out_spec.nbytes,
+                             alloc_by=si.tid)
+            )
+            inst.writers.add(si.tid)
+            self._fwd_inst[j] = (bid, si.tid)
+
+    def _build_forward(self) -> None:
+        g = self.graph
+        self._plan_forward_segments()
+        for layer in g:
+            i = layer.index
+            self._begin_refetch_segments(i)
+            is_input = layer.op.kind is OpKind.INPUT
+            f = _TaskDraft(
+                tid=f"F{i}",
+                kind=TaskKind.FWD,
+                # the mini-batch upload occupies the H2D copy engine
+                stream=StreamName.H2D if is_input else StreamName.COMPUTE,
+                duration=(
+                    self.dur.input_load(i) if is_input else self.dur.fwd(i)
+                ),
+                layer=i,
+                scratch_bytes=layer.op.workspace_bytes,
+            )
+            f.io = {"op": "fwd", "layer": i, "ins": [], "out": f"fm{i}@f"}
+            self._add_task(f)
+            out = self._add_buffer(
+                _BufferDraft(f"fm{i}@f", layer.out_spec.nbytes, alloc_by=f.tid)
+            )
+            out.writers.add(f.tid)
+            self._fwd_inst[i] = (f"fm{i}@f", f.tid)
+            for j in layer.preds:
+                bid, producer = self._fwd_inst[j]
+                self._read(f, bid, producer)
+                f.io["ins"].append(bid)
+
+        # classification effects on forward instances
+        for i in g.classifiable_maps():
+            cls = self.cls.of(i)
+            if cls is not MapClass.SWAP:
+                continue
+            layer = g[i]
+            so = _TaskDraft(
+                tid=f"SO{i}",
+                kind=TaskKind.SWAP_OUT,
+                stream=StreamName.D2H,
+                duration=self.dur.swap_out(i),
+                layer=i,
+            )
+            # the copy may start once the producer and the consumers of the
+            # first residency segment are done (all consumers when forward
+            # re-fetch is off — the paper's §3.1 rule)
+            so.deps.add(f"F{i}")
+            for k in self._seg0_consumers.get(i, g.consumers[i]):
+                so.deps.add(f"F{k}")
+            so.io = {"op": "swap_out", "layer": i, "src": f"fm{i}@f",
+                     "dst": f"fm{i}@host"}
+            self._add_task(so)
+            self._read(so, f"fm{i}@f", None)
+            host = self._add_buffer(
+                _BufferDraft(f"fm{i}@host", layer.out_spec.nbytes,
+                             alloc_by=so.tid, host=True)
+            )
+            host.writers.add(so.tid)
+            host.readers |= self._pending_host_readers.get(i, set())
+        # D2H queue order = forward (producer) order, already appended in
+        # ascending map order which matches completion order for chains; for
+        # branches FIFO order by map index is the Chainer-pool behaviour.
+
+    # -- backward phase -----------------------------------------------------------------
+
+    def _ensure_available(self, m: int, for_task: _TaskDraft) -> None:
+        """Make feature map ``m`` resident for ``for_task`` (and register the
+        read).  May create swap-in / recompute tasks, recursively."""
+        hit = self._resident.get(m)
+        if hit is not None:
+            bid, producer = hit
+            self._read(for_task, bid, producer)
+            return
+        cls = self.cls.get(m)
+        if cls is None:
+            # A map with no *direct* backward users can still be needed as an
+            # input of a recompute chain (e.g. the pre-add BN output when the
+            # residual add is recomputed).  Such maps are not part of the
+            # classification; regenerate them if possible, otherwise retain
+            # their forward instance (registering the read extends its
+            # lifetime exactly to this use).
+            if self.graph[m].op.recomputable:
+                cls = MapClass.RECOMPUTE
+            else:
+                self._resident[m] = (f"fm{m}@f", f"F{m}")
+                self._read(for_task, f"fm{m}@f", f"F{m}")
+                return
+        if cls is MapClass.SWAP:
+            si = _TaskDraft(
+                tid=f"SI{m}",
+                kind=TaskKind.SWAP_IN,
+                stream=StreamName.H2D,
+                duration=self.dur.swap_in(m),
+                layer=m,
+            )
+            si.deps.add(f"SO{m}")
+            si.io = {"op": "swap_in", "layer": m, "src": f"fm{m}@host",
+                     "dst": f"fm{m}@b"}
+            self._add_task(si)
+            self._read(si, f"fm{m}@host", f"SO{m}")
+            inst = self._add_buffer(
+                _BufferDraft(f"fm{m}@b", self.graph[m].out_spec.nbytes,
+                             alloc_by=si.tid)
+            )
+            inst.writers.add(si.tid)
+            self._si_first_reader[si.tid] = for_task.tid
+            self._resident[m] = (inst.bid, si.tid)
+            self._read(for_task, inst.bid, si.tid)
+            return
+        # RECOMPUTE: resolve the input chain first (recursive), then re-run
+        # the producing forward computation on the compute stream.
+        layer = self.graph[m]
+        r = _TaskDraft(
+            tid=f"R{m}",
+            kind=TaskKind.RECOMPUTE,
+            stream=StreamName.COMPUTE,
+            duration=self.dur.fwd(m),
+            layer=m,
+            scratch_bytes=layer.op.workspace_bytes,
+        )
+        r.io = {"op": "fwd", "layer": m, "ins": [], "out": f"fm{m}@r"}
+        inst = self._add_buffer(
+            _BufferDraft(f"fm{m}@r", layer.out_spec.nbytes, alloc_by=r.tid)
+        )
+        inst.writers.add(r.tid)
+        # register before resolving inputs so diamond-shaped chains reuse it;
+        # cycles are impossible because preds are strictly earlier layers
+        self._resident[m] = (inst.bid, r.tid)
+        for j in layer.preds:
+            self._ensure_available(j, r)
+            r.io["ins"].append(self._resident[j][0])
+        # queue the recompute *before* the needing task: the needing task has
+        # not been queued yet (builder appends it after its needs), so a
+        # plain append preserves "immediately before first use"
+        self._add_task(r)
+        self._read(for_task, inst.bid, r.tid)
+
+    def _build_backward(self) -> None:
+        g = self.graph
+        # seed residency with KEEP maps (their forward instances survive into
+        # backward; reader registration extends their lifetime exactly)
+        for i in g.classifiable_maps():
+            if self.cls.of(i) is MapClass.KEEP:
+                self._resident[i] = (f"fm{i}@f", f"F{i}")
+
+        grad_first_writer: dict[int, str] = {}
+        for i in range(len(g)):
+            cons = [k for k in g.consumers[i] if g[k].op.has_backward]
+            if cons:
+                grad_first_writer[i] = f"B{max(cons)}"
+
+        for layer in reversed(g.layers):
+            i = layer.index
+            if not layer.op.has_backward:
+                continue
+            b = _TaskDraft(
+                tid=f"B{i}",
+                kind=TaskKind.BWD,
+                stream=StreamName.COMPUTE,
+                duration=self.dur.bwd(i),
+                layer=i,
+                scratch_bytes=layer.op.workspace_bytes,
+            )
+            b.io = {"op": "bwd", "layer": i, "grad_out": f"gr{i}",
+                    "grad_ins": [], "fm_ins": {}, "fm_out": None}
+
+            # gradient w.r.t. this layer's output: written by consumers'
+            # backward tasks (or self-seeded at the loss head)
+            first_writer = grad_first_writer.get(i, b.tid)
+            if f"gr{i}" not in self._buffers:
+                self._add_buffer(
+                    _BufferDraft(f"gr{i}", layer.out_spec.nbytes,
+                                 alloc_by=first_writer)
+                )
+            gbuf = self._buffers[f"gr{i}"]
+            gbuf.readers.add(b.tid)
+            for k in g.consumers[i]:
+                if g[k].op.has_backward:
+                    b.deps.add(f"B{k}")
+            if first_writer == b.tid:
+                gbuf.writers.add(b.tid)
+            else:
+                b.reads.add(f"gr{i}")
+
+            # gradients this backward produces for its predecessors
+            for j in layer.preds:
+                if not g[j].op.has_backward:
+                    continue  # no gradient flows into INPUT
+                if f"gr{j}" not in self._buffers:
+                    self._add_buffer(
+                        _BufferDraft(f"gr{j}", g[j].out_spec.nbytes,
+                                     alloc_by=grad_first_writer[j])
+                    )
+                self._buffers[f"gr{j}"].writers.add(b.tid)
+                b.io["grad_ins"].append(f"gr{j}")
+
+            # feature maps the backward computation reads
+            needed: list[int] = []
+            if layer.op.bwd_needs_input:
+                needed.extend(layer.preds)
+            if layer.op.bwd_needs_output:
+                needed.append(i)
+            for m in needed:
+                self._ensure_available(m, b)
+                if m == i:
+                    b.io["fm_out"] = self._resident[m][0]
+                else:
+                    b.io["fm_ins"][m] = self._resident[m][0]
+
+            self._add_task(b)
+
+        if self.opt.include_update:
+            upd = _TaskDraft(
+                tid="UPD",
+                kind=TaskKind.UPDATE,
+                stream=StreamName.COMPUTE,
+                duration=self.dur.update(),
+                layer=-1,
+            )
+            if self._compute_q:
+                upd.deps.add(self._compute_q[-1])
+            self._add_task(upd)
+            if "params" in self._buffers:
+                self._read(upd, "params", None)
+                self._read(upd, "pgrads", None)
+
+    # -- policies & finalisation -------------------------------------------------------
+
+    def _apply_swap_in_policy(self) -> None:
+        policy = self.opt.policy
+
+        # determine each swap-in's first reader by *position* in the compute
+        # queue, not by creation order: a recompute task created later can be
+        # queued earlier than the backward task that requested the swap-in
+        # (and may itself read the restored instance), and a trigger derived
+        # from the later task would deadlock against it
+        si_by_out: dict[str, str] = {}
+        for tid, t in self._tasks.items():
+            if t.kind is TaskKind.SWAP_IN:
+                si_by_out[t.io["dst"]] = tid
+        first_reader: dict[str, str] = {}
+        for tid in self._compute_q:
+            for bid in self._tasks[tid].reads:
+                si = si_by_out.get(bid)
+                if si is not None and si not in first_reader:
+                    first_reader[si] = tid
+
+        pos = {tid: n for n, tid in enumerate(self._compute_q)}
+
+        # order the H2D queue by when each restore is first *needed*, not by
+        # when it was created: a recompute chain can request its swap-ins in
+        # graph order while consuming them in chain order, and a FIFO queue
+        # in creation order would then deadlock naive triggers (the head
+        # swap-in waiting on a computation that needs a swap-in queued
+        # behind it) or prefetch in the wrong order under the eager policy
+        def need_position(tid: str) -> int:
+            reader = first_reader.get(tid)
+            p = pos.get(reader) if reader is not None else None
+            return p if p is not None else -1  # input loads and the like first
+
+        self._h2d_q.sort(key=need_position)
+
+        if policy is SwapInPolicy.EAGER:
+            headroom = self.opt.headroom
+            if headroom is None:
+                headroom = self._auto_headroom()
+            for tid in self._si_first_reader:
+                self._tasks[tid].headroom = headroom
+            return
+
+        for si_tid, reader in first_reader.items():
+            si = self._tasks[si_tid]
+            p = pos.get(reader)
+            if p is None or p == 0:
+                continue  # reader is the very first compute task: no trigger
+            if policy is SwapInPolicy.NAIVE:
+                si.start_deps.add(self._compute_q[p - 1])
+            else:  # SUPERNEURONS: nearest preceding conv backward, ungated
+                trigger = self._compute_q[p - 1]
+                for q in range(p - 1, -1, -1):
+                    t = self._tasks[self._compute_q[q]]
+                    if (t.kind is TaskKind.BWD
+                            and self.graph[t.layer].op.kind is OpKind.CONV):
+                        trigger = t.tid
+                        break
+                si.start_deps.add(trigger)
+                si.memory_gated = False
+                si.alloc_on_ready = True
+
+    def _auto_headroom(self) -> int:
+        """Largest single allocation any backward-phase compute task makes:
+        an eager swap-in always leaves room for the next computation."""
+        alloc_by: dict[str, int] = {}
+        for buf in self._buffers.values():
+            if buf.alloc_by is not None and not buf.host:
+                alloc_by[buf.alloc_by] = alloc_by.get(buf.alloc_by, 0) + round_size(buf.nbytes)
+        worst = 0
+        for t in self._tasks.values():
+            if t.stream is StreamName.COMPUTE and t.kind in (
+                TaskKind.BWD, TaskKind.RECOMPUTE, TaskKind.UPDATE
+            ):
+                worst = max(worst, alloc_by.get(t.tid, 0) + round_size(t.scratch_bytes))
+        return worst
+
+    def build(self) -> Schedule:
+        """Construct and return the validated schedule."""
+        # persistent parameter and parameter-gradient storage (kept on GPU
+        # for the whole run, per §4.1.1)
+        params = self.graph.total_param_bytes
+        if params:
+            self._add_buffer(_BufferDraft("params", params, alloc_by=None))
+            self._add_buffer(_BufferDraft("pgrads", params, alloc_by=None))
+
+        self._build_forward()
+        self._build_backward()
+        self._apply_swap_in_policy()
+
+        tasks = {tid: d.to_task() for tid, d in self._tasks.items()}
+        # carry io annotations for the numeric backend
+        io = {tid: d.io for tid, d in self._tasks.items() if d.io}
+        schedule = Schedule(
+            tasks=tasks,
+            queues={
+                StreamName.COMPUTE: self._compute_q,
+                StreamName.H2D: self._h2d_q,
+                StreamName.D2H: self._d2h_q,
+            },
+            buffers={bid: d.to_spec() for bid, d in self._buffers.items()},
+            meta={
+                "graph": self.graph.name,
+                "policy": self.opt.policy.value,
+                "classification_counts": {
+                    k.value: v for k, v in self.cls.counts().items()
+                },
+                "io": io,
+            },
+        )
+        schedule.validate()
+        return schedule
+
+
+def build_schedule(
+    graph: NNGraph,
+    classification: Classification,
+    durations: DurationProvider,
+    options: ScheduleOptions | None = None,
+) -> Schedule:
+    """Convenience wrapper around :class:`ScheduleBuilder`."""
+    return ScheduleBuilder(graph, classification, durations, options).build()

@@ -1,0 +1,230 @@
+"""Multi-iteration training sessions on the out-of-core runtime.
+
+The rest of :mod:`repro.runtime` simulates (and numerically validates) one
+iteration at a time; this module strings iterations into a *training run*,
+the way a framework user experiences the system:
+
+* :class:`SGD` / :class:`MomentumSGD` — optimizers applied to the numeric
+  executor's parameters from the gradients each simulated iteration
+  produces;
+* :class:`Trainer` — drives N iterations of (fresh batch → forward/backward
+  through the scheduled out-of-core execution → optimizer step), accumulating
+  per-iteration losses and simulated wall-clock time.
+
+Because every iteration executes through the same engine + schedule as the
+performance experiments, a Trainer run demonstrates the end-to-end claim of
+the paper: a network that cannot fit on the GPU *trains* (loss goes down)
+at a bounded slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import NumericError
+from repro.graph import NNGraph
+from repro.hw import CostModel, MachineSpec
+from repro.runtime.durations import CostModelDurations
+from repro.runtime.numeric import NumericExecutor
+from repro.runtime.plan import Classification, SwapInPolicy
+from repro.runtime.schedule import ScheduleOptions, build_schedule
+from repro.gpusim import Engine
+
+
+class SGD:
+    """Plain stochastic gradient descent: ``p -= lr * g``."""
+
+    def __init__(self, lr: float = 0.01) -> None:
+        self.lr = lr
+
+    def step(self, params: dict[str, np.ndarray],
+             grads: dict[str, np.ndarray], key: int) -> None:
+        for name, g in grads.items():
+            params[name] -= self.lr * g
+
+
+class MomentumSGD:
+    """SGD with classical momentum: ``v = mu*v + g; p -= lr*v``."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.9) -> None:
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, params: dict[str, np.ndarray],
+             grads: dict[str, np.ndarray], key: int) -> None:
+        for name, g in grads.items():
+            v = self._velocity.get((key, name))
+            if v is None:
+                v = np.zeros_like(g)
+            v = self.momentum * v + g
+            self._velocity[(key, name)] = v
+            params[name] -= self.lr * v
+
+
+class Adam:
+    """Adam (Kingma & Ba): per-parameter adaptive moments with bias
+    correction."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[tuple[int, str], np.ndarray] = {}
+        self._v: dict[tuple[int, str], np.ndarray] = {}
+        self._t: dict[tuple[int, str], int] = {}
+
+    def step(self, params: dict[str, np.ndarray],
+             grads: dict[str, np.ndarray], key: int) -> None:
+        for name, g in grads.items():
+            k = (key, name)
+            t = self._t.get(k, 0) + 1
+            self._t[k] = t
+            m = self._m.get(k)
+            v = self._v.get(k)
+            if m is None:
+                m = np.zeros_like(g)
+                v = np.zeros_like(g)
+            m = self.beta1 * m + (1 - self.beta1) * g
+            v = self.beta2 * v + (1 - self.beta2) * g * g
+            self._m[k], self._v[k] = m, v
+            m_hat = m / (1 - self.beta1**t)
+            v_hat = v / (1 - self.beta2**t)
+            params[name] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of a :meth:`Trainer.run`."""
+
+    losses: list[float] = field(default_factory=list)
+    iteration_times: list[float] = field(default_factory=list)
+    peak_device_bytes: int = 0
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated wall-clock across all iterations."""
+        return sum(self.iteration_times)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise NumericError("no iterations were run")
+        return self.losses[-1]
+
+
+class Trainer:
+    """Train a graph under a classification for several iterations.
+
+    Each iteration draws a fresh input batch and fresh labels (from the
+    trainer's seeded generator), executes the full out-of-core schedule with
+    numeric payloads, records the mean loss, and applies the optimizer to
+    the parameters.  The schedule is built once and re-executed per
+    iteration — exactly the paper's execution phase.
+    """
+
+    def __init__(
+        self,
+        graph: NNGraph,
+        classification: Classification,
+        machine: MachineSpec,
+        *,
+        optimizer: SGD | MomentumSGD | Adam | None = None,
+        policy: SwapInPolicy = SwapInPolicy.EAGER,
+        seed: int = 0,
+        cost_model: CostModel | None = None,
+        fixed_batch: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.classification = classification
+        self.machine = machine
+        self.optimizer = optimizer or SGD()
+        self.policy = policy
+        #: True (default): keep one fixed batch + labels for the whole run —
+        #: the loss then genuinely decreases (overfitting one batch), which
+        #: is the meaningful sanity signal for synthetic data.  False draws a
+        #: fresh random batch per iteration (pure-noise labels: loss hovers).
+        self.fixed_batch = fixed_batch
+        self._batch_drawn = False
+        self.executor = NumericExecutor(graph, seed=seed)
+        self._data_rng = np.random.default_rng(seed + 1)
+        durations = CostModelDurations(graph, cost_model or CostModel(machine))
+        self.schedule = build_schedule(
+            graph, classification, durations, ScheduleOptions(policy=policy)
+        )
+        self._loss_layer = self._find_loss_layer()
+
+    def _find_loss_layer(self) -> int:
+        from repro.graph.ops import OpKind
+
+        for layer in reversed(self.graph.layers):
+            if layer.op.kind is OpKind.SOFTMAX_XENT:
+                return layer.index
+        raise NumericError("graph has no softmax_xent loss head to train")
+
+    def _fresh_batch(self) -> None:
+        """Draw inputs and labels for the next iteration (or reuse the fixed
+        batch)."""
+        if self.fixed_batch and self._batch_drawn:
+            return
+        self._batch_drawn = True
+        ex = self.executor
+        input_layer = self.graph[0]
+        ex.input = self._data_rng.standard_normal(
+            input_layer.out_spec.shape
+        ).astype(np.float32)
+        classes = self.graph[self.graph[self._loss_layer].preds[0]].out_spec.shape[1]
+        n = self.graph[self._loss_layer].out_spec.batch
+        ex.targets = self._data_rng.integers(0, classes, size=n)
+
+    def run_iteration(self) -> tuple[float, float]:
+        """One training step; returns (mean loss, simulated iteration time)."""
+        ex = self.executor
+        self._fresh_batch()
+        ex.weight_grads.clear()
+        loss_holder: dict[str, float] = {}
+
+        # fresh payloads each iteration (closures capture the executor)
+        ex.attach(self.schedule)
+        loss_buffer = f"fm{self._loss_layer}@f"
+        loss_task = self.schedule.tasks[f"F{self._loss_layer}"]
+        inner = loss_task.payload
+
+        def loss_probe() -> None:
+            inner()
+            loss_holder["loss"] = float(ex.device[loss_buffer].mean())
+
+        loss_task.payload = loss_probe
+
+        engine = Engine(
+            self.schedule,
+            device_capacity=self.machine.usable_gpu_memory,
+            host_capacity=self.machine.cpu_mem_capacity,
+            validate=False,
+            free_hook=ex.on_free,
+        )
+        result = engine.run()
+
+        for layer_idx, grads in ex.weight_grads.items():
+            params = ex.params.get(layer_idx)
+            if params:
+                self.optimizer.step(params, grads, layer_idx)
+        self._last_peak = result.device_peak
+        return loss_holder["loss"], result.makespan
+
+    def run(self, iterations: int) -> TrainingReport:
+        """Train for ``iterations`` steps and return the report."""
+        if iterations < 1:
+            raise NumericError("iterations must be >= 1")
+        report = TrainingReport()
+        for _ in range(iterations):
+            loss, t = self.run_iteration()
+            report.losses.append(loss)
+            report.iteration_times.append(t)
+            report.peak_device_bytes = max(report.peak_device_bytes,
+                                           self._last_peak)
+        return report

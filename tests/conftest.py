@@ -1,0 +1,88 @@
+"""Shared fixtures: small graphs, shrunken machines, fast search configs.
+
+Real machine specs make every toy model fit in-core, which would leave the
+out-of-core machinery untested; ``tiny_machine`` scales a V100-like spec down
+so the toys genuinely exceed GPU memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import GB, MiB
+from repro.hw import CostModel, MachineSpec, POWER9_V100, X86_V100
+from repro.models import linear_chain, mlp, poster_example, small_cnn
+from repro.pooch import PoochConfig
+
+
+def tiny_machine(
+    mem_mib: int = 160,
+    link_gbps: float = 16.0,
+    name: str = "tiny",
+    reserved_mib: int = 8,
+) -> MachineSpec:
+    """A V100-like machine with only ``mem_mib`` MiB of GPU memory, so toy
+    graphs (tens-to-hundreds of MiB of feature maps) run out-of-core."""
+    return MachineSpec(
+        name=name,
+        cpu="test-host",
+        gpu_mem_capacity=mem_mib * MiB,
+        gpu_mem_reserved=reserved_mib * MiB,
+        cpu_mem_capacity=64 * GB,
+        h2d_bandwidth=link_gbps * GB,
+        d2h_bandwidth=link_gbps * GB,
+        interconnect=f"test-link {link_gbps:g} GB/s",
+    )
+
+
+@pytest.fixture
+def x86() -> MachineSpec:
+    return X86_V100
+
+
+@pytest.fixture
+def power9() -> MachineSpec:
+    return POWER9_V100
+
+
+@pytest.fixture
+def slow_link_machine() -> MachineSpec:
+    """Small memory, slow interconnect: recompute should look attractive."""
+    return tiny_machine(mem_mib=160, link_gbps=2.0, name="tiny-slow")
+
+
+@pytest.fixture
+def fast_link_machine() -> MachineSpec:
+    """Small memory, fast interconnect: swapping should look attractive."""
+    return tiny_machine(mem_mib=160, link_gbps=200.0, name="tiny-fast")
+
+
+@pytest.fixture
+def poster():
+    return poster_example()
+
+
+@pytest.fixture
+def chain():
+    return linear_chain(n_layers=6, batch=16, channels=32, image=32)
+
+
+@pytest.fixture
+def tiny_mlp():
+    return mlp(batch=4, in_features=16, hidden=(16,), num_classes=4)
+
+
+@pytest.fixture
+def cnn():
+    return small_cnn()
+
+
+@pytest.fixture
+def cnn_residual():
+    return small_cnn(with_residual=True)
+
+
+@pytest.fixture
+def fast_config() -> PoochConfig:
+    """Search config small enough for unit tests."""
+    return PoochConfig(max_exact_li=4, step1_sim_budget=200)

@@ -1,0 +1,144 @@
+"""Memory pool: accounting, rounding, OOM, trace — including property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import OutOfMemoryError, SimulationError
+from repro.common.units import KiB, MiB
+from repro.gpusim.allocator import ALLOC_ROUND, MemoryPool, round_size
+
+
+class TestRounding:
+    def test_zero(self):
+        assert round_size(0) == 0
+        assert round_size(-5) == 0
+
+    def test_exact_multiple(self):
+        assert round_size(1024) == 1024
+
+    def test_rounds_up(self):
+        assert round_size(1) == ALLOC_ROUND
+        assert round_size(ALLOC_ROUND + 1) == 2 * ALLOC_ROUND
+
+
+class TestBasics:
+    def test_malloc_free_cycle(self):
+        p = MemoryPool(1 * MiB)
+        p.malloc("a", 100 * KiB, 0.0)
+        assert p.is_resident("a")
+        assert p.in_use == round_size(100 * KiB)
+        p.free("a", 1.0)
+        assert not p.is_resident("a")
+        assert p.in_use == 0
+
+    def test_peak_tracking(self):
+        p = MemoryPool(1 * MiB)
+        p.malloc("a", 300 * KiB, 0.0)
+        p.malloc("b", 300 * KiB, 0.0)
+        p.free("a", 1.0)
+        p.malloc("c", 100 * KiB, 2.0)
+        assert p.peak == round_size(300 * KiB) * 2
+
+    def test_oom_raises_with_details(self):
+        p = MemoryPool(100 * KiB)
+        with pytest.raises(OutOfMemoryError) as ei:
+            p.malloc("big", 200 * KiB, 0.0, context="F3")
+        assert ei.value.requested == round_size(200 * KiB)
+        assert ei.value.capacity == 100 * KiB
+        assert "F3" in str(ei.value)
+
+    def test_oom_leaves_pool_unchanged(self):
+        p = MemoryPool(100 * KiB)
+        p.malloc("a", 50 * KiB, 0.0)
+        with pytest.raises(OutOfMemoryError):
+            p.malloc("b", 90 * KiB, 0.0)
+        assert p.in_use == round_size(50 * KiB)
+        assert not p.is_resident("b")
+
+    def test_double_malloc_rejected(self):
+        p = MemoryPool(1 * MiB)
+        p.malloc("a", 1, 0.0)
+        with pytest.raises(SimulationError):
+            p.malloc("a", 1, 0.0)
+
+    def test_double_free_rejected(self):
+        p = MemoryPool(1 * MiB)
+        p.malloc("a", 1, 0.0)
+        p.free("a", 0.0)
+        with pytest.raises(SimulationError):
+            p.free("a", 0.0)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryPool(1 * MiB).free("ghost", 0.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            MemoryPool(0)
+
+    def test_can_fit(self):
+        p = MemoryPool(10 * KiB)
+        assert p.can_fit(10 * KiB)
+        p.malloc("a", 5 * KiB, 0.0)
+        assert not p.can_fit(6 * KiB)
+
+    def test_size_of(self):
+        p = MemoryPool(1 * MiB)
+        p.malloc("a", 700, 0.0)
+        assert p.size_of("a") == round_size(700)
+
+
+class TestTrace:
+    def test_trace_records_order(self):
+        p = MemoryPool(1 * MiB)
+        p.malloc("a", 1 * KiB, 0.0)
+        p.malloc("b", 2 * KiB, 1.0)
+        p.free("a", 2.0)
+        kinds = [(e.kind, e.buffer) for e in p.trace]
+        assert kinds == [("malloc", "a"), ("malloc", "b"), ("free", "a")]
+
+    def test_trace_in_use_after(self):
+        p = MemoryPool(1 * MiB)
+        p.malloc("a", 1 * KiB, 0.0)
+        p.free("a", 1.0)
+        assert p.trace[0].in_use_after == 1 * KiB
+        assert p.trace[1].in_use_after == 0
+
+    def test_usage_curve(self):
+        p = MemoryPool(1 * MiB)
+        p.malloc("a", 1 * KiB, 0.5)
+        curve = p.usage_curve()
+        assert curve == [(0.5, 1 * KiB)]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=9),
+                  st.integers(min_value=1, max_value=64 * KiB)),
+        max_size=40,
+    )
+)
+def test_pool_invariants_under_random_ops(script):
+    """Random malloc/free scripts: accounting always balances, peak is a
+    running max, trace length equals the number of successful operations."""
+    p = MemoryPool(256 * KiB)
+    live: dict[str, int] = {}
+    ops_done = 0
+    for is_malloc, slot, size in script:
+        bid = f"b{slot}"
+        if is_malloc and bid not in live:
+            try:
+                p.malloc(bid, size, float(ops_done))
+            except OutOfMemoryError:
+                continue
+            live[bid] = round_size(size)
+            ops_done += 1
+        elif not is_malloc and bid in live:
+            p.free(bid, float(ops_done))
+            del live[bid]
+            ops_done += 1
+        assert p.in_use == sum(live.values())
+        assert 0 <= p.in_use <= p.capacity
+        assert p.peak >= p.in_use
+        assert len(p.trace) == ops_done

@@ -1,0 +1,179 @@
+"""Timeline analysis: interval math, idle extraction, ASCII rendering,
+report tables."""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    format_table,
+    hidden_fraction,
+    idle_intervals,
+    idle_overlap,
+    interval_overlap,
+    render_timeline,
+    total_idle,
+)
+from repro.gpusim import RunResult, StreamName, TaskKind, TaskRecord
+
+
+def rec(tid, kind, stream, layer, start, end):
+    return TaskRecord(tid, kind, stream, layer, start, end)
+
+
+@pytest.fixture
+def simple_result():
+    records = [
+        rec("F0", TaskKind.FWD, StreamName.COMPUTE, 0, 0.0, 1.0),
+        rec("F1", TaskKind.FWD, StreamName.COMPUTE, 1, 2.0, 3.0),
+        rec("SO0", TaskKind.SWAP_OUT, StreamName.D2H, 0, 0.5, 2.5),
+        rec("SI0", TaskKind.SWAP_IN, StreamName.H2D, 0, 3.0, 4.0),
+    ]
+    return RunResult(makespan=4.0, records=records, device_peak=0,
+                     host_peak=0, device_trace=[])
+
+
+class TestIntervalMath:
+    def test_overlap_basic(self):
+        assert interval_overlap((0.0, 2.0), [(1.0, 3.0)]) == 1.0
+
+    def test_overlap_disjoint(self):
+        assert interval_overlap((0.0, 1.0), [(2.0, 3.0)]) == 0.0
+
+    def test_overlap_multiple(self):
+        assert interval_overlap((0.0, 10.0), [(1.0, 2.0), (3.0, 5.0)]) == 3.0
+
+    def test_overlap_contained(self):
+        assert interval_overlap((1.0, 2.0), [(0.0, 10.0)]) == 1.0
+
+
+class TestIdle:
+    def test_idle_intervals(self, simple_result):
+        gaps = idle_intervals(simple_result, StreamName.COMPUTE)
+        assert gaps == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_total_idle(self, simple_result):
+        assert total_idle(simple_result, StreamName.COMPUTE) == 2.0
+
+    def test_idle_with_span(self, simple_result):
+        gaps = idle_intervals(simple_result, StreamName.COMPUTE,
+                              span=(0.0, 3.0))
+        assert gaps == [(1.0, 2.0)]
+
+    def test_idle_empty_stream(self):
+        r = RunResult(makespan=1.0, records=[], device_peak=0, host_peak=0,
+                      device_trace=[])
+        assert idle_intervals(r, StreamName.D2H, span=(0.0, 1.0)) == [(0.0, 1.0)]
+
+
+class TestHiding:
+    def test_fully_hidden_swap(self, simple_result):
+        busy = simple_result.busy_intervals(StreamName.COMPUTE)
+        so = simple_result.record_of("SO0")
+        # SO0 spans 0.5..2.5; compute busy 0..1 and 2..3 => 1.0s hidden of 2.0
+        assert interval_overlap((so.start, so.end), busy) == 1.0
+        assert idle_overlap(so, busy) == 1.0
+        assert hidden_fraction(so, busy) == 0.5
+
+    def test_unhidden_swap_in(self, simple_result):
+        busy = simple_result.busy_intervals(StreamName.COMPUTE)
+        si = simple_result.record_of("SI0")
+        assert hidden_fraction(si, busy) == 0.0
+
+    def test_zero_duration_counts_hidden(self):
+        r = rec("x", TaskKind.SWAP_IN, StreamName.H2D, 0, 1.0, 1.0)
+        assert hidden_fraction(r, []) == 1.0
+
+
+class TestRender:
+    def test_render_contains_streams(self, simple_result):
+        art = render_timeline(simple_result, width=40)
+        assert "compute" in art and "d2h" in art and "h2d" in art
+
+    def test_render_glyphs(self, simple_result):
+        art = render_timeline(simple_result, width=40, label_layers=False)
+        assert "F" in art and "o" in art and "i" in art
+
+    def test_render_empty(self):
+        r = RunResult(makespan=0.0, records=[], device_peak=0, host_peak=0,
+                      device_trace=[])
+        assert "empty" in render_timeline(r)
+
+    def test_render_real_run(self, poster, x86):
+        from repro.runtime import Classification, execute
+        result = execute(poster, Classification.all_swap(poster), x86)
+        art = render_timeline(result, width=100)
+        assert len(art.splitlines()) == 4
+
+
+class TestReportTable:
+    def test_alignment(self):
+        t = Table("demo", ["name", "value"])
+        t.add("a", 1.0)
+        t.add("longer-name", 123456.0)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "== demo =="
+        assert len({len(l) for l in lines[1:]}) <= 2  # header/body aligned
+
+    def test_wrong_arity(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_float_formatting(self):
+        t = Table("demo", ["v"])
+        t.add(0.123456)
+        t.add(12.3456)
+        t.add(1234.56)
+        body = t.render().splitlines()[3:]
+        assert body[0].strip() == "0.123"
+        assert body[2].strip() == "1235"
+
+    def test_format_table_direct(self):
+        out = format_table("t", ["x"], [["1"], ["2"]])
+        assert out.count("\n") == 4
+
+
+class TestChromeTrace:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.models import poster_example
+        from repro.runtime import Classification, execute
+        from repro.hw import X86_V100
+        g = poster_example()
+        return execute(g, Classification.all_swap(g), X86_V100)
+
+    def test_event_structure(self, result):
+        from repro.analysis import to_chrome_trace
+        trace = to_chrome_trace(result, name="t")
+        events = trace["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == len(result.records)
+        # microsecond timestamps, non-negative durations
+        assert all(e["dur"] >= 0 for e in slices)
+        # all three stream rows named
+        names = [e for e in events if e["ph"] == "M"
+                 and e["name"] == "thread_name"]
+        assert len(names) == 3
+
+    def test_memory_counter_track(self, result):
+        from repro.analysis import to_chrome_trace
+        counters = [e for e in to_chrome_trace(result)["traceEvents"]
+                    if e["ph"] == "C"]
+        assert counters
+        assert all("bytes_in_use" in e["args"] for e in counters)
+
+    def test_write_valid_json(self, result, tmp_path):
+        import json
+        from repro.analysis import write_chrome_trace
+        path = tmp_path / "trace.json"
+        write_chrome_trace(result, path)
+        data = json.loads(path.read_text())
+        assert "traceEvents" in data
+
+    def test_cli_trace_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "t.json"
+        assert main(["timeline", "mlp", "--batch", "8", "--plan", "swap",
+                     "--trace", str(path)]) == 0
+        assert path.exists()

@@ -1,0 +1,124 @@
+"""Best-fit block allocator: placement, coalescing, fragmentation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import KiB
+from repro.gpusim import BlockMemoryPool
+from repro.gpusim.allocator import round_size
+from repro.hw import X86_V100
+from repro.models import poster_example, small_cnn
+from repro.runtime import Classification, execute
+
+
+class TestPlacement:
+    def test_simple_cycle(self):
+        p = BlockMemoryPool(64 * KiB)
+        p.malloc("a", 10 * KiB, 0.0)
+        p.malloc("b", 10 * KiB, 0.0)
+        assert p.in_use == 20 * KiB
+        p.free("a", 1.0)
+        p.free("b", 1.0)
+        assert p.in_use == 0
+        assert p.largest_free_block() == 64 * KiB  # fully coalesced
+
+    def test_best_fit_prefers_smallest_block(self):
+        p = BlockMemoryPool(100 * KiB)
+        p.malloc("a", 10 * KiB, 0.0)
+        p.malloc("b", 30 * KiB, 0.0)
+        p.malloc("c", 10 * KiB, 0.0)
+        p.free("a", 1.0)  # 10 KiB hole at offset 0
+        # a 5 KiB request should land in the 10 KiB hole, not the tail
+        p.malloc("d", 5 * KiB, 2.0)
+        assert p._offsets["d"][0] == 0
+
+    def test_fragmentation_failure(self):
+        p = BlockMemoryPool(100 * KiB)
+        p.malloc("a", 40 * KiB, 0.0)
+        p.malloc("b", 20 * KiB, 0.0)
+        p.malloc("c", 40 * KiB, 0.0)
+        p.free("a", 1.0)
+        p.free("c", 1.0)
+        # 80 KiB free, but in two 40 KiB fragments
+        assert p.free_bytes == 80 * KiB
+        assert not p.can_fit(60 * KiB)
+        with pytest.raises(OutOfMemoryError, match="FRAGMENTED"):
+            p.malloc("big", 60 * KiB, 2.0)
+        assert p.fragmentation() == pytest.approx(0.5)
+
+    def test_coalesce_middle(self):
+        p = BlockMemoryPool(90 * KiB)
+        for i, name in enumerate("abc"):
+            p.malloc(name, 30 * KiB, 0.0)
+        p.free("a", 1.0)
+        p.free("c", 1.0)
+        p.free("b", 2.0)  # merges with both neighbours
+        assert p.largest_free_block() == 90 * KiB
+        assert len(p._free_blocks) == 1
+
+    def test_can_fit_all_respects_blocks(self):
+        p = BlockMemoryPool(100 * KiB)
+        p.malloc("a", 40 * KiB, 0.0)
+        p.malloc("b", 20 * KiB, 0.0)
+        p.malloc("c", 40 * KiB, 0.0)
+        p.free("a", 1.0)
+        p.free("c", 1.0)
+        assert p.can_fit_all([40 * KiB, 40 * KiB])
+        assert p.can_fit_all([40 * KiB, 30 * KiB, 10 * KiB])  # 30+10 share one
+        assert not p.can_fit_all([60 * KiB])
+        assert not p.can_fit_all([40 * KiB, 35 * KiB, 10 * KiB])  # 10 left homeless
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(0, 7),
+                  st.integers(1, 32 * KiB)),
+        max_size=50,
+    )
+)
+def test_block_pool_invariants(script):
+    """Free blocks stay sorted, disjoint and coalesced; accounting matches
+    the counting semantics for in_use/peak."""
+    p = BlockMemoryPool(128 * KiB)
+    live: dict[str, int] = {}
+    for is_malloc, slot, size in script:
+        bid = f"b{slot}"
+        if is_malloc and bid not in live:
+            try:
+                p.malloc(bid, size, 0.0)
+            except OutOfMemoryError:
+                continue
+            live[bid] = round_size(size)
+        elif not is_malloc and bid in live:
+            p.free(bid, 0.0)
+            del live[bid]
+        assert p.in_use == sum(live.values())
+        # free blocks: sorted, non-overlapping, never adjacent (coalesced)
+        blocks = p._free_blocks
+        for (o1, s1), (o2, s2) in zip(blocks, blocks[1:]):
+            assert o1 + s1 < o2
+        assert sum(s for _, s in blocks) == p.capacity - p.in_use
+
+
+class TestEngineIntegration:
+    def test_fragmented_execution_matches_counting_when_roomy(self):
+        g = small_cnn()
+        cls = Classification.all_swap(g)
+        a = execute(g, cls, X86_V100)
+        b = execute(g, cls, X86_V100, fragmentation=True)
+        assert a.makespan == pytest.approx(b.makespan, rel=1e-9)
+        assert a.device_peak == b.device_peak
+
+    def test_fragmentation_never_speeds_things_up(self):
+        from tests.conftest import tiny_machine
+        g = poster_example()
+        m = tiny_machine(mem_mib=224, link_gbps=2.0)
+        cls = Classification.all_swap(g)
+        counting = execute(g, cls, m)
+        try:
+            block = execute(g, cls, m, fragmentation=True)
+        except OutOfMemoryError:
+            return  # fragmentation turning a tight fit into OOM is legal
+        assert block.makespan >= counting.makespan * 0.999

@@ -1,0 +1,151 @@
+"""Bottleneck attribution and plan serialization."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_bottlenecks
+from repro.common.errors import ScheduleError
+from repro.gpusim import TaskKind
+from repro.hw import X86_V100
+from repro.models import mlp, poster_example
+from repro.runtime import (
+    Classification,
+    MapClass,
+    execute,
+    load_plan,
+    save_plan,
+)
+from repro.runtime.plan_io import plan_from_dict, plan_to_dict
+from tests.conftest import tiny_machine
+
+
+class TestBottlenecks:
+    def test_incore_stall_is_only_the_input_upload(self):
+        g = poster_example()
+        r = execute(g, Classification.all_keep(g), X86_V100)
+        rep = analyze_bottlenecks(r)
+        assert rep.compute_busy > 0
+        # the only wait in an in-core iteration is the initial batch upload
+        by_kind = rep.stall_by_kind()
+        assert set(by_kind) <= {"fwd", "startup"}
+        for s in rep.stalls:
+            assert s.blamed_task in ("F0", "")
+
+    def test_swap_stalls_attributed_to_transfers(self):
+        g = poster_example(batch=2048)
+        r = execute(g, Classification.all_swap(g), X86_V100)
+        rep = analyze_bottlenecks(r)
+        assert rep.total_stall > 0.2 * rep.makespan
+        by_kind = rep.stall_by_kind()
+        transfer_stall = by_kind.get("swap_in", 0) + by_kind.get("swap_out", 0)
+        assert transfer_stall > 0.8 * rep.total_stall
+
+    def test_busy_plus_stall_covers_makespan(self):
+        g = poster_example(batch=512)
+        r = execute(g, Classification.all_swap(g), X86_V100)
+        rep = analyze_bottlenecks(r)
+        assert rep.compute_busy + rep.total_stall == pytest.approx(
+            rep.makespan, rel=1e-9
+        )
+
+    def test_top_stalls_sorted(self):
+        g = poster_example(batch=2048)
+        r = execute(g, Classification.all_swap(g), X86_V100)
+        top = analyze_bottlenecks(r).top_stalls(3)
+        assert all(a.duration >= b.duration for a, b in zip(top, top[1:]))
+
+    def test_render(self):
+        g = poster_example()
+        r = execute(g, Classification.all_swap(g), X86_V100)
+        text = analyze_bottlenecks(r).render()
+        assert "makespan" in text and "stalled" in text
+
+
+class TestPlanIO:
+    def test_roundtrip(self, tmp_path):
+        g = poster_example()
+        cls = Classification.all_swap(g).with_class(
+            g.classifiable_maps()[1], MapClass.KEEP
+        )
+        path = tmp_path / "plan.json"
+        save_plan(path, cls, g, machine="x86", predicted_time=0.123)
+        loaded = load_plan(path, g)
+        assert loaded.key() == cls.key()
+
+    def test_provenance_recorded(self, tmp_path):
+        g = poster_example()
+        path = tmp_path / "plan.json"
+        save_plan(path, Classification.all_swap(g), g, machine="power9")
+        data = json.loads(path.read_text())
+        assert data["machine"] == "power9"
+        assert data["graph_name"] == g.name
+        assert data["format_version"] == 1
+
+    def test_wrong_graph_rejected(self, tmp_path):
+        g = poster_example()
+        other = mlp()
+        path = tmp_path / "plan.json"
+        save_plan(path, Classification.all_swap(g), g)
+        with pytest.raises(ScheduleError, match="layer"):
+            load_plan(path, other)
+
+    def test_bad_version_rejected(self):
+        g = poster_example()
+        data = plan_to_dict(Classification.all_swap(g), g)
+        data["format_version"] = 99
+        with pytest.raises(ScheduleError, match="version"):
+            plan_from_dict(data, g)
+
+    def test_corrupt_classes_rejected(self):
+        g = poster_example()
+        data = plan_to_dict(Classification.all_swap(g), g)
+        data["classes"]["1"] = "teleport"
+        with pytest.raises(ScheduleError, match="malformed"):
+            plan_from_dict(data, g)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScheduleError, match="cannot read"):
+            load_plan(tmp_path / "nope.json", poster_example())
+
+    def test_loaded_plan_executes(self, tmp_path):
+        g = poster_example()
+        m = tiny_machine(mem_mib=224)
+        path = tmp_path / "plan.json"
+        save_plan(path, Classification.all_swap(g), g)
+        cls = load_plan(path, g)
+        r = execute(g, cls, m)
+        assert r.makespan > 0
+
+
+class TestCliPlanFlow:
+    def test_save_and_run_plan(self, tmp_path, capsys):
+        from repro.cli import main
+        plan = tmp_path / "p.json"
+        assert main(["optimize", "poster_example", "--batch", "64",
+                     "--budget", "30", "--save", str(plan)]) == 0
+        assert plan.exists()
+        assert main(["run", "poster_example", "--batch", "64",
+                     "--plan", str(plan)]) == 0
+        assert "saved-plan" in capsys.readouterr().out
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2), min_size=11, max_size=11))
+def test_plan_io_roundtrip_property(picks):
+    """Any valid classification survives a serialize/deserialize cycle."""
+    from repro.models import poster_example
+    g = poster_example()
+    maps = sorted(Classification.all_swap(g).classes)
+    classes = {}
+    for m, pick in zip(maps, picks):
+        options = [MapClass.SWAP, MapClass.KEEP]
+        if g[m].op.recomputable:
+            options.append(MapClass.RECOMPUTE)
+        classes[m] = options[pick % len(options)]
+    cls = Classification(classes)
+    data = plan_to_dict(cls, g, machine="x86")
+    assert plan_from_dict(data, g).key() == cls.key()

@@ -1,0 +1,99 @@
+"""GraphBuilder: auto-naming, activation fusing, error paths."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph import GraphBuilder
+from repro.graph.ops import OpKind
+
+
+class TestNaming:
+    def test_auto_names_increment(self):
+        b = GraphBuilder()
+        x = b.input((2, 3, 8, 8))
+        c0 = b.conv(x, 4, ksize=1)
+        c1 = b.conv(c0, 4, ksize=1)
+        g_names = [l.name for l in b._layers]
+        assert g_names == ["input0", "conv0", "conv1"]
+
+    def test_explicit_name(self):
+        b = GraphBuilder()
+        x = b.input((2, 3, 8, 8), name="data")
+        assert b._layers[0].name == "data"
+
+    def test_duplicate_explicit_name_rejected(self):
+        b = GraphBuilder()
+        x = b.input((2, 3, 8, 8), name="data")
+        with pytest.raises(GraphError):
+            b.conv(x, 4, ksize=1, name="data")
+
+
+class TestFusing:
+    def test_fused_by_default(self):
+        b = GraphBuilder()
+        x = b.input((2, 3, 8, 8))
+        h = b.conv(x, 4, ksize=1, activation="relu")
+        b.loss(b.linear(h, 4))
+        g = b.build()
+        kinds = [l.op.kind for l in g]
+        assert OpKind.RELU not in kinds
+        assert g[1].op.fused_activation == "relu"
+
+    def test_unfused_materialises_relu(self):
+        b = GraphBuilder(fuse_activations=False)
+        x = b.input((2, 3, 8, 8))
+        h = b.conv(x, 4, ksize=1, activation="relu")
+        b.loss(b.linear(h, 4))
+        g = b.build()
+        kinds = [l.op.kind for l in g]
+        assert OpKind.RELU in kinds
+        conv = g.by_name("conv0")
+        assert conv.op.fused_activation is None
+
+    def test_fused_and_unfused_have_same_flops(self):
+        def total(fuse):
+            b = GraphBuilder(fuse_activations=fuse)
+            x = b.input((2, 3, 8, 8))
+            h = b.conv(x, 4, ksize=3, pad=1, activation="relu")
+            h = b.batchnorm(h, activation="relu")
+            b.loss(b.linear(h, 4))
+            return b.build().total_fwd_flops
+
+        assert total(True) == pytest.approx(total(False))
+
+    def test_unfused_map_count_larger(self):
+        def n_maps(fuse):
+            b = GraphBuilder(fuse_activations=fuse)
+            x = b.input((2, 3, 8, 8))
+            h = b.conv(x, 4, ksize=1, activation="relu")
+            h = b.conv(h, 4, ksize=1, activation="relu")
+            b.loss(b.linear(h, 4))
+            return len(b.build())
+
+        assert n_maps(False) == n_maps(True) + 2
+
+
+class TestTopology:
+    def test_add_and_concat(self):
+        b = GraphBuilder()
+        x = b.input((2, 4, 8, 8))
+        l = b.conv(x, 4, ksize=1)
+        r = b.conv(x, 4, ksize=1)
+        s = b.add([l, r])
+        c = b.concat([l, r])
+        g_spec = b.spec(c)
+        assert g_spec.channels == 8
+        assert b.spec(s).channels == 4
+
+    def test_spec_lookup(self):
+        b = GraphBuilder()
+        x = b.input((2, 4, 8, 8))
+        assert b.spec(x).shape == (2, 4, 8, 8)
+
+    def test_build_returns_valid_graph(self):
+        b = GraphBuilder("named")
+        x = b.input((2, 4))
+        b.loss(b.linear(x, 4))
+        g = b.build()
+        assert g.name == "named"
+        g.validate()

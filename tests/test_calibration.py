@@ -1,0 +1,47 @@
+"""Cost-model calibration against throughput anchors."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.hw import X86_V100
+from repro.hw.calibration import calibrate, measure_incore_ips
+from repro.hw.costmodel import CostModel
+from repro.models import resnet50
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return resnet50(64)  # fits in-core comfortably
+
+
+class TestCalibrate:
+    def test_hits_paper_anchor(self, graph):
+        """The paper's 316 img/s in-core rate is reachable."""
+        res = calibrate(graph, X86_V100, 64, target_ips=316.0)
+        assert res.relative_error <= 0.01
+        assert res.scale > 1.0  # the defaults are conservative
+
+    def test_down_calibration(self, graph):
+        res = calibrate(graph, X86_V100, 64, target_ips=150.0)
+        assert res.relative_error <= 0.01
+        assert res.scale < 1.0
+
+    def test_unreachable_target_raises(self, graph):
+        with pytest.raises(ReproError, match="unreachable"):
+            calibrate(graph, X86_V100, 64, target_ips=1e7)
+
+    def test_invalid_target(self, graph):
+        with pytest.raises(ReproError):
+            calibrate(graph, X86_V100, 64, target_ips=-5)
+
+    def test_calibrated_model_usable_downstream(self, graph):
+        """A calibrated model drops into profiling/execution like any other."""
+        res = calibrate(graph, X86_V100, 64, target_ips=300.0, tolerance=0.02)
+        ips = measure_incore_ips(graph, X86_V100, res.cost_model, 64)
+        assert ips == pytest.approx(res.achieved_ips)
+
+    def test_monotone_in_scale(self, graph):
+        from repro.hw.calibration import _scaled_model
+        slow = measure_incore_ips(graph, X86_V100, _scaled_model(X86_V100, 0.5), 64)
+        fast = measure_incore_ips(graph, X86_V100, _scaled_model(X86_V100, 1.5), 64)
+        assert fast > slow

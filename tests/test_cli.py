@@ -1,0 +1,94 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestModels:
+    def test_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "alexnet" in out
+        assert "resnext101_3d" in out
+
+
+class TestSummary:
+    def test_small_model(self, capsys):
+        assert main(["summary", "mlp", "--batch", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "NNGraph" in out and "training memory estimate" in out
+
+    def test_exceeds_marker(self, capsys):
+        assert main(["summary", "resnet50", "--batch", "512"]) == 0
+        assert "EXCEEDS" in capsys.readouterr().out
+
+    def test_3d_input_size(self, capsys):
+        assert main(["summary", "resnext101_3d", "--batch", "1",
+                     "--input-size", "16", "112", "112"]) == 0
+        assert "resnext101_3d" in capsys.readouterr().out
+
+    def test_unknown_model_fails(self, capsys):
+        assert main(["summary", "resnet9000"]) == 1
+        assert "unknown model" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_in_core_small(self, capsys):
+        assert main(["run", "mlp", "--batch", "8", "--method", "in-core"]) == 0
+        assert "img/s" in capsys.readouterr().out
+
+    def test_in_core_oom_exit_code(self, capsys):
+        assert main(["run", "resnet50", "--batch", "512",
+                     "--method", "in-core"]) == 2
+        assert "OUT OF MEMORY" in capsys.readouterr().err
+
+    def test_swap_all_out_of_core(self, capsys):
+        assert main(["run", "small_cnn", "--batch", "8",
+                     "--method", "swap-all"]) == 0
+
+    def test_superneurons(self, capsys):
+        assert main(["run", "small_cnn", "--batch", "8",
+                     "--method", "superneurons"]) == 0
+
+    def test_checkpoint(self, capsys):
+        assert main(["run", "linear_chain", "--batch", "4",
+                     "--method", "checkpoint"]) == 0
+
+
+class TestOptimizeAndTimeline:
+    def test_optimize_poster(self, capsys):
+        assert main(["optimize", "poster_example", "--batch", "64",
+                     "--budget", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "PoocH plan" in out and "ground-truth iteration" in out
+
+    def test_optimize_verbose(self, capsys):
+        assert main(["optimize", "mlp", "--batch", "8", "--budget", "20",
+                     "--verbose"]) == 0
+        assert "Classification:" in capsys.readouterr().out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "poster_example", "--batch", "64",
+                     "--plan", "swap", "--policy", "naive",
+                     "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "compute" in out and "h2d" in out
+
+    def test_timeline_keep_plan(self, capsys):
+        assert main(["timeline", "mlp", "--batch", "8",
+                     "--plan", "keep"]) == 0
+
+
+class TestReport:
+    def test_collates_results(self, tmp_path, capsys):
+        (tmp_path / "a.txt").write_text("== A ==\nrow\n")
+        (tmp_path / "b.txt").write_text("== B ==\nrow\n")
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== A ==" in out and "== B ==" in out
+        assert "2 result tables" in out
+
+    def test_empty_dir_fails(self, tmp_path, capsys):
+        assert main(["report", "--results-dir", str(tmp_path)]) == 1
+        assert "no results" in capsys.readouterr().err

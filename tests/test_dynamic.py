@@ -1,0 +1,89 @@
+"""DynamicPoocH — the paper's future-work extension (varying problem sizes)."""
+
+import pytest
+
+from repro.common.errors import ScheduleError
+from repro.models import linear_chain
+from repro.pooch import PoochConfig
+from repro.pooch.dynamic import DynamicPoocH
+from tests.conftest import tiny_machine
+
+CFG = PoochConfig(max_exact_li=3, step1_sim_budget=120)
+
+
+def build(batch):
+    return linear_chain(6, batch=batch, channels=32, image=64)
+
+
+@pytest.fixture
+def machine():
+    return tiny_machine(mem_mib=224, link_gbps=2.0)
+
+
+class TestExactStrategy:
+    def test_one_optimization_per_distinct_size(self, machine):
+        d = DynamicPoocH(machine, build, CFG, strategy="exact")
+        stats = d.run_stream([16, 32, 16, 16, 32, 64])
+        assert stats.iterations == 6
+        assert stats.optimizations == 3  # sizes 16, 32, 64
+        assert stats.plan_reuses == 3
+
+    def test_plans_cached_per_size(self, machine):
+        d = DynamicPoocH(machine, build, CFG)
+        a = d.plan_for(16)
+        b = d.plan_for(16)
+        assert a is b
+
+    def test_iteration_times_recorded(self, machine):
+        d = DynamicPoocH(machine, build, CFG)
+        stats = d.run_stream([16, 32])
+        assert len(stats.iteration_times) == 2
+        assert stats.total_time > 0
+
+    def test_larger_sizes_take_longer(self, machine):
+        d = DynamicPoocH(machine, build, CFG)
+        d.run_stream([16, 64])
+        t16, t64 = d.stats.iteration_times
+        assert t64 > t16
+
+
+class TestNearestStrategy:
+    def test_reuses_larger_plan(self, machine):
+        d = DynamicPoocH(machine, build, CFG, strategy="nearest")
+        d.run_iteration(64)  # optimize the big size first
+        d.run_iteration(32)  # should transfer 64's plan
+        assert d.stats.optimizations == 1
+        assert d.stats.transfers == 1
+
+    def test_falls_back_to_optimize_upward(self, machine):
+        # going from small to large cannot reuse (memory-unsafe direction)
+        d = DynamicPoocH(machine, build, CFG, strategy="nearest")
+        d.run_iteration(16)
+        d.run_iteration(64)
+        assert d.stats.optimizations == 2
+        assert d.stats.transfers == 0
+
+    def test_nearest_cheaper_but_not_faster(self, machine):
+        exact = DynamicPoocH(machine, build, CFG, strategy="exact")
+        nearest = DynamicPoocH(machine, build, CFG, strategy="nearest")
+        stream = [64, 48, 32, 48, 32, 64]
+        exact.run_stream(stream)
+        nearest.run_stream(list(stream))
+        assert nearest.stats.optimizations <= exact.stats.optimizations
+        # transferred plans can be mildly slower, never invalid
+        assert nearest.stats.total_time <= exact.stats.total_time * 1.5
+
+
+class TestValidation:
+    def test_unknown_strategy(self, machine):
+        with pytest.raises(ScheduleError):
+            DynamicPoocH(machine, build, CFG, strategy="magic")
+
+    def test_structure_mismatch_rejected(self, machine):
+        def bad_build(size):
+            return linear_chain(int(size), batch=8, channels=8, image=16)
+
+        d = DynamicPoocH(machine, bad_build, CFG)
+        d.run_iteration(4)
+        with pytest.raises(ScheduleError, match="structure"):
+            d.run_iteration(6)

@@ -1,0 +1,327 @@
+"""Event engine semantics, exercised through hand-built schedules."""
+
+import pytest
+
+from repro.common.errors import OutOfMemoryError, ScheduleError
+from repro.gpusim import (
+    BufferSpec,
+    Engine,
+    Schedule,
+    StreamName,
+    Task,
+    TaskKind,
+)
+
+C, H, D = StreamName.COMPUTE, StreamName.H2D, StreamName.D2H
+
+
+def make_schedule(tasks: list[Task], buffers: list[BufferSpec] | None = None,
+                  meta: dict | None = None) -> Schedule:
+    queues: dict[StreamName, list[str]] = {C: [], H: [], D: []}
+    for t in tasks:
+        queues[t.stream].append(t.tid)
+    return Schedule(
+        tasks={t.tid: t for t in tasks},
+        queues=queues,
+        buffers={b.bid: b for b in (buffers or [])},
+        meta=meta or {},
+    )
+
+
+def task(tid, stream=C, dur=1.0, kind=TaskKind.FWD, **kw) -> Task:
+    return Task(tid=tid, kind=kind, stream=stream, duration=dur, **kw)
+
+
+class TestSequencing:
+    def test_single_task(self):
+        r = Engine(make_schedule([task("a", dur=2.5)]), 1024).run()
+        assert r.makespan == 2.5
+        assert r.records[0].tid == "a"
+
+    def test_fifo_within_stream(self):
+        r = Engine(make_schedule([task("a"), task("b"), task("c")]), 1024).run()
+        rec = {x.tid: x for x in r.records}
+        assert rec["a"].end <= rec["b"].start
+        assert rec["b"].end <= rec["c"].start
+        assert r.makespan == 3.0
+
+    def test_streams_run_concurrently(self):
+        r = Engine(make_schedule([task("a", C), task("b", H), task("c", D)]),
+                   1024).run()
+        assert r.makespan == 1.0
+
+    def test_deps_across_streams(self):
+        r = Engine(
+            make_schedule([task("a", C, 1.0), task("b", H, 1.0, deps=("a",))]),
+            1024,
+        ).run()
+        rec = {x.tid: x for x in r.records}
+        assert rec["b"].start == rec["a"].end
+
+    def test_start_deps_allow_concurrency(self):
+        # b may start when a STARTS, not when it completes
+        r = Engine(
+            make_schedule([task("a", C, 5.0), task("b", H, 1.0, start_deps=("a",))]),
+            1024,
+        ).run()
+        rec = {x.tid: x for x in r.records}
+        assert rec["b"].start == rec["a"].start == 0.0
+        assert r.makespan == 5.0
+
+    def test_head_of_line_blocking(self):
+        # c is ready but queued behind b which waits for a
+        r = Engine(
+            make_schedule([
+                task("a", C, 3.0),
+                task("b", H, 1.0, deps=("a",)),
+                task("c", H, 1.0),
+            ]),
+            1024,
+        ).run()
+        rec = {x.tid: x for x in r.records}
+        assert rec["c"].start >= rec["b"].end
+
+    def test_zero_duration_tasks(self):
+        r = Engine(make_schedule([task("a", dur=0.0), task("b", dur=0.0)]),
+                   1024).run()
+        assert r.makespan == 0.0
+        assert len(r.records) == 2
+
+
+class TestMemory:
+    def test_buffer_lifetime(self):
+        bufs = [BufferSpec("x", 512, alloc_by="a", free_after=frozenset({"b"}))]
+        sched = make_schedule(
+            [task("a"), task("b", deps=("a",), reads=("x",))], bufs
+        )
+        eng = Engine(sched, 1024)
+        r = eng.run()
+        assert r.device_peak == 512
+        assert eng.device.in_use == 0  # freed at the end
+
+    def test_free_waits_for_all_readers(self):
+        bufs = [BufferSpec("x", 512, alloc_by="a",
+                           free_after=frozenset({"b", "c"}))]
+        sched = make_schedule(
+            [task("a", dur=1), task("b", deps=("a",), reads=("x",), dur=1),
+             task("c", deps=("a",), reads=("x",), dur=1)],
+            bufs,
+        )
+        eng = Engine(sched, 1024)
+        eng.run()
+        trace = [e for e in eng.device.trace if e.kind == "free"]
+        assert trace[0].time == 3.0  # after c, not after b
+
+    def test_memory_gating_stalls(self):
+        # b needs memory that only frees when a's buffer is released
+        bufs = [
+            BufferSpec("x", 768, alloc_by="a", free_after=frozenset({"a"})),
+            BufferSpec("y", 768, alloc_by="b", free_after=frozenset({"b"})),
+        ]
+        sched = make_schedule(
+            [task("a", C, 2.0), task("b", H, 1.0)], bufs
+        )
+        r = Engine(sched, 1024).run()
+        rec = {x.tid: x for x in r.records}
+        assert rec["b"].start == 2.0  # waited for a's free
+        assert r.makespan == 3.0
+
+    def test_ungated_task_raises_on_shortfall(self):
+        bufs = [
+            BufferSpec("x", 768, alloc_by="a", free_after=frozenset({"a"})),
+            BufferSpec("y", 768, alloc_by="b", free_after=frozenset({"b"})),
+        ]
+        sched = make_schedule(
+            [task("a", C, 2.0), task("b", H, 1.0, memory_gated=False)], bufs
+        )
+        with pytest.raises(OutOfMemoryError, match="ungated"):
+            Engine(sched, 1024).run()
+
+    def test_headroom_delays_issue(self):
+        bufs = [
+            BufferSpec("x", 512, alloc_by="a", free_after=frozenset({"a"})),
+            BufferSpec("y", 256, alloc_by="b", free_after=frozenset({"b"})),
+        ]
+        # without headroom b fits alongside a; with headroom it must wait
+        sched = make_schedule(
+            [task("a", C, 2.0), task("b", H, 1.0, headroom=512)], bufs
+        )
+        r = Engine(sched, 1024).run()
+        rec = {x.tid: x for x in r.records}
+        assert rec["b"].start == 2.0
+
+    def test_scratch_freed_at_completion(self):
+        sched = make_schedule([task("a", dur=1.0, scratch_bytes=512),
+                               task("b", dur=1.0, scratch_bytes=512)])
+        eng = Engine(sched, 600)  # only room for one scratch at a time
+        r = eng.run()
+        assert r.makespan == 2.0
+        assert eng.device.in_use == 0
+
+    def test_preallocated_buffers(self):
+        bufs = [BufferSpec("params", 512, alloc_by=None)]
+        sched = make_schedule([task("a", reads=("params",))], bufs)
+        r = Engine(sched, 1024).run()
+        assert r.device_peak == 512
+
+    def test_host_buffers_do_not_consume_device(self):
+        bufs = [BufferSpec("hx", 10**9, alloc_by="a", host=True,
+                           free_after=frozenset({"a"}))]
+        r = Engine(make_schedule([task("a")], bufs), 1024).run()
+        assert r.device_peak == 0
+        assert r.host_peak >= 10**9
+
+    def test_memory_deadlock_detected(self):
+        bufs = [BufferSpec("x", 1024, alloc_by="a", free_after=frozenset())]
+        sched = make_schedule([task("a"), task("b", scratch_bytes=1024)], bufs)
+        with pytest.raises(OutOfMemoryError, match="deadlock"):
+            Engine(sched, 1024).run()
+
+    def test_alloc_on_ready_reserves_early(self):
+        # b's buffer is reserved the moment its start_dep starts, long
+        # before b reaches the head of its queue
+        bufs = [BufferSpec("y", 512, alloc_by="b", free_after=frozenset({"b"}))]
+        sched = make_schedule(
+            [task("a", C, 4.0),
+             task("blocker", H, 3.0),
+             task("b", H, 1.0, start_deps=("a",), alloc_on_ready=True)],
+            bufs,
+        )
+        eng = Engine(sched, 1024)
+        eng.run()
+        mallocs = [e for e in eng.device.trace if e.buffer == "y"]
+        assert mallocs[0].time == 0.0  # reserved at a's start, not at t=3
+
+    def test_alloc_on_ready_ungated_can_oom(self):
+        bufs = [
+            BufferSpec("x", 768, alloc_by="a", free_after=frozenset({"a"})),
+            BufferSpec("y", 768, alloc_by="b", free_after=frozenset({"b"})),
+        ]
+        sched = make_schedule(
+            [task("a", C, 2.0),
+             task("b", H, 1.0, start_deps=("a",), alloc_on_ready=True,
+                  memory_gated=False)],
+            bufs,
+        )
+        with pytest.raises(OutOfMemoryError):
+            Engine(sched, 1024).run()
+
+
+class TestValidationAndErrors:
+    def test_unknown_dep_rejected(self):
+        sched = make_schedule([task("a", deps=("ghost",))])
+        with pytest.raises(ScheduleError, match="unknown task"):
+            Engine(sched, 1024)
+
+    def test_unknown_read_rejected(self):
+        sched = make_schedule([task("a", reads=("ghost",))])
+        with pytest.raises(ScheduleError, match="unknown buffer"):
+            Engine(sched, 1024)
+
+    def test_queue_stream_mismatch(self):
+        t = task("a", C)
+        sched = Schedule(tasks={"a": t}, queues={H: ["a"]}, buffers={})
+        with pytest.raises(ScheduleError):
+            sched.validate()
+
+    def test_dependency_cycle_detected(self):
+        sched = make_schedule([
+            task("a", C, deps=("b",)), task("b", H, deps=("a",)),
+        ])
+        with pytest.raises(ScheduleError, match="deadlock"):
+            Engine(sched, 1024).run()
+
+    def test_use_after_free_detected(self):
+        # b reads x but x is freed after a (no dep keeps it alive for b)
+        bufs = [BufferSpec("x", 512, alloc_by="a", free_after=frozenset({"a"}))]
+        sched = make_schedule(
+            [task("a", C, 1.0), task("b", C, 1.0, reads=("x",))], bufs
+        )
+        with pytest.raises(ScheduleError, match="not resident"):
+            Engine(sched, 1024).run()
+
+    def test_task_never_queued_rejected(self):
+        t = task("a")
+        sched = Schedule(tasks={"a": t, "b": task("b")}, queues={C: ["a"]},
+                         buffers={})
+        with pytest.raises(ScheduleError, match="never queued"):
+            sched.validate()
+
+
+class TestRunResult:
+    def test_busy_intervals_merge(self):
+        r = Engine(make_schedule([task("a", C, 1.0), task("b", C, 1.0),
+                                  task("c", C, 1.0)]), 1024).run()
+        assert r.busy_intervals(C) == [(0.0, 3.0)]
+
+    def test_busy_intervals_gap(self):
+        r = Engine(
+            make_schedule([task("a", C, 1.0), task("x", H, 2.0),
+                           task("b", C, 1.0, deps=("x",))]),
+            1024,
+        ).run()
+        assert r.busy_intervals(C) == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_records_by_kind(self):
+        r = Engine(make_schedule([task("a", kind=TaskKind.BWD)]), 1024).run()
+        assert len(r.records_by_kind(TaskKind.BWD)) == 1
+        assert r.records_by_kind(TaskKind.FWD) == []
+
+    def test_record_of(self):
+        r = Engine(make_schedule([task("a")]), 1024).run()
+        assert r.record_of("a").tid == "a"
+        with pytest.raises(KeyError):
+            r.record_of("nope")
+
+    def test_payload_executes(self):
+        hits = []
+        t = task("a")
+        t.payload = lambda: hits.append(1)
+        Engine(make_schedule([t]), 1024).run()
+        assert hits == [1]
+
+    def test_free_hook_called(self):
+        freed = []
+        bufs = [BufferSpec("x", 512, alloc_by="a", free_after=frozenset({"a"}))]
+        Engine(make_schedule([task("a")], bufs), 1024,
+               free_hook=freed.append).run()
+        assert freed == ["x"]
+
+
+class TestSchedulesWithHostBuffers:
+    def test_host_capacity_enforced(self):
+        bufs = [BufferSpec("hx", 2048, alloc_by="a", host=True,
+                           free_after=frozenset({"a"}))]
+        sched = make_schedule([task("a")], bufs)
+        with pytest.raises(OutOfMemoryError):
+            Engine(sched, 1024, host_capacity=1024).run()
+
+    def test_host_read_residency(self):
+        bufs = [
+            BufferSpec("hx", 512, alloc_by="a", host=True,
+                       free_after=frozenset({"b"})),
+        ]
+        sched = make_schedule(
+            [task("a", C, 1.0), task("b", H, 1.0, deps=("a",), reads=("hx",))],
+            bufs,
+        )
+        r = Engine(sched, 1024).run()
+        assert r.host_peak == 512
+
+
+class TestDeterminismUnderTies:
+    def test_simultaneous_completions_are_stable(self):
+        # three equal-duration tasks across streams complete at the same
+        # instant; record order must be deterministic across runs
+        tasks = [task("a", C, 1.0), task("b", H, 1.0), task("c", D, 1.0),
+                 task("d", C, 1.0, deps=("b", "c"))]
+        orders = set()
+        for _ in range(3):
+            r = Engine(make_schedule(list(tasks)), 1024).run()
+            orders.add(tuple(rec.tid for rec in r.records))
+        assert len(orders) == 1
+
+    def test_zero_capacity_like_conditions(self):
+        # a task with no allocations runs even on a minimal pool
+        r = Engine(make_schedule([task("a")]), 512).run()
+        assert r.makespan == 1.0

@@ -1,0 +1,205 @@
+"""Extension workloads beyond the paper: DenseNet and Transformer."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.common.units import GiB
+from repro.graph import GraphBuilder, TensorSpec
+from repro.graph import ops
+from repro.graph.ops import OpKind
+from repro.hw import X86_V100
+from repro.models import densenet121, densenet169, transformer_encoder
+from repro.runtime import Classification
+from repro.runtime.numeric import verify_against_incore
+
+
+class TestDenseNet:
+    def test_builds_and_validates(self):
+        g = densenet121(2)
+        g.validate()
+        assert sum(1 for l in g if l.op.kind is OpKind.CONCAT) > 50
+
+    def test_param_count(self):
+        # DenseNet-121 has ~8M parameters
+        n = densenet121(1).total_param_bytes / 4
+        assert 7e6 < n < 10e6
+
+    def test_dense_connectivity_fanout(self):
+        g = densenet121(2)
+        # inside a dense block, concats are consumed by later layers
+        # repeatedly: some map has many consumers
+        assert max(len(c) for c in g.consumers) >= 2
+
+    def test_deeper_variant_bigger(self):
+        assert len(densenet169(1)) > len(densenet121(1))
+
+    def test_invalid_depth(self):
+        from repro.models.densenet import densenet
+        with pytest.raises(GraphError):
+            densenet(99, 1)
+
+    def test_activation_memory_exceeds_gpu_at_large_batch(self):
+        g = densenet121(256)
+        assert g.training_memory_bytes() > 16 * GiB
+
+    def test_out_of_core_numerics_tiny(self):
+        # a miniature dense block through the numeric backend
+        b = GraphBuilder("mini_dense")
+        x = b.input((2, 4, 8, 8))
+        feats = b.conv(x, 4, ksize=3, pad=1, bias=False)
+        for i in range(2):
+            h = b.batchnorm(feats, activation="relu", name=f"bn{i}")
+            new = b.conv(h, 4, ksize=3, pad=1, bias=False, name=f"c{i}")
+            feats = b.concat([feats, new], name=f"cat{i}")
+        b.loss(b.linear(b.global_avg_pool(feats), 3))
+        g = b.build()
+        verify_against_incore(g, Classification.all_swap(g), X86_V100)
+        verify_against_incore(g, Classification.all_recompute(g), X86_V100)
+
+
+class TestTransformerOps:
+    def test_token_linear_shapes(self):
+        op, out = ops.token_linear(TensorSpec((2, 8, 16)), 32)
+        assert out.shape == (2, 8, 32)
+        assert op.attrs["token_wise"]
+
+    def test_token_linear_rejects_2d(self):
+        with pytest.raises(GraphError):
+            ops.token_linear(TensorSpec((2, 8)), 4)
+
+    def test_attention_scores_shape_and_flops(self):
+        q = TensorSpec((2, 16, 32))
+        op, out = ops.attention_scores(q, q, heads=4)
+        assert out.shape == (2, 4, 16, 16)
+        assert op.fwd_flops == 2 * 2 * 16 * 16 * 32
+        assert op.bwd_needs_input
+
+    def test_attention_scores_head_divisibility(self):
+        q = TensorSpec((2, 16, 30))
+        with pytest.raises(GraphError):
+            ops.attention_scores(q, q, heads=4)
+
+    def test_attention_apply_shape(self):
+        scores = TensorSpec((2, 4, 16, 16))
+        v = TensorSpec((2, 16, 32))
+        op, out = ops.attention_apply(scores, v)
+        assert out.shape == (2, 16, 32)
+
+    def test_attention_apply_mismatch(self):
+        with pytest.raises(GraphError):
+            ops.attention_apply(TensorSpec((2, 4, 16, 16)), TensorSpec((2, 8, 32)))
+
+    def test_softmax_needs_output_only(self):
+        op, out = ops.softmax(TensorSpec((2, 4, 8, 8)))
+        assert op.bwd_needs_output and not op.bwd_needs_input
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_layernorm_params(self):
+        op, _ = ops.layernorm(TensorSpec((2, 8, 16)))
+        assert op.param_bytes == 2 * 16 * 4
+        assert op.bwd_needs_input
+
+    def test_matmul_is_compute_bound(self):
+        q = TensorSpec((2, 16, 32))
+        op, _ = ops.attention_scores(q, q)
+        assert op.compute_bound
+        assert op.recomputable
+
+
+class TestTransformerModel:
+    def test_builds(self):
+        g = transformer_encoder(batch=2, seq_len=16, d_model=32, heads=4,
+                                n_layers=2)
+        g.validate()
+        kinds = {l.op.kind for l in g}
+        assert OpKind.MATMUL in kinds and OpKind.SOFTMAX in kinds
+        assert OpKind.LAYERNORM in kinds
+
+    def test_score_tensor_quadratic_in_seq_len(self):
+        short = transformer_encoder(batch=1, seq_len=64, d_model=32,
+                                    n_layers=1, heads=2)
+        long = transformer_encoder(batch=1, seq_len=128, d_model=32,
+                                   n_layers=1, heads=2)
+        s = short.by_name("blk0_qk").out_spec.nbytes
+        l = long.by_name("blk0_qk").out_spec.nbytes
+        assert l == 4 * s
+
+    def test_long_sequence_exceeds_gpu(self):
+        g = transformer_encoder(batch=16, seq_len=4096, d_model=1024,
+                                heads=16, n_layers=12)
+        assert g.training_memory_bytes() > 16 * GiB
+
+    def test_out_of_core_gradients_bit_identical(self):
+        g = transformer_encoder(batch=2, seq_len=16, d_model=16, heads=2,
+                                n_layers=2, num_classes=3)
+        verify_against_incore(g, Classification.all_swap(g), X86_V100)
+        verify_against_incore(g, Classification.all_recompute(g), X86_V100)
+
+    def test_trains(self):
+        from repro.runtime.training import SGD, Trainer
+        g = transformer_encoder(batch=4, seq_len=8, d_model=16, heads=2,
+                                n_layers=1, num_classes=2)
+        rep = Trainer(g, Classification.all_swap(g), X86_V100,
+                      optimizer=SGD(lr=0.05)).run(15)
+        assert rep.final_loss < rep.losses[0]
+
+
+class TestMobileNet:
+    def test_builds(self):
+        from repro.models import mobilenet_v1
+        g = mobilenet_v1(2)
+        g.validate()
+        # depthwise convs present: groups == channels
+        assert any(
+            l.op.kind is OpKind.CONV
+            and l.op.attrs["groups"] == l.out_spec.channels > 1
+            for l in g
+        )
+
+    def test_param_count(self):
+        # ~4.2M parameters
+        from repro.models import mobilenet_v1
+        n = mobilenet_v1(1).total_param_bytes / 4
+        assert 3.5e6 < n < 5e6
+
+    def test_lowest_flops_per_byte(self):
+        from repro.models import mobilenet_v1, resnet50
+        m = mobilenet_v1(64)
+        r = resnet50(64)
+        m_ratio = m.total_fwd_flops / m.total_feature_bytes
+        r_ratio = r.total_fwd_flops / r.total_feature_bytes
+        assert m_ratio < r_ratio  # even less compute to hide behind
+
+    def test_width_multiplier(self):
+        from repro.models import mobilenet_v1
+        slim = mobilenet_v1(1, width_mult=0.5)
+        full = mobilenet_v1(1, width_mult=1.0)
+        assert slim.total_param_bytes < full.total_param_bytes / 2.5
+
+    def test_out_of_core_numerics(self):
+        from repro.graph import GraphBuilder
+        # miniature separable block through the numeric backend
+        b = GraphBuilder("mini_mobile")
+        x = b.input((2, 4, 8, 8))
+        h = b.conv(x, 4, ksize=3, pad=1, groups=4, bias=False, name="dw")
+        h = b.batchnorm(h, activation="relu", name="dw_bn")
+        h = b.conv(h, 8, ksize=1, bias=False, name="pw")
+        h = b.batchnorm(h, activation="relu", name="pw_bn")
+        b.loss(b.linear(b.global_avg_pool(h), 3))
+        g = b.build()
+        verify_against_incore(g, Classification.all_swap(g), X86_V100)
+        verify_against_incore(g, Classification.all_recompute(g), X86_V100)
+
+    def test_pooch_prefers_recompute_on_slow_link(self):
+        """MobileNet's bandwidth-bound layers on PCIe: recompute share should
+        be substantial when memory forces out-of-core choices."""
+        from repro.models import mobilenet_v1
+        from repro.pooch import PoocH, PoochConfig
+        from repro.runtime import MapClass
+        from repro.hw import X86_V100
+        g = mobilenet_v1(512)  # ~20 GiB training memory
+        assert g.training_memory_bytes() > X86_V100.usable_gpu_memory
+        res = PoocH(X86_V100, PoochConfig(max_exact_li=4,
+                                          step1_sim_budget=200)).optimize(g)
+        counts = res.classification.counts()
+        assert counts[MapClass.RECOMPUTE] > 0

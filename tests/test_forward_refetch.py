@@ -1,0 +1,168 @@
+"""Forward re-fetch (extension): long skip connections leave the GPU between
+distant forward consumers instead of staying pinned (the paper's §3.1 rule
+keeps a swapped map resident until its last forward consumer)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import MiB
+from repro.graph import GraphBuilder
+from repro.gpusim import StreamName, TaskKind
+from repro.hw import CostModel, X86_V100
+from repro.models import unet
+from repro.pooch import PoocH, PoochConfig
+from repro.runtime import (
+    Classification,
+    CostModelDurations,
+    MapClass,
+    ScheduleOptions,
+    build_schedule,
+    execute,
+)
+from repro.runtime.numeric import run_numeric
+from tests.conftest import tiny_machine
+
+
+def skip_net(batch=8, channels=16, image=32, middle=6):
+    """input -> stem -> [middle cheap layers] -> concat(stem, tail): the stem
+    output is consumed once early and once ``middle`` layers later."""
+    b = GraphBuilder("skipnet")
+    x = b.input((batch, 3, image, image))
+    stem = b.conv(x, channels, ksize=3, pad=1, activation="relu", name="stem")
+    h = stem
+    for i in range(middle):
+        h = b.conv(h, channels, ksize=3, pad=1, activation="relu",
+                   name=f"mid{i}")
+    h = b.concat([stem, h], name="join")
+    h = b.global_avg_pool(h, name="gap")
+    h = b.linear(h, 4, name="head")
+    b.loss(h)
+    return b.build()
+
+
+def build(graph, cls, gap=None):
+    dur = CostModelDurations(graph, CostModel(X86_V100))
+    return build_schedule(graph, cls, dur,
+                          ScheduleOptions(forward_refetch_gap=gap))
+
+
+class TestScheduleStructure:
+    def test_no_refetch_by_default(self):
+        g = skip_net()
+        sched = build(g, Classification.all_swap(g))
+        assert not any("~f" in tid for tid in sched.tasks)
+
+    def test_refetch_task_created(self):
+        g = skip_net()
+        sched = build(g, Classification.all_swap(g), gap=3)
+        stem = g.by_name("stem").index
+        assert f"SI{stem}~f1" in sched.tasks
+        si = sched.tasks[f"SI{stem}~f1"]
+        assert si.kind is TaskKind.SWAP_IN and si.stream is StreamName.H2D
+        assert f"SO{stem}" in si.deps
+
+    def test_late_consumer_reads_refetched_instance(self):
+        g = skip_net()
+        sched = build(g, Classification.all_swap(g), gap=3)
+        stem = g.by_name("stem").index
+        join = g.by_name("join").index
+        assert f"fm{stem}@f1" in sched.tasks[f"F{join}"].reads
+        assert f"fm{stem}@f" not in sched.tasks[f"F{join}"].reads
+
+    def test_swap_out_no_longer_waits_for_late_consumer(self):
+        g = skip_net()
+        stem = g.by_name("stem").index
+        join = g.by_name("join").index
+        plain = build(g, Classification.all_swap(g))
+        assert f"F{join}" in plain.tasks[f"SO{stem}"].deps
+        refetch = build(g, Classification.all_swap(g), gap=3)
+        assert f"F{join}" not in refetch.tasks[f"SO{stem}"].deps
+
+    def test_close_consumers_not_segmented(self):
+        g = skip_net(middle=2)  # gap of 3 never exceeded
+        sched = build(g, Classification.all_swap(g), gap=3)
+        assert not any("~f" in tid for tid in sched.tasks)
+
+    def test_keep_maps_unaffected(self):
+        g = skip_net()
+        sched = build(g, Classification.all_keep(g), gap=2)
+        assert not any("~f" in tid for tid in sched.tasks)
+
+
+class TestSemantics:
+    def test_numeric_bit_exact_with_refetch(self):
+        g = skip_net(batch=2, channels=4, image=8, middle=4)
+        _, ref = run_numeric(g, Classification.all_keep(g), X86_V100)
+        from repro.gpusim import Engine
+        from repro.runtime.numeric import NumericExecutor
+        ex = NumericExecutor(g, seed=0)
+        sched = build(g, Classification.all_swap(g), gap=2)
+        ex.attach(sched)
+        Engine(sched, X86_V100.usable_gpu_memory,
+               X86_V100.cpu_mem_capacity, free_hook=ex.on_free).run()
+        for l, gr in ref.weight_grads.items():
+            for n, v in gr.items():
+                assert np.array_equal(v, ex.weight_grads[l][n])
+
+    def test_forward_peak_drops(self):
+        """The headline effect: skips leave the GPU mid-forward."""
+        g = skip_net(batch=64, channels=64, image=64, middle=8)
+        cls = Classification.all_swap(g)
+        plain = execute(g, cls, X86_V100)
+        refetch = execute(g, cls, X86_V100,
+                          options=ScheduleOptions(forward_refetch_gap=3))
+        assert refetch.device_peak < plain.device_peak
+
+    def test_refetch_adds_a_transfer_but_unblocks_the_d2h_queue(self):
+        g = skip_net(batch=64, channels=64, image=64, middle=8)
+        cls = Classification.all_swap(g)
+        plain = execute(g, cls, X86_V100)
+        refetch = execute(g, cls, X86_V100,
+                          options=ScheduleOptions(forward_refetch_gap=3))
+        # one extra H2D transfer (the mid-forward restore) ...
+        assert (len(refetch.records_by_kind(TaskKind.SWAP_IN))
+                == len(plain.records_by_kind(TaskKind.SWAP_IN)) + 1)
+        # ... yet it can even be *faster*: under the paper's rule the stem's
+        # swap-out waits for the late consumer at the head of the FIFO D2H
+        # queue, delaying every later swap-out behind it
+        assert refetch.makespan <= plain.makespan * 1.1
+
+
+@pytest.fixture(scope="module")
+def unet_floor():
+    """(graph, plain all-swap floor in MiB) found empirically."""
+    g = unet(16, image=128, base_channels=16, depth=3, num_classes=4)
+    cls = Classification.all_swap(g)
+    hi = int(g.training_memory_bytes() / MiB)
+    floor = hi
+    for mem in range(hi, 32, -16):
+        try:
+            execute(g, cls, tiny_machine(mem_mib=mem, link_gbps=4.0))
+            floor = mem
+        except OutOfMemoryError:
+            break
+    return g, floor
+
+
+class TestUnetEnablement:
+    def test_unet_below_skip_floor(self, unet_floor):
+        """A machine below the skip-sum forward floor: infeasible under the
+        paper's rule, feasible with forward re-fetch."""
+        g, floor = unet_floor
+        cls = Classification.all_swap(g)
+        m = tiny_machine(mem_mib=int(floor * 0.9), link_gbps=4.0)
+        with pytest.raises(OutOfMemoryError):
+            execute(g, cls, m)
+        r = execute(g, cls, m, options=ScheduleOptions(forward_refetch_gap=8))
+        assert r.device_peak <= m.usable_gpu_memory
+
+    def test_pooch_with_refetch(self, unet_floor):
+        g, floor = unet_floor
+        m = tiny_machine(mem_mib=int(floor * 0.9), link_gbps=4.0)
+        cfg = PoochConfig(max_exact_li=3, step1_sim_budget=150,
+                          forward_refetch_gap=8)
+        res = PoocH(m, cfg).optimize(g)
+        gt = res.execute(m)
+        assert gt.device_peak <= m.usable_gpu_memory
+        assert gt.makespan == pytest.approx(res.predicted.time, rel=1e-9)

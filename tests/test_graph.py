@@ -1,0 +1,142 @@
+"""NNGraph structure, validation and liveness queries."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph import GraphBuilder, Layer, NNGraph, TensorSpec
+from repro.graph import ops
+from repro.models import small_cnn
+
+
+def _chain3():
+    b = GraphBuilder("t")
+    x = b.input((2, 4, 8, 8))
+    h = b.conv(x, 4, ksize=3, pad=1)
+    h = b.batchnorm(h)
+    b.loss(b.linear(h, 4))
+    return b.build()
+
+
+class TestValidation:
+    def test_valid_graph_builds(self):
+        g = _chain3()
+        assert len(g) == 5
+
+    def test_duplicate_names_rejected(self):
+        op, spec = ops.input_op(TensorSpec((2, 4)))
+        lop, lspec = ops.linear(spec, 4)
+        layers = [
+            Layer(0, "a", op, (), spec),
+            Layer(1, "a", lop, (0,), lspec),
+        ]
+        with pytest.raises(GraphError, match="duplicate"):
+            NNGraph(layers)
+
+    def test_bad_index_rejected(self):
+        op, spec = ops.input_op(TensorSpec((2, 4)))
+        with pytest.raises(GraphError, match="index"):
+            NNGraph([Layer(1, "a", op, (), spec)])
+
+    def test_forward_reference_rejected(self):
+        op, spec = ops.input_op(TensorSpec((2, 4)))
+        lop, lspec = ops.linear(spec, 4)
+        with pytest.raises(GraphError, match="topo"):
+            NNGraph([
+                Layer(0, "a", op, (), spec),
+                Layer(1, "b", lop, (1,), lspec),
+            ])
+
+    def test_non_input_needs_preds(self):
+        lop, lspec = ops.linear(TensorSpec((2, 4)), 4)
+        with pytest.raises(GraphError, match="no inputs"):
+            NNGraph([Layer(0, "b", lop, (), lspec)])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            NNGraph([])
+
+
+class TestAccessors:
+    def test_by_name(self):
+        g = _chain3()
+        assert g.by_name("conv0").index == 1
+
+    def test_by_name_missing(self):
+        with pytest.raises(GraphError):
+            _chain3().by_name("nope")
+
+    def test_consumers(self):
+        g = _chain3()
+        assert g.consumers[0] == [1]
+        assert g.consumers[1] == [2]
+        assert g.consumers[len(g) - 1] == []
+
+    def test_iteration_and_indexing(self):
+        g = _chain3()
+        assert [l.index for l in g] == list(range(len(g)))
+        assert g[2].index == 2
+
+
+class TestLiveness:
+    def test_last_forward_use_chain(self):
+        g = _chain3()
+        assert g.last_forward_use(0) == 1
+        assert g.last_forward_use(len(g) - 1) == len(g) - 1
+
+    def test_last_forward_use_branch(self):
+        g = small_cnn(with_residual=True)
+        bn1 = g.by_name("bn1").index
+        res = g.by_name("res").index
+        # bn1's output feeds conv2 AND the residual add
+        assert g.last_forward_use(bn1) == res
+
+    def test_backward_users_conv_input(self):
+        g = _chain3()
+        # conv backward needs its input (the INPUT map)
+        assert 1 in g.backward_users(0)
+
+    def test_backward_users_self_output(self):
+        b = GraphBuilder("t", fuse_activations=False)
+        x = b.input((2, 4))
+        h = b.linear(x, 4, activation="relu")
+        b.loss(b.linear(h, 4))
+        g = b.build()
+        relu = g.by_name("relu0").index
+        assert relu in g.backward_users(relu)
+
+    def test_bn_pre_add_output_has_no_backward_users(self):
+        g = small_cnn(with_residual=True)
+        bn2 = g.by_name("bn2").index
+        assert g.backward_users(bn2) == ()
+        assert bn2 not in g.classifiable_maps()
+
+    def test_classifiable_maps_subset(self):
+        g = small_cnn(with_residual=True)
+        cm = g.classifiable_maps()
+        assert set(cm) <= set(range(len(g)))
+        # input is classifiable (conv1 wgrad reads it)
+        assert 0 in cm
+
+
+class TestAggregates:
+    def test_param_bytes_positive(self):
+        g = _chain3()
+        assert g.total_param_bytes > 0
+
+    def test_feature_bytes_sum(self):
+        g = _chain3()
+        assert g.total_feature_bytes == sum(l.out_spec.nbytes for l in g)
+
+    def test_training_memory_exceeds_features_of_classifiable(self):
+        g = _chain3()
+        feat = sum(g[i].out_spec.nbytes for i in g.classifiable_maps())
+        assert g.training_memory_bytes() >= feat + 2 * g.total_param_bytes
+
+    def test_memory_scales_with_batch(self):
+        small = small_cnn(batch=2)
+        big = small_cnn(batch=8)
+        assert big.training_memory_bytes() > 2 * small.training_memory_bytes() / 2
+
+    def test_summary_mentions_counts(self):
+        s = _chain3().summary()
+        assert "layers" in s and "params" in s

@@ -1,0 +1,48 @@
+"""Host-memory limits: swap space is bounded by CPU DRAM (the paper's
+Tables 1/2 list 192 GB vs 1 TB for a reason)."""
+
+import pytest
+from dataclasses import replace
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import GB, MiB
+from repro.models import poster_example
+from repro.runtime import Classification, execute
+from tests.conftest import tiny_machine
+
+
+class TestHostCapacity:
+    def test_swap_needs_host_space(self):
+        """All-swap with a host smaller than the feature maps fails in the
+        host pool."""
+        g = poster_example()  # ~288 MiB of feature maps
+        m = replace(tiny_machine(mem_mib=224), cpu_mem_capacity=64 * MiB)
+        with pytest.raises(OutOfMemoryError, match="host"):
+            execute(g, Classification.all_swap(g), m)
+
+    def test_ample_host_is_fine(self):
+        g = poster_example()
+        m = replace(tiny_machine(mem_mib=224), cpu_mem_capacity=4 * GB)
+        r = execute(g, Classification.all_swap(g), m)
+        assert 0 < r.host_peak <= 4 * GB
+
+    def test_keep_plan_uses_no_host(self):
+        from repro.hw import X86_V100
+        g = poster_example()
+        r = execute(g, Classification.all_keep(g), X86_V100)
+        assert r.host_peak == 0
+
+    def test_recompute_host_usage_is_input_only(self):
+        # all_recompute falls back to SWAP for the (non-recomputable) input
+        # batch, which is the only map that should touch host memory
+        from repro.hw import X86_V100
+        g = poster_example()
+        r = execute(g, Classification.all_recompute(g), X86_V100)
+        assert 0 < r.host_peak <= g[0].out_spec.nbytes * 1.01
+
+    def test_host_usage_bounded_by_swapped_bytes(self):
+        from repro.hw import X86_V100
+        g = poster_example()
+        r = execute(g, Classification.all_swap(g), X86_V100)
+        swapped = sum(g[i].out_spec.nbytes for i in g.classifiable_maps())
+        assert r.host_peak <= swapped * 1.01

@@ -1,0 +1,106 @@
+"""End-to-end scenarios combining profiling, classification, baselines and
+ground-truth execution — the paper's claims at test scale."""
+
+import pytest
+
+from repro.baselines import (
+    plan_incore,
+    plan_superneurons,
+    plan_swap_all,
+    plan_swap_all_unscheduled,
+    plan_swap_opt,
+)
+from repro.common.errors import OutOfMemoryError
+from repro.models import linear_chain, poster_example, resnet18
+from repro.pooch import PoocH, PoochConfig
+from repro.runtime import Classification, MapClass, execute, images_per_second
+from tests.conftest import tiny_machine
+
+CFG = PoochConfig(max_exact_li=4, step1_sim_budget=300)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return tiny_machine(mem_mib=224, link_gbps=2.0)
+
+
+@pytest.fixture(scope="module")
+def pooch_result(machine):
+    return PoocH(machine, CFG).optimize(poster_example())
+
+
+class TestHeadlineClaims:
+    def test_pooch_runs_what_incore_cannot(self, machine, pooch_result):
+        g = poster_example()
+        with pytest.raises(OutOfMemoryError):
+            plan_incore(g).execute(g, machine)
+        assert pooch_result.execute(machine).makespan > 0
+
+    def test_pooch_beats_every_baseline(self, machine, pooch_result):
+        """Fig. 15-style ordering at test scale: PoocH >= swap-opt >=
+        swap-all >= swap-all w/o scheduling (in throughput)."""
+        g = poster_example()
+        times = {"pooch": pooch_result.execute(machine).makespan}
+        for plan_fn in (plan_swap_all_unscheduled, plan_swap_all):
+            plan = plan_fn(g)
+            times[plan.name] = plan.execute(g, machine).makespan
+        plan = plan_swap_opt(g, machine, profile=pooch_result.profile,
+                             config=CFG)
+        times["swap-opt"] = plan.execute(g, machine).makespan
+        assert times["pooch"] <= times["swap-opt"] * 1.001
+        assert times["swap-opt"] <= times["swap-all"] * 1.001
+        # eager scheduling's memory headroom can cost a few percent on a
+        # device this small; at paper scale it wins (see the Fig. 15 bench)
+        assert times["swap-all"] <= times["swap-all(w/o scheduling)"] * 1.05
+
+    def test_pooch_at_least_matches_superneurons(self, machine, pooch_result):
+        g = poster_example()
+        try:
+            sn = plan_superneurons(g, machine).execute(g, machine).makespan
+        except OutOfMemoryError:
+            return  # superneurons failing outright also satisfies the claim
+        assert pooch_result.execute(machine).makespan <= sn * 1.001
+
+    def test_classification_is_hybrid_under_pressure(self, machine):
+        """On a slow link with tight memory the chosen plan actually uses
+        the hybrid toolbox (keeps something, and swaps or recomputes the
+        rest) rather than collapsing to one class."""
+        g = linear_chain(10, batch=64, channels=32, image=64)
+        res = PoocH(machine, CFG).optimize(g)
+        counts = res.classification.counts()
+        assert counts[MapClass.KEEP] > 0
+        assert counts[MapClass.SWAP] + counts[MapClass.RECOMPUTE] > 0
+
+
+class TestRealModelSmall:
+    def test_resnet18_out_of_core_roundtrip(self):
+        """A real (small) ResNet on a machine scaled so it does not fit."""
+        # 60% of the in-core requirement: safely above the all-swap floor
+        # (params + gradients + the early layers' backward transient) but far
+        # below what keeping everything would need
+        g = resnet18(32)
+        need = g.training_memory_bytes()
+        m = tiny_machine(mem_mib=int(need / (1 << 20) * 0.6), link_gbps=8.0)
+        with pytest.raises(OutOfMemoryError):
+            execute(g, Classification.all_keep(g), m)
+        res = PoocH(m, CFG).optimize(g)
+        gt = res.execute(m)
+        assert gt.device_peak <= m.usable_gpu_memory
+        assert gt.makespan == pytest.approx(res.predicted.time, rel=1e-9)
+
+    def test_throughput_reporting(self, machine, pooch_result):
+        gt = pooch_result.execute(machine)
+        ips = images_per_second(gt, 64)
+        assert ips == pytest.approx(64 / gt.makespan)
+
+
+class TestCrossMachine:
+    def test_plans_differ_between_links(self):
+        slow = tiny_machine(mem_mib=224, link_gbps=1.0, name="slow")
+        fast = tiny_machine(mem_mib=224, link_gbps=400.0, name="fast")
+        g = linear_chain(10, batch=64, channels=32, image=64)
+        plan_slow = PoocH(slow, CFG).optimize(g).classification
+        plan_fast = PoocH(fast, CFG).optimize(g).classification
+        rec_slow = plan_slow.counts()[MapClass.RECOMPUTE]
+        rec_fast = plan_fast.counts()[MapClass.RECOMPUTE]
+        assert rec_slow >= rec_fast  # Table 3's direction

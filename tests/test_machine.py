@@ -1,0 +1,59 @@
+"""Machine specs (the paper's Tables 1/2) and derived machines."""
+
+import pytest
+
+from repro.common.units import GB, GiB
+from repro.hw import MachineSpec, POWER9_V100, X86_V100, scaled_machine
+
+
+class TestPaperMachines:
+    def test_x86_matches_table1(self):
+        m = X86_V100
+        assert m.gpu == "NVIDIA Tesla V100"
+        assert m.gpu_mem_capacity == 16 * GiB
+        assert m.cpu == "Intel Xeon Gold 6140"
+        assert m.cpu_mem_capacity == 192 * GB
+        assert m.h2d_bandwidth == 16 * GB
+        assert m.interconnect == "PCIe gen3 x16"
+
+    def test_power9_matches_table2(self):
+        m = POWER9_V100
+        assert m.cpu == "IBM POWER9"
+        assert m.cpu_mem_capacity == 1000 * GB
+        assert m.h2d_bandwidth == 75 * GB
+        assert "NVLink" in m.interconnect
+
+    def test_nvlink_more_than_4x_pcie(self):
+        # "NVLink2.0, which is more than four times faster than PCI-Express"
+        assert POWER9_V100.h2d_bandwidth > 4 * X86_V100.h2d_bandwidth
+
+    def test_usable_memory_below_capacity(self):
+        assert 0 < X86_V100.usable_gpu_memory < X86_V100.gpu_mem_capacity
+
+    def test_environment_table_rows(self):
+        rows = dict(X86_V100.environment_table())
+        assert rows["GPU memory capacity"] == "16 GB"
+        assert rows["CPU-GPU bandwidth"] == "16 GB/sec"
+        assert len(rows) == 9
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            X86_V100.gpu_mem_capacity = 1
+
+
+class TestScaledMachine:
+    def test_mem_scale(self):
+        m = scaled_machine(X86_V100, mem_scale=0.5)
+        assert m.gpu_mem_capacity == 8 * GiB
+
+    def test_link_scale(self):
+        m = scaled_machine(X86_V100, link_scale=2.0)
+        assert m.h2d_bandwidth == 32 * GB
+        assert m.d2h_bandwidth == 32 * GB
+
+    def test_name_default(self):
+        assert scaled_machine(X86_V100).name == "x86_scaled"
+
+    def test_original_untouched(self):
+        scaled_machine(X86_V100, mem_scale=0.1)
+        assert X86_V100.gpu_mem_capacity == 16 * GiB

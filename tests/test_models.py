@@ -1,0 +1,165 @@
+"""Model zoo: structure, parameter counts, memory scale vs the paper."""
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.common.units import GiB
+from repro.graph.ops import OpKind
+from repro.models import (
+    MODEL_ZOO,
+    alexnet,
+    build_model,
+    googlenet,
+    linear_chain,
+    mlp,
+    poster_example,
+    resnet18,
+    resnet50,
+    resnext50_32x4d,
+    resnext101_3d,
+    small_cnn,
+    vgg16,
+)
+
+
+class TestResNet50:
+    def test_classifiable_map_count_matches_paper_scale(self):
+        # the paper's Table 3 classifies 105 feature maps for ResNet-50
+        g = resnet50(512)
+        assert 100 <= len(g.classifiable_maps()) <= 112
+
+    def test_param_count(self):
+        # ResNet-50 has ~25.6M parameters -> ~97.7 MiB in fp32
+        g = resnet50(1)
+        n_params = g.total_param_bytes / 4
+        assert 24e6 < n_params < 27e6
+
+    def test_memory_at_640_exceeds_50gb(self):
+        # Fig. 3: "memory usage ... exceeds 50 GB with the batch size of 640"
+        g = resnet50(640)
+        assert g.training_memory_bytes() > 47 * GiB
+
+    def test_memory_at_128_fits_16gb(self):
+        g = resnet50(128)
+        assert g.training_memory_bytes() < 15 * GiB
+
+    def test_memory_at_256_exceeds_16gb(self):
+        # Fig. 17: in-core fails from batch 256
+        g = resnet50(256)
+        assert g.training_memory_bytes() > 16 * GiB
+
+    def test_memory_linear_in_batch(self):
+        m1 = resnet50(128).training_memory_bytes()
+        m2 = resnet50(256).training_memory_bytes()
+        # feature maps dominate and scale linearly
+        assert m2 / m1 == pytest.approx(2.0, rel=0.1)
+
+    def test_flops_per_image(self):
+        # ResNet-50 is ~4.1 GMACs per 224x224 image; our convention counts
+        # multiply and add separately (matching the V100's FMA=2 peak), so
+        # ~8.2 GFLOPs forward per image
+        g = resnet50(8)
+        per_image = g.total_fwd_flops / 8
+        assert 7.0e9 < per_image < 9.5e9
+
+    def test_depths(self):
+        assert len(resnet18(2)) < len(resnet50(2))
+
+    def test_invalid_depth(self):
+        from repro.models.resnet import resnet
+        with pytest.raises(GraphError):
+            resnet(42, 2)
+
+
+class TestAlexNet:
+    def test_structure(self):
+        g = alexnet(4)
+        kinds = {l.op.kind for l in g}
+        assert OpKind.LRN in kinds and OpKind.DROPOUT in kinds
+        assert sum(1 for l in g if l.op.kind is OpKind.CONV) == 5
+        assert sum(1 for l in g if l.op.kind is OpKind.LINEAR) == 3
+
+    def test_param_count(self):
+        # ~61M parameters
+        n = alexnet(1).total_param_bytes / 4
+        assert 55e6 < n < 65e6
+
+    def test_high_flops_per_activation_byte(self):
+        # the property the paper leans on: AlexNet hides swaps easily
+        a = alexnet(64)
+        r = resnet50(64)
+        a_ratio = a.total_fwd_flops / a.total_feature_bytes
+        r_ratio = r.total_fwd_flops / r.total_feature_bytes
+        assert a_ratio > 2 * r_ratio
+
+    def test_no_dropout_variant(self):
+        g = alexnet(4, with_dropout=False)
+        assert all(l.op.kind is not OpKind.DROPOUT for l in g)
+
+
+class TestResNext3D:
+    def test_3d_shapes(self):
+        g = resnext101_3d((16, 112, 112))
+        assert g[0].out_spec.shape == (1, 3, 16, 112, 112)
+
+    def test_feature_memory_scales_with_input_volume(self):
+        # parameters are constant; activations scale with the input volume
+        m1 = resnext101_3d((16, 112, 112)).total_feature_bytes
+        m2 = resnext101_3d((32, 112, 112)).total_feature_bytes
+        assert m2 > 1.8 * m1
+
+    def test_exceeds_16gb_at_batch_1(self):
+        # Fig. 4: memory blows past the GPU even at batch 1
+        g = resnext101_3d((96, 512, 512))
+        assert g.training_memory_bytes() > 16 * GiB
+
+    def test_grouped_convs_present(self):
+        g = resnext101_3d((16, 112, 112))
+        assert any(
+            l.op.kind is OpKind.CONV and l.op.attrs["groups"] == 32 for l in g
+        )
+
+
+class TestOtherModels:
+    def test_vgg16_conv_count(self):
+        g = vgg16(2)
+        assert sum(1 for l in g if l.op.kind is OpKind.CONV) == 13
+
+    def test_googlenet_has_concats(self):
+        g = googlenet(2)
+        assert sum(1 for l in g if l.op.kind is OpKind.CONCAT) == 9
+
+    def test_googlenet_branches(self):
+        g = googlenet(2)
+        # at least one map fans out to 4 consumers (inception input)
+        assert max(len(c) for c in g.consumers) >= 4
+
+    def test_resnext50_grouped(self):
+        g = resnext50_32x4d(2)
+        assert any(
+            l.op.kind is OpKind.CONV and l.op.attrs["groups"] == 32 for l in g
+        )
+
+    def test_toys_build(self):
+        for g in (mlp(), small_cnn(), small_cnn(with_residual=True),
+                  linear_chain(4), poster_example()):
+            g.validate()
+
+    def test_poster_example_is_8_conv_layers(self):
+        g = poster_example()
+        assert sum(1 for l in g if l.op.kind is OpKind.CONV) == 8
+
+
+class TestZoo:
+    def test_registry_builds_everything_small(self):
+        for name in MODEL_ZOO:
+            g = build_model(name, batch=2)
+            g.validate()
+
+    def test_resnext101_3d_special_case(self):
+        g = build_model("resnext101_3d", batch=1, input_size=(16, 112, 112))
+        g.validate()
+
+    def test_unknown_model(self):
+        with pytest.raises(GraphError, match="unknown model"):
+            build_model("resnet9000", 2)

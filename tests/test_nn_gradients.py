@@ -1,0 +1,339 @@
+"""Finite-difference verification of every analytic backward kernel.
+
+Each forward is lifted to float64, a scalar objective ``sum(y * w)`` is
+formed with a fixed random weighting, and the analytic gradient is compared
+against central differences.  Tolerances are generous enough for float64
+numerics but tight enough to catch any formula error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(42)
+
+
+def numeric_grad(f, x, dy, eps=1e-5):
+    """Central-difference gradient of ``sum(f(x) * dy)`` w.r.t. x."""
+    g = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = g.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        hi = float((f(x) * dy).sum())
+        flat_x[i] = orig - eps
+        lo = float((f(x) * dy).sum())
+        flat_x[i] = orig
+        flat_g[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+def check(analytic, numeric, tol=1e-6):
+    assert np.allclose(analytic, numeric, rtol=tol, atol=tol), (
+        f"max diff {np.max(np.abs(analytic - numeric))}"
+    )
+
+
+class TestConv:
+    @pytest.mark.parametrize("stride,pad,groups", [
+        ((1, 1), (1, 1), 1),
+        ((2, 2), (0, 0), 1),
+        ((1, 1), (1, 1), 2),
+        ((2, 1), (1, 0), 1),
+    ])
+    def test_conv2d_grads(self, stride, pad, groups):
+        x = RNG.standard_normal((2, 4, 6, 6))
+        w = RNG.standard_normal((6, 4 // groups, 3, 3))
+        b = RNG.standard_normal(6)
+        y = F.conv_forward(x, w, b, stride, pad, groups)
+        dy = RNG.standard_normal(y.shape)
+        dx, dw, db = F.conv_backward(dy, x, w, stride, pad, groups)
+        check(dx, numeric_grad(
+            lambda v: F.conv_forward(v, w, b, stride, pad, groups), x, dy))
+        check(dw, numeric_grad(
+            lambda v: F.conv_forward(x, v, b, stride, pad, groups), w, dy))
+        check(db, numeric_grad(
+            lambda v: F.conv_forward(x, w, v, stride, pad, groups), b, dy))
+
+    def test_conv3d_grads(self):
+        x = RNG.standard_normal((1, 2, 4, 5, 5))
+        w = RNG.standard_normal((3, 2, 3, 3, 3))
+        stride, pad = (1, 2, 2), (1, 1, 1)
+        y = F.conv_forward(x, w, None, stride, pad)
+        dy = RNG.standard_normal(y.shape)
+        dx, dw, db = F.conv_backward(dy, x, w, stride, pad, with_bias=False)
+        assert db is None
+        check(dx, numeric_grad(
+            lambda v: F.conv_forward(v, w, None, stride, pad), x, dy))
+        check(dw, numeric_grad(
+            lambda v: F.conv_forward(x, v, None, stride, pad), w, dy))
+
+    def test_conv_matches_known_value(self):
+        # 1x1 conv over 1 pixel is a matmul
+        x = np.array([[[[2.0]], [[3.0]]]])
+        w = np.array([[[[1.0]], [[10.0]]]])
+        y = F.conv_forward(x, w, None, (1, 1), (0, 0))
+        assert y.item() == pytest.approx(32.0)
+
+
+class TestLinear:
+    def test_grads(self):
+        x = RNG.standard_normal((3, 7))
+        w = RNG.standard_normal((5, 7))
+        b = RNG.standard_normal(5)
+        dy = RNG.standard_normal((3, 5))
+        dx, dw, db = F.linear_backward(dy, x, w)
+        check(dx, numeric_grad(lambda v: F.linear_forward(v, w, b), x, dy))
+        check(dw, numeric_grad(lambda v: F.linear_forward(x, v, b), w, dy))
+        check(db, numeric_grad(lambda v: F.linear_forward(x, w, v), b, dy))
+
+    def test_flattening_input(self):
+        x = RNG.standard_normal((2, 3, 2, 2))
+        w = RNG.standard_normal((4, 12))
+        dy = RNG.standard_normal((2, 4))
+        dx, _, _ = F.linear_backward(dy, x, w)
+        assert dx.shape == x.shape
+
+
+class TestBatchnorm:
+    def test_grads(self):
+        x = RNG.standard_normal((4, 3, 5, 5))
+        gamma = RNG.standard_normal(3) + 1.0
+        beta = RNG.standard_normal(3)
+        dy = RNG.standard_normal(x.shape)
+        dx, dgamma, dbeta = F.batchnorm_backward(dy, x, gamma)
+        check(dx, numeric_grad(
+            lambda v: F.batchnorm_forward(v, gamma, beta), x, dy), tol=1e-5)
+        check(dgamma, numeric_grad(
+            lambda v: F.batchnorm_forward(x, v, beta), gamma, dy), tol=1e-5)
+        check(dbeta, numeric_grad(
+            lambda v: F.batchnorm_forward(x, gamma, v), beta, dy), tol=1e-5)
+
+    def test_normalises(self):
+        x = RNG.standard_normal((8, 4, 3, 3)) * 5 + 2
+        y = F.batchnorm_forward(x, np.ones(4), np.zeros(4))
+        assert np.abs(y.mean(axis=(0, 2, 3))).max() < 1e-6
+        assert np.abs(y.var(axis=(0, 2, 3)) - 1).max() < 1e-3
+
+
+class TestActivationsAndShapes:
+    def test_relu_grad_from_output(self):
+        x = RNG.standard_normal((4, 8))
+        y = F.relu_forward(x)
+        dy = RNG.standard_normal(x.shape)
+        dx = F.relu_backward(dy, y)
+        assert np.array_equal(dx, dy * (x > 0))
+
+    def test_add_backward(self):
+        dy = RNG.standard_normal((2, 3))
+        dxs = F.add_backward(dy, 3)
+        assert len(dxs) == 3
+        for dx in dxs:
+            assert np.array_equal(dx, dy)
+        dxs[0][:] = 0  # copies, not views
+        assert not np.array_equal(dxs[0], dy)
+
+    def test_concat_roundtrip(self):
+        a, b = RNG.standard_normal((2, 3, 4)), RNG.standard_normal((2, 5, 4))
+        y = F.concat_forward([a, b], axis=1)
+        da, db = F.concat_backward(y, [3, 5], axis=1)
+        assert np.array_equal(da, a) and np.array_equal(db, b)
+
+
+class TestPooling:
+    def test_maxpool_grads(self):
+        x = RNG.standard_normal((2, 2, 6, 6))
+        args = ((2, 2), (2, 2), (0, 0))
+        y = F.maxpool_forward(x, *args)
+        dy = RNG.standard_normal(y.shape)
+        dx = F.maxpool_backward(dy, x, y, *args)
+        check(dx, numeric_grad(lambda v: F.maxpool_forward(v, *args), x, dy),
+              tol=1e-4)
+
+    def test_maxpool_overlapping_windows(self):
+        x = RNG.standard_normal((1, 1, 5, 5))
+        args = ((3, 3), (2, 2), (1, 1))
+        y = F.maxpool_forward(x, *args)
+        dy = RNG.standard_normal(y.shape)
+        dx = F.maxpool_backward(dy, x, y, *args)
+        check(dx, numeric_grad(lambda v: F.maxpool_forward(v, *args), x, dy),
+              tol=1e-4)
+
+    def test_avgpool_grads(self):
+        x = RNG.standard_normal((2, 2, 4, 4))
+        args = ((2, 2), (2, 2), (0, 0))
+        y = F.avgpool_forward(x, *args)
+        dy = RNG.standard_normal(y.shape)
+        dx = F.avgpool_backward(dy, x.shape, *args, dtype=x.dtype)
+        check(dx, numeric_grad(lambda v: F.avgpool_forward(v, *args), x, dy))
+
+    def test_global_avg_pool_grads(self):
+        x = RNG.standard_normal((2, 3, 4, 4))
+        y = F.global_avg_pool_forward(x)
+        dy = RNG.standard_normal(y.shape)
+        dx = F.global_avg_pool_backward(dy, x.shape)
+        check(dx, numeric_grad(lambda v: F.global_avg_pool_forward(v), x, dy))
+
+    def test_maxpool_3d(self):
+        x = RNG.standard_normal((1, 2, 4, 4, 4))
+        args = ((2, 2, 2), (2, 2, 2), (0, 0, 0))
+        y = F.maxpool_forward(x, *args)
+        assert y.shape == (1, 2, 2, 2, 2)
+
+
+class TestLrn:
+    def test_grads(self):
+        x = RNG.standard_normal((2, 8, 3, 3))
+        y = F.lrn_forward(x, 5)
+        dy = RNG.standard_normal(y.shape)
+        dx = F.lrn_backward(dy, x, y, 5)
+        check(dx, numeric_grad(lambda v: F.lrn_forward(v, 5), x, dy), tol=1e-5)
+
+
+class TestSoftmaxXent:
+    def test_grads(self):
+        logits = RNG.standard_normal((6, 5))
+        targets = RNG.integers(0, 5, size=6)
+        dy = RNG.standard_normal(6)
+        dx = F.softmax_xent_backward(dy, logits, targets)
+        check(dx, numeric_grad(
+            lambda v: F.softmax_xent_forward(v, targets), logits, dy),
+            tol=1e-5)
+
+    def test_loss_positive(self):
+        logits = RNG.standard_normal((6, 5))
+        targets = RNG.integers(0, 5, size=6)
+        assert (F.softmax_xent_forward(logits, targets) > 0).all()
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((1, 3), -20.0)
+        logits[0, 1] = 20.0
+        loss = F.softmax_xent_forward(logits, np.array([1]))
+        assert loss[0] < 1e-6
+
+
+class TestSequenceKernels:
+    def test_token_linear_grads(self):
+        x = RNG.standard_normal((2, 5, 4))
+        w = RNG.standard_normal((3, 4))
+        b = RNG.standard_normal(3)
+        dy = RNG.standard_normal((2, 5, 3))
+        dx, dw, db = F.token_linear_backward(dy, x, w)
+        check(dx, numeric_grad(lambda v: F.token_linear_forward(v, w, b), x, dy))
+        check(dw, numeric_grad(lambda v: F.token_linear_forward(x, v, b), w, dy))
+        check(db, numeric_grad(lambda v: F.token_linear_forward(x, w, v), b, dy))
+
+    def test_attention_scores_grads(self):
+        q = RNG.standard_normal((2, 6, 8))
+        k = RNG.standard_normal((2, 6, 8))
+        dy = RNG.standard_normal((2, 2, 6, 6))
+        dq, dk = F.attention_scores_backward(dy, q, k, heads=2)
+        check(dq, numeric_grad(
+            lambda v: F.attention_scores_forward(v, k, 2), q, dy))
+        check(dk, numeric_grad(
+            lambda v: F.attention_scores_forward(q, v, 2), k, dy))
+
+    def test_attention_apply_grads(self):
+        scores = RNG.standard_normal((2, 2, 6, 6))
+        v = RNG.standard_normal((2, 6, 8))
+        dy = RNG.standard_normal((2, 6, 8))
+        ds, dv = F.attention_apply_backward(dy, scores, v)
+        check(ds, numeric_grad(
+            lambda s: F.attention_apply_forward(s, v), scores, dy))
+        check(dv, numeric_grad(
+            lambda u: F.attention_apply_forward(scores, u), v, dy))
+
+    def test_softmax_grads_from_output(self):
+        x = RNG.standard_normal((3, 4, 7))
+        y = F.softmax_forward(x)
+        dy = RNG.standard_normal(x.shape)
+        dx = F.softmax_backward(dy, y)
+        check(dx, numeric_grad(lambda v: F.softmax_forward(v), x, dy), tol=1e-5)
+
+    def test_softmax_rows_sum_to_one(self):
+        y = F.softmax_forward(RNG.standard_normal((4, 9)))
+        assert np.allclose(y.sum(axis=-1), 1.0)
+
+    def test_layernorm_grads(self):
+        x = RNG.standard_normal((2, 5, 6))
+        gamma = RNG.standard_normal(6) + 1.0
+        beta = RNG.standard_normal(6)
+        dy = RNG.standard_normal(x.shape)
+        dx, dgamma, dbeta = F.layernorm_backward(dy, x, gamma)
+        check(dx, numeric_grad(
+            lambda v: F.layernorm_forward(v, gamma, beta), x, dy), tol=1e-5)
+        check(dgamma, numeric_grad(
+            lambda v: F.layernorm_forward(x, v, beta), gamma, dy), tol=1e-5)
+        check(dbeta, numeric_grad(
+            lambda v: F.layernorm_forward(x, gamma, v), beta, dy), tol=1e-5)
+
+    def test_layernorm_normalises_last_axis(self):
+        x = RNG.standard_normal((2, 3, 16)) * 7 + 3
+        y = F.layernorm_forward(x, np.ones(16), np.zeros(16))
+        assert np.abs(y.mean(axis=-1)).max() < 1e-6
+
+
+class TestConvEdgeGeometries:
+    @pytest.mark.parametrize("stride,pad", [
+        ((3, 3), (0, 0)),
+        ((1, 3), (2, 0)),
+        ((2, 2), (2, 2)),
+    ])
+    def test_asymmetric_2d(self, stride, pad):
+        x = RNG.standard_normal((1, 2, 7, 9))
+        w = RNG.standard_normal((3, 2, 3, 3))
+        y = F.conv_forward(x, w, None, stride, pad)
+        dy = RNG.standard_normal(y.shape)
+        dx, dw, _ = F.conv_backward(dy, x, w, stride, pad, with_bias=False)
+        check(dx, numeric_grad(
+            lambda v: F.conv_forward(v, w, None, stride, pad), x, dy))
+        check(dw, numeric_grad(
+            lambda v: F.conv_forward(x, v, None, stride, pad), w, dy))
+
+    def test_grouped_3d(self):
+        x = RNG.standard_normal((1, 4, 3, 4, 4))
+        w = RNG.standard_normal((4, 2, 1, 3, 3))
+        stride, pad = (1, 1, 1), (0, 1, 1)
+        y = F.conv_forward(x, w, None, stride, pad, groups=2)
+        dy = RNG.standard_normal(y.shape)
+        dx, dw, _ = F.conv_backward(dy, x, w, stride, pad, groups=2,
+                                    with_bias=False)
+        check(dx, numeric_grad(
+            lambda v: F.conv_forward(v, w, None, stride, pad, 2), x, dy))
+        check(dw, numeric_grad(
+            lambda v: F.conv_forward(x, v, None, stride, pad, 2), w, dy))
+
+    def test_depthwise(self):
+        # groups == channels (MobileNet's depthwise stage)
+        x = RNG.standard_normal((2, 4, 6, 6))
+        w = RNG.standard_normal((4, 1, 3, 3))
+        stride, pad = (1, 1), (1, 1)
+        y = F.conv_forward(x, w, None, stride, pad, groups=4)
+        dy = RNG.standard_normal(y.shape)
+        dx, dw, _ = F.conv_backward(dy, x, w, stride, pad, groups=4,
+                                    with_bias=False)
+        check(dx, numeric_grad(
+            lambda v: F.conv_forward(v, w, None, stride, pad, 4), x, dy))
+        check(dw, numeric_grad(
+            lambda v: F.conv_forward(x, v, None, stride, pad, 4), w, dy))
+
+
+class TestPooling3D:
+    def test_maxpool_3d_grads(self):
+        x = RNG.standard_normal((1, 2, 4, 4, 4))
+        args = ((2, 2, 2), (2, 2, 2), (0, 0, 0))
+        y = F.maxpool_forward(x, *args)
+        dy = RNG.standard_normal(y.shape)
+        dx = F.maxpool_backward(dy, x, y, *args)
+        check(dx, numeric_grad(lambda v: F.maxpool_forward(v, *args), x, dy),
+              tol=1e-4)
+
+    def test_avgpool_3d_grads(self):
+        x = RNG.standard_normal((1, 2, 4, 4, 4))
+        args = ((2, 2, 2), (2, 2, 2), (0, 0, 0))
+        y = F.avgpool_forward(x, *args)
+        dy = RNG.standard_normal(y.shape)
+        dx = F.avgpool_backward(dy, x.shape, *args, dtype=x.dtype)
+        check(dx, numeric_grad(lambda v: F.avgpool_forward(v, *args), x, dy))

@@ -1,0 +1,186 @@
+"""Operator factories: output shapes, FLOP/byte formulas, backward needs."""
+
+import math
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph import TensorSpec
+from repro.graph import ops
+from repro.graph.ops import OpKind
+
+
+class TestConv:
+    def test_output_shape_2d(self):
+        op, out = ops.conv(TensorSpec((2, 3, 32, 32)), 8, ksize=3, pad=1)
+        assert out.shape == (2, 8, 32, 32)
+
+    def test_output_shape_strided(self):
+        op, out = ops.conv(TensorSpec((2, 3, 224, 224)), 64, ksize=7, stride=2, pad=3)
+        assert out.shape == (2, 64, 112, 112)
+
+    def test_output_shape_3d(self):
+        op, out = ops.conv(TensorSpec((1, 3, 16, 32, 32)), 8, ksize=3,
+                           stride=(1, 2, 2), pad=1)
+        assert out.shape == (1, 8, 16, 16, 16)
+
+    def test_flops_formula(self):
+        op, out = ops.conv(TensorSpec((2, 4, 8, 8)), 16, ksize=3, pad=1)
+        expected = 2 * out.numel * 4 * 9
+        assert op.fwd_flops == expected
+        assert op.bwd_flops == 2 * expected
+
+    def test_grouped_flops_reduced(self):
+        full, _ = ops.conv(TensorSpec((2, 8, 8, 8)), 16, ksize=3, pad=1)
+        grouped, _ = ops.conv(TensorSpec((2, 8, 8, 8)), 16, ksize=3, pad=1, groups=4)
+        assert grouped.fwd_flops == full.fwd_flops / 4
+
+    def test_param_bytes(self):
+        op, _ = ops.conv(TensorSpec((2, 3, 8, 8)), 8, ksize=3, bias=True)
+        assert op.param_bytes == (8 * 3 * 9 + 8) * 4
+        op_nb, _ = ops.conv(TensorSpec((2, 3, 8, 8)), 8, ksize=3, bias=False)
+        assert op_nb.param_bytes == 8 * 3 * 9 * 4
+
+    def test_backward_needs_input_only(self):
+        op, _ = ops.conv(TensorSpec((2, 3, 8, 8)), 8, ksize=3)
+        assert op.bwd_needs_input and not op.bwd_needs_output
+
+    def test_fused_relu_needs_output(self):
+        op, _ = ops.conv(TensorSpec((2, 3, 8, 8)), 8, ksize=3, activation="relu")
+        assert op.bwd_needs_output
+        assert op.fused_activation == "relu"
+
+    def test_invalid_geometry(self):
+        with pytest.raises(GraphError):
+            ops.conv(TensorSpec((2, 3, 4, 4)), 8, ksize=7)
+
+    def test_groups_must_divide(self):
+        with pytest.raises(GraphError):
+            ops.conv(TensorSpec((2, 3, 8, 8)), 8, ksize=1, groups=2)
+
+    def test_spatial_rank_checked(self):
+        with pytest.raises(GraphError):
+            ops.conv(TensorSpec((2, 3, 8)), 8, ksize=1)
+
+    def test_compute_bound(self):
+        op, _ = ops.conv(TensorSpec((2, 3, 8, 8)), 8, ksize=3)
+        assert op.compute_bound
+        assert op.recomputable
+
+
+class TestLinear:
+    def test_flattens_input(self):
+        op, out = ops.linear(TensorSpec((4, 8, 2, 2)), 10)
+        assert out.shape == (4, 10)
+        assert op.fwd_flops == 2 * 4 * 32 * 10
+
+    def test_param_bytes(self):
+        op, _ = ops.linear(TensorSpec((4, 32)), 10)
+        assert op.param_bytes == (32 * 10 + 10) * 4
+
+
+class TestBatchnorm:
+    def test_shape_preserved(self):
+        op, out = ops.batchnorm(TensorSpec((4, 8, 4, 4)))
+        assert out.shape == (4, 8, 4, 4)
+
+    def test_bandwidth_bound(self):
+        op, _ = ops.batchnorm(TensorSpec((4, 8, 4, 4)))
+        assert not op.compute_bound
+        assert op.bwd_needs_input
+        assert op.fwd_bytes == 4 * 4 * 8 * 16 * 4
+
+    def test_param_bytes_per_channel(self):
+        op, _ = ops.batchnorm(TensorSpec((4, 8, 4, 4)))
+        assert op.param_bytes == 4 * 8 * 4
+
+
+class TestRelu:
+    def test_needs_output_only(self):
+        op, out = ops.relu(TensorSpec((4, 8)))
+        assert op.bwd_needs_output and not op.bwd_needs_input
+        assert out.shape == (4, 8)
+
+
+class TestPool:
+    def test_max_shape(self):
+        op, out = ops.pool(TensorSpec((2, 4, 8, 8)), ksize=2)
+        assert out.shape == (2, 4, 4, 4)
+        assert op.kind is OpKind.POOL_MAX
+
+    def test_max_needs_both(self):
+        op, _ = ops.pool(TensorSpec((2, 4, 8, 8)), ksize=2)
+        assert op.bwd_needs_input and op.bwd_needs_output
+
+    def test_avg_needs_neither(self):
+        op, _ = ops.pool(TensorSpec((2, 4, 8, 8)), ksize=2, mode="avg")
+        assert not op.bwd_needs_input and not op.bwd_needs_output
+
+    def test_default_stride_is_ksize(self):
+        _, out = ops.pool(TensorSpec((2, 4, 9, 9)), ksize=3)
+        assert out.shape == (2, 4, 3, 3)
+
+    def test_invalid_mode(self):
+        with pytest.raises(GraphError):
+            ops.pool(TensorSpec((2, 4, 8, 8)), ksize=2, mode="l2")
+
+    def test_3d_pool(self):
+        _, out = ops.pool(TensorSpec((1, 4, 8, 8, 8)), ksize=2)
+        assert out.shape == (1, 4, 4, 4, 4)
+
+
+class TestGlobalAvgPool:
+    def test_collapses_spatial(self):
+        _, out = ops.global_avg_pool(TensorSpec((2, 16, 7, 7)))
+        assert out.shape == (2, 16)
+
+
+class TestAddConcat:
+    def test_add_shape(self):
+        s = TensorSpec((2, 4, 4, 4))
+        op, out = ops.add([s, s])
+        assert out.shape == s.shape
+        assert not op.bwd_needs_input
+
+    def test_add_mismatch(self):
+        with pytest.raises(GraphError):
+            ops.add([TensorSpec((2, 4)), TensorSpec((2, 5))])
+
+    def test_add_needs_two(self):
+        with pytest.raises(GraphError):
+            ops.add([TensorSpec((2, 4))])
+
+    def test_concat_axis(self):
+        a, b = TensorSpec((2, 4, 4, 4)), TensorSpec((2, 6, 4, 4))
+        _, out = ops.concat([a, b], axis=1)
+        assert out.shape == (2, 10, 4, 4)
+
+    def test_concat_non_axis_mismatch(self):
+        with pytest.raises(GraphError):
+            ops.concat([TensorSpec((2, 4, 4, 4)), TensorSpec((2, 4, 5, 4))])
+
+
+class TestDropoutLrnLoss:
+    def test_dropout_not_recomputable(self):
+        op, _ = ops.dropout(TensorSpec((4, 8)))
+        assert not op.recomputable
+        assert op.bwd_needs_output
+
+    def test_input_not_recomputable(self):
+        op, _ = ops.input_op(TensorSpec((4, 8)))
+        assert not op.recomputable
+        assert not op.has_backward
+
+    def test_lrn_needs_both(self):
+        op, out = ops.lrn(TensorSpec((2, 8, 4, 4)))
+        assert op.bwd_needs_input and op.bwd_needs_output
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_loss_shape(self):
+        op, out = ops.softmax_cross_entropy(TensorSpec((16, 10)))
+        assert out.shape == (16,)
+        assert op.bwd_needs_input
+
+    def test_loss_rejects_4d(self):
+        with pytest.raises(GraphError):
+            ops.softmax_cross_entropy(TensorSpec((2, 3, 4, 4)))

@@ -1,0 +1,102 @@
+"""Classification objects and swap-in policies."""
+
+import pytest
+
+from repro.common.errors import ScheduleError
+from repro.models import alexnet, small_cnn
+from repro.runtime import Classification, MapClass, SwapInPolicy
+
+
+@pytest.fixture
+def g():
+    return small_cnn(with_residual=True)
+
+
+class TestConstructors:
+    def test_all_keep_covers_classifiable(self, g):
+        cls = Classification.all_keep(g)
+        assert set(cls.classes) == set(g.classifiable_maps())
+        assert all(c is MapClass.KEEP for c in cls.classes.values())
+
+    def test_all_swap(self, g):
+        cls = Classification.all_swap(g)
+        assert all(c is MapClass.SWAP for c in cls.classes.values())
+
+    def test_all_recompute_falls_back_for_ineligible(self):
+        g = alexnet(2)  # has dropout + input
+        cls = Classification.all_recompute(g)
+        for i, c in cls.classes.items():
+            if not g[i].op.recomputable:
+                assert c is MapClass.SWAP
+            else:
+                assert c is MapClass.RECOMPUTE
+
+
+class TestQueriesAndUpdates:
+    def test_counts_sum(self, g):
+        cls = Classification.all_swap(g)
+        assert sum(cls.counts().values()) == len(g.classifiable_maps())
+
+    def test_with_class(self, g):
+        cls = Classification.all_swap(g)
+        i = g.classifiable_maps()[0]
+        new = cls.with_class(i, MapClass.KEEP)
+        assert new.of(i) is MapClass.KEEP
+        assert cls.of(i) is MapClass.SWAP  # original untouched
+
+    def test_with_class_unknown_map(self, g):
+        with pytest.raises(ScheduleError):
+            Classification.all_swap(g).with_class(9999, MapClass.KEEP)
+
+    def test_with_classes_bulk(self, g):
+        cls = Classification.all_swap(g)
+        ids = g.classifiable_maps()[:2]
+        new = cls.with_classes({i: MapClass.KEEP for i in ids})
+        assert all(new.of(i) is MapClass.KEEP for i in ids)
+
+    def test_key_is_stable_and_order_free(self, g):
+        a = Classification.all_swap(g)
+        b = Classification(dict(reversed(list(a.classes.items()))))
+        assert a.key() == b.key()
+
+    def test_maps_of(self, g):
+        cls = Classification.all_swap(g)
+        i = g.classifiable_maps()[0]
+        cls = cls.with_class(i, MapClass.KEEP)
+        assert cls.maps_of(MapClass.KEEP) == [i]
+
+    def test_describe_contains_names(self, g):
+        text = Classification.all_swap(g).describe(g)
+        assert "conv1" in text and "swap=" in text
+
+
+class TestValidation:
+    def test_missing_map_rejected(self, g):
+        cls = Classification.all_swap(g)
+        broken = dict(cls.classes)
+        broken.pop(g.classifiable_maps()[0])
+        with pytest.raises(ScheduleError, match="wrong maps"):
+            Classification(broken).validate(g)
+
+    def test_extra_map_rejected(self, g):
+        cls = Classification.all_swap(g)
+        extra = dict(cls.classes)
+        # find a non-classifiable map
+        non = next(i for i in range(len(g)) if i not in extra)
+        extra[non] = MapClass.SWAP
+        with pytest.raises(ScheduleError, match="wrong maps"):
+            Classification(extra).validate(g)
+
+    def test_recompute_of_input_rejected(self, g):
+        cls = Classification.all_swap(g)
+        broken = dict(cls.classes)
+        broken[0] = MapClass.RECOMPUTE  # INPUT map
+        with pytest.raises(ScheduleError, match="cannot be recomputed"):
+            Classification(broken).validate(g)
+
+
+class TestPolicies:
+    def test_three_policies(self):
+        assert {p.value for p in SwapInPolicy} == {
+            "naive", "eager", "superneurons"
+        }

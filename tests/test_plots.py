@@ -1,0 +1,66 @@
+"""ASCII plot helpers."""
+
+import pytest
+
+from repro.analysis import bar_chart, memory_curve_plot
+from repro.hw import X86_V100
+from repro.models import poster_example
+from repro.runtime import Classification, execute
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart("t", [("a", 2.0), ("b", 1.0)])
+        lines = out.splitlines()
+        assert lines[0] == "== t =="
+        assert lines[1].count("#") == 2 * lines[2].count("#")
+
+    def test_failure_rendering(self):
+        out = bar_chart("t", [("a", 1.0), ("b", None)])
+        assert "FAIL" in out
+
+    def test_zero_value(self):
+        out = bar_chart("t", [("a", 0.0), ("b", 1.0)])
+        assert "0" in out
+
+    def test_empty(self):
+        assert bar_chart("t", []) == "== t =="
+
+    def test_unit_suffix(self):
+        assert "img/s" in bar_chart("t", [("a", 1.0)], unit=" img/s")
+
+    def test_labels_aligned(self):
+        out = bar_chart("t", [("long-name", 1.0), ("x", 2.0)])
+        l1, l2 = out.splitlines()[1:3]
+        assert l1.index("|") == l2.index("|")
+
+
+class TestMemoryCurve:
+    @pytest.fixture(scope="class")
+    def result(self):
+        g = poster_example()
+        return execute(g, Classification.all_swap(g), X86_V100)
+
+    def test_renders_capacity_line(self, result):
+        out = memory_curve_plot(result, X86_V100.usable_gpu_memory)
+        assert "<- capacity" in out
+
+    def test_has_area(self, result):
+        out = memory_curve_plot(result, X86_V100.usable_gpu_memory)
+        assert "█" in out
+
+    def test_dimensions(self, result):
+        out = memory_curve_plot(result, X86_V100.usable_gpu_memory,
+                                height=6, width=40)
+        assert len(out.splitlines()) == 7
+
+    def test_empty_trace(self):
+        from repro.gpusim import RunResult
+        r = RunResult(makespan=0.0, records=[], device_peak=0, host_peak=0,
+                      device_trace=[])
+        assert "no memory trace" in memory_curve_plot(r, 100)
+
+    def test_peak_visible(self, result):
+        # the tallest column should correspond to the run's peak usage
+        out = memory_curve_plot(result, result.device_peak)
+        assert "█" in out.splitlines()[0] or "█" in out.splitlines()[1]

@@ -1,0 +1,235 @@
+"""Layer splitting (the ooc_cuDNN integration direction from §6)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import GraphError, OutOfMemoryError
+from repro.common.units import MiB
+from repro.graph import GraphBuilder
+from repro.graph.ops import OpKind
+from repro.graph.splitting import max_layer_working_set, rebind_op, split_batch
+from repro.hw import X86_V100
+from repro.models import small_cnn
+from repro.runtime import Classification, execute
+from repro.runtime.numeric import run_numeric
+from tests.conftest import tiny_machine
+
+
+def wide_net(batch=8, channels=16, image=16):
+    """One deliberately fat conv followed by slim layers (global pooling's
+    backward touches no feature maps), so the fat layer's transient is the
+    single binding memory constraint."""
+    b = GraphBuilder("wide")
+    x = b.input((batch, 3, image, image))
+    h = b.conv(x, channels, ksize=3, pad=1, activation="relu", name="fat")
+    h = b.global_avg_pool(h, name="pool")
+    h = b.linear(h, 4, name="head")
+    b.loss(h)
+    return b.build()
+
+
+class TestTransform:
+    def test_structure(self):
+        g = wide_net()
+        sg = split_batch(g, "fat", 4)
+        slices = [l for l in sg if l.op.kind is OpKind.SLICE]
+        tiles = [l for l in sg if l.name.startswith("fat#tile")]
+        assert len(slices) == 4 and len(tiles) == 4
+        assert sg.by_name("fat#join").op.kind is OpKind.CONCAT
+        sg.validate()
+
+    def test_downstream_shapes_unchanged(self):
+        g = wide_net()
+        sg = split_batch(g, "fat", 2)
+        assert sg.by_name("pool").out_spec == g.by_name("pool").out_spec
+        assert sg.by_name("fat#join").out_spec == g.by_name("fat").out_spec
+
+    def test_params_shared_once(self):
+        g = wide_net()
+        sg = split_batch(g, "fat", 4)
+        # total parameter bytes unchanged: only tile 0 carries them
+        assert sg.total_param_bytes == g.total_param_bytes
+
+    def test_flops_preserved(self):
+        g = wide_net()
+        sg = split_batch(g, "fat", 4)
+        assert sg.total_fwd_flops == pytest.approx(g.total_fwd_flops, rel=0.01)
+
+    def test_working_set_shrinks(self):
+        g = wide_net(batch=16, channels=64, image=32)
+        before, name = max_layer_working_set(g)
+        assert name == "fat"
+        sg = split_batch(g, "fat", 4)
+        after, _ = max_layer_working_set(sg)
+        # the join still materialises the full output (tiles + concat ≈ 2x
+        # the map), but the fat layer's workspace + gradient transient is
+        # gone from the bound
+        assert after < before * 0.75
+
+    def test_rejects_batchnorm(self):
+        g = small_cnn()
+        with pytest.raises(GraphError, match="batch-split"):
+            split_batch(g, "bn1", 2)
+
+    def test_rejects_indivisible_batch(self):
+        g = wide_net(batch=6)
+        with pytest.raises(GraphError, match="divisible"):
+            split_batch(g, "fat", 4)
+
+    def test_rejects_single_part(self):
+        with pytest.raises(GraphError):
+            split_batch(wide_net(), "fat", 1)
+
+    def test_rebind_unsupported_kind(self):
+        from repro.graph import ops
+        op, _ = ops.add([
+            *(ops.input_op(spec)[1] for spec in ()),
+        ]) if False else ops.input_op(
+            __import__("repro.graph.tensor_spec", fromlist=["TensorSpec"]).TensorSpec((2, 3))
+        )
+        with pytest.raises(GraphError):
+            rebind_op(op, None)
+
+
+class TestNumericEquivalence:
+    def test_split_gradients_match_unsplit(self):
+        """Splitting is semantically a no-op: shared-weight gradients match
+        the unsplit layer (up to float summation order across tiles)."""
+        g = wide_net(batch=8)
+        sg = split_batch(g, "fat", 4)
+        _, ref = run_numeric(g, Classification.all_keep(g), X86_V100)
+        _, got = run_numeric(sg, Classification.all_keep(sg), X86_V100)
+        fat = g.by_name("fat").index
+        tile0 = sg.by_name("fat#tile0").index
+        for name, v in ref.weight_grads[fat].items():
+            assert np.allclose(v, got.weight_grads[tile0][name],
+                               rtol=1e-4, atol=1e-4)
+        head = g.by_name("head").index
+        head_s = sg.by_name("head").index
+        assert np.allclose(ref.weight_grads[head]["w"],
+                           got.weight_grads[head_s]["w"],
+                           rtol=1e-4, atol=1e-4)
+
+    def test_split_out_of_core_gradients(self):
+        g = wide_net(batch=8)
+        sg = split_batch(g, "fat", 2)
+        _, a = run_numeric(sg, Classification.all_keep(sg), X86_V100)
+        _, b = run_numeric(sg, Classification.all_swap(sg), X86_V100)
+        for l, gr in a.weight_grads.items():
+            for n, v in gr.items():
+                assert np.array_equal(v, b.weight_grads[l][n])
+
+
+class TestMemoryEnablement:
+    def test_split_runs_where_unsplit_cannot(self):
+        """The §6 claim: a layer whose working set exceeds GPU memory only
+        runs after splitting."""
+        g = wide_net(batch=32, channels=64, image=64)
+        need, _ = max_layer_working_set(g)
+        m = tiny_machine(mem_mib=int(need * 0.8 / MiB), reserved_mib=2)
+        with pytest.raises(OutOfMemoryError):
+            execute(g, Classification.all_swap(g), m)
+        sg = split_batch(g, "fat", 4)
+        result = execute(sg, Classification.all_swap(sg), m)
+        assert result.device_peak <= m.usable_gpu_memory
+
+    def test_pooch_classifies_tiles_independently(self):
+        from repro.pooch import PoocH, PoochConfig
+        g = wide_net(batch=32, channels=64, image=64)
+        sg = split_batch(g, "fat", 4)
+        need, _ = max_layer_working_set(g)
+        m = tiny_machine(mem_mib=int(need * 0.8 / MiB), reserved_mib=2)
+        res = PoocH(m, PoochConfig(max_exact_li=3, step1_sim_budget=100)
+                    ).optimize(sg)
+        # tile maps are individually classified
+        tile_ids = [sg.by_name(f"fat#tile{t}").index for t in range(4)]
+        assert all(t in res.classification.classes for t in tile_ids)
+        gt = res.execute(m)
+        assert gt.device_peak <= m.usable_gpu_memory
+
+
+class TestRebindKinds:
+    """Every splittable op kind round-trips through rebind_op."""
+
+    @pytest.mark.parametrize("factory,kwargs", [
+        ("pool", {"ksize": 2, "mode": "max"}),
+        ("pool", {"ksize": 2, "mode": "avg"}),
+        ("lrn", {}),
+        ("global_avg_pool", {}),
+        ("relu", {}),
+    ])
+    def test_split_various_kinds(self, factory, kwargs):
+        b = GraphBuilder("rebind")
+        x = b.input((4, 8, 8, 8))
+        h = b.conv(x, 8, ksize=3, pad=1, name="pre")
+        h = getattr(b, factory)(h, **kwargs) if kwargs else getattr(b, factory)(h)
+        target = b._layers[h].name
+        b.loss(b.linear(h, 3))
+        g = b.build()
+        sg = split_batch(g, target, 2)
+        sg.validate()
+        # numeric equivalence: gradients upstream of the split op match
+        _, ref = run_numeric(g, Classification.all_keep(g), X86_V100)
+        _, got = run_numeric(sg, Classification.all_keep(sg), X86_V100)
+        pre_ref = g.by_name("pre").index
+        pre_got = sg.by_name("pre").index
+        assert np.allclose(ref.weight_grads[pre_ref]["w"],
+                           got.weight_grads[pre_got]["w"],
+                           rtol=1e-4, atol=1e-4)
+
+    def test_split_layernorm(self):
+        b = GraphBuilder("rebind_ln")
+        x = b.input((4, 6, 8))
+        h = b.token_linear(x, 8, name="tl")
+        h = b.layernorm(h, name="ln")
+        b.loss(b.linear(h, 3))
+        g = b.build()
+        sg = split_batch(g, "ln", 2)
+        sg.validate()
+        import numpy as np
+        _, ref = run_numeric(g, Classification.all_keep(g), X86_V100)
+        _, got = run_numeric(sg, Classification.all_keep(sg), X86_V100)
+        ln_ref = g.by_name("ln").index
+        ln_got = sg.by_name("ln#tile0").index
+        assert np.allclose(ref.weight_grads[ln_ref]["gamma"],
+                           got.weight_grads[ln_got]["gamma"],
+                           rtol=1e-4, atol=1e-4)
+
+
+class TestAutoSplit:
+    def test_no_change_when_everything_fits(self):
+        from repro.graph import auto_split
+        g = wide_net()
+        sg = auto_split(g, capacity=10**12)
+        assert len(sg) == len(g)
+
+    def test_splits_only_the_fat_layer(self):
+        from repro.graph import auto_split, max_layer_working_set
+        g = wide_net(batch=32, channels=64, image=64)
+        need, _ = max_layer_working_set(g)
+        # capacity must stay above the unsplittable join's 2x-map floor
+        sg = auto_split(g, capacity=int(need * 0.75))
+        assert any("#tile" in l.name for l in sg)
+        worst, _ = max_layer_working_set(sg)
+        assert worst <= int(need * 0.75)
+
+    def test_raises_when_unsplittable(self):
+        from repro.graph import auto_split
+        from repro.models import small_cnn
+        g = small_cnn(batch=4, image=16)
+        # capacity below the batch-norm transient, which cannot be split
+        with pytest.raises(GraphError, match="auto_split"):
+            auto_split(g, capacity=1024)
+
+    def test_result_trains_numerically(self):
+        from repro.graph import auto_split, max_layer_working_set
+        g = wide_net(batch=8, channels=16, image=16)
+        need, _ = max_layer_working_set(g)
+        sg = auto_split(g, capacity=int(need * 0.7))
+        _, ref = run_numeric(g, Classification.all_keep(g), X86_V100)
+        _, got = run_numeric(sg, Classification.all_keep(sg), X86_V100)
+        head = g.by_name("head").index
+        head_s = sg.by_name("head").index
+        assert np.allclose(ref.weight_grads[head]["w"],
+                           got.weight_grads[head_s]["w"],
+                           rtol=1e-4, atol=1e-4)

@@ -1,0 +1,75 @@
+"""TensorSpec: shapes, sizes, dtype handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import GraphError
+from repro.graph import DTYPE_SIZES, TensorSpec
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = TensorSpec((2, 3, 4, 4))
+        assert s.numel == 96
+        assert s.itemsize == 4
+        assert s.nbytes == 384
+
+    def test_dtype(self):
+        assert TensorSpec((4,), "float16").nbytes == 8
+        assert TensorSpec((4,), "float64").nbytes == 32
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(GraphError):
+            TensorSpec(())
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(GraphError):
+            TensorSpec((4, 0, 2))
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(GraphError):
+            TensorSpec((4, -1))
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(GraphError):
+            TensorSpec((4,), "bfloat16")
+
+    def test_frozen(self):
+        s = TensorSpec((4,))
+        with pytest.raises(AttributeError):
+            s.shape = (5,)
+
+
+class TestAccessors:
+    def test_batch_and_channels(self):
+        s = TensorSpec((8, 16, 7, 7))
+        assert s.batch == 8
+        assert s.channels == 16
+        assert s.spatial == (7, 7)
+
+    def test_spatial_empty_for_2d(self):
+        assert TensorSpec((8, 16)).spatial == ()
+
+    def test_channels_error_for_1d(self):
+        with pytest.raises(GraphError):
+            _ = TensorSpec((8,)).channels
+
+    def test_with_batch(self):
+        s = TensorSpec((8, 16, 7, 7)).with_batch(32)
+        assert s.shape == (32, 16, 7, 7)
+
+    def test_str(self):
+        assert "8x16" in str(TensorSpec((8, 16)))
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=5),
+    st.sampled_from(sorted(DTYPE_SIZES)),
+)
+def test_nbytes_is_product_times_itemsize(shape, dtype):
+    s = TensorSpec(tuple(shape), dtype)
+    prod = 1
+    for d in shape:
+        prod *= d
+    assert s.numel == prod
+    assert s.nbytes == prod * DTYPE_SIZES[dtype]

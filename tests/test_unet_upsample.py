@@ -1,0 +1,108 @@
+"""Upsample op, U-Net model, and the skip-connection case study."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph import TensorSpec
+from repro.graph import ops
+from repro.graph.ops import OpKind
+from repro.hw import X86_V100
+from repro.models import unet
+from repro.nn import functional as F
+from repro.runtime import Classification, MapClass, execute
+from tests.test_nn_gradients import check, numeric_grad
+
+
+class TestUpsampleOp:
+    def test_shape(self):
+        op, out = ops.upsample(TensorSpec((2, 4, 8, 8)), scale=2)
+        assert out.shape == (2, 4, 16, 16)
+        assert op.kind is OpKind.UPSAMPLE
+
+    def test_3d(self):
+        _, out = ops.upsample(TensorSpec((1, 2, 4, 4, 4)), scale=2)
+        assert out.shape == (1, 2, 8, 8, 8)
+
+    def test_no_maps_needed_for_backward(self):
+        op, _ = ops.upsample(TensorSpec((2, 4, 8, 8)))
+        assert not op.bwd_needs_input and not op.bwd_needs_output
+
+    def test_invalid_scale(self):
+        with pytest.raises(GraphError):
+            ops.upsample(TensorSpec((2, 4, 8, 8)), scale=1)
+
+    def test_needs_spatial(self):
+        with pytest.raises(GraphError):
+            ops.upsample(TensorSpec((2, 4)))
+
+
+class TestUpsampleKernels:
+    def test_forward_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        y = F.upsample_forward(x, 2)
+        assert y.shape == (1, 1, 4, 4)
+        assert y[0, 0, 0, 0] == y[0, 0, 1, 1] == 1.0
+        assert y[0, 0, 3, 3] == 4.0
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 4, 4))
+        y = F.upsample_forward(x, 2)
+        dy = rng.standard_normal(y.shape)
+        dx = F.upsample_backward(dy, 2)
+        check(dx, numeric_grad(lambda v: F.upsample_forward(v, 2), x, dy))
+
+    def test_gradcheck_3d(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 2, 3, 3))
+        y = F.upsample_forward(x, 2)
+        dy = rng.standard_normal(y.shape)
+        dx = F.upsample_backward(dy, 2)
+        check(dx, numeric_grad(lambda v: F.upsample_forward(v, 2), x, dy))
+
+
+class TestUNet:
+    def test_builds_and_validates(self):
+        g = unet(2, image=64, base_channels=8, depth=3)
+        g.validate()
+        assert any(l.op.kind is OpKind.UPSAMPLE for l in g)
+        assert any(l.op.kind is OpKind.CONCAT for l in g)
+
+    def test_skip_lifetimes_are_long(self):
+        """Encoder outputs are consumed far later (at the matching decoder
+        stage) — the structural property that makes U-Net the swap
+        showcase."""
+        g = unet(2, image=64, base_channels=8, depth=3)
+        enc0 = g.by_name("enc0_bn2").index
+        span = g.last_forward_use(enc0) - enc0
+        assert span > len(g) / 2  # consumed in the second half of the graph
+
+    def test_trains_out_of_core(self):
+        from repro.runtime.training import SGD, Trainer
+        g = unet(2, image=16, base_channels=4, depth=2, num_classes=3)
+        rep = Trainer(g, Classification.all_swap(g), X86_V100,
+                      optimizer=SGD(lr=0.05)).run(10)
+        assert rep.final_loss < rep.losses[0]
+
+    def test_pooch_swaps_the_skips(self):
+        """Case study: on a memory-tight machine PoocH should put encoder
+        skip maps out of core (swap or recompute), not keep them all.
+
+        Note the floor: a skip map cannot leave the GPU before its *last
+        forward* consumer (the matching decoder stage) — the paper's §3.1
+        swap-out rule — so the forward footprint never drops below the sum
+        of live skips.  75 % of the in-core requirement is comfortably above
+        that floor while still forcing out-of-core choices."""
+        from repro.pooch import PoocH, PoochConfig
+        from tests.conftest import tiny_machine
+        from repro.common.units import MiB
+        g = unet(16, image=128, base_channels=16, depth=3, num_classes=4)
+        need = g.training_memory_bytes()
+        m = tiny_machine(mem_mib=int(need / MiB * 0.75), link_gbps=4.0)
+        res = PoocH(m, PoochConfig(max_exact_li=4, step1_sim_budget=200)
+                    ).optimize(g)
+        counts = res.classification.counts()
+        assert counts[MapClass.SWAP] + counts[MapClass.RECOMPUTE] > 0
+        gt = res.execute(m)
+        assert gt.device_peak <= m.usable_gpu_memory

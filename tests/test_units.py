@@ -1,0 +1,79 @@
+"""Unit-formatting helpers and constants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.units import (
+    GB,
+    GiB,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    format_bytes,
+    format_seconds,
+)
+
+
+class TestConstants:
+    def test_decimal_units(self):
+        assert KB == 1_000
+        assert MB == 1_000_000
+        assert GB == 1_000_000_000
+
+    def test_binary_units(self):
+        assert KiB == 1024
+        assert MiB == 1024**2
+        assert GiB == 1024**3
+
+    def test_decimal_smaller_than_binary(self):
+        assert KB < KiB and MB < MiB and GB < GiB
+
+
+class TestFormatBytes:
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_small(self):
+        assert format_bytes(511) == "511 B"
+
+    def test_kib(self):
+        assert format_bytes(1536) == "1.50 KiB"
+
+    def test_mib(self):
+        assert format_bytes(3 * MiB) == "3.00 MiB"
+
+    def test_gib(self):
+        assert format_bytes(16 * GiB) == "16.00 GiB"
+
+    def test_negative_keeps_sign(self):
+        assert format_bytes(-2 * MiB) == "-2.00 MiB"
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_always_has_suffix(self, n):
+        out = format_bytes(n)
+        assert out.endswith(("B", "KiB", "MiB", "GiB"))
+
+
+class TestFormatSeconds:
+    def test_zero(self):
+        assert format_seconds(0.0) == "0 s"
+
+    def test_seconds(self):
+        assert format_seconds(2.5) == "2.500 s"
+
+    def test_millis(self):
+        assert format_seconds(2.5e-3) == "2.500 ms"
+
+    def test_micros(self):
+        assert format_seconds(15e-6) == "15.000 us"
+
+    def test_nanos(self):
+        assert format_seconds(3e-9) == "3.000 ns"
+
+    def test_negative(self):
+        assert format_seconds(-1e-3) == "-1.000 ms"
+
+    @given(st.floats(min_value=1e-12, max_value=1e6, allow_nan=False))
+    def test_no_crash(self, t):
+        assert isinstance(format_seconds(t), str)
