@@ -25,6 +25,17 @@ BENCH_CONFIG = PoochConfig(max_exact_li=8, step1_sim_budget=800)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench`` so mixed invocations
+    can split the suites: ``pytest tests benchmarks -m "not bench"`` runs
+    only the fast tier-1 tests, ``-m bench`` only the benchmarks."""
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:

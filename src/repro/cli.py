@@ -90,9 +90,12 @@ def _cmd_optimize(args) -> int:
 
     graph = _build(args)
     machine = _MACHINES[args.machine]
-    config = PoochConfig(step1_sim_budget=args.budget)
-    result = PoocH(machine, config).optimize(graph)
+    config = PoochConfig(step1_sim_budget=args.budget, workers=args.workers)
+    result = PoocH(machine, config, plan_cache=args.plan_cache).optimize(graph)
     print(result.summary())
+    if result.stats.plan_cache_hit:
+        print(f"plan reused from cache {args.plan_cache} "
+              "(re-verified by simulation)")
     if args.verbose:
         print(result.classification.describe(graph))
     timeline = result.execute()
@@ -120,8 +123,10 @@ def _cmd_run(args) -> int:
               f"(peak {timeline.device_peak / GiB:.2f} GiB)")
         return 0
     if args.method == "pooch":
-        result = PoocH(machine, PoochConfig(step1_sim_budget=args.budget)
-                       ).optimize(graph)
+        config = PoochConfig(step1_sim_budget=args.budget,
+                             workers=args.workers)
+        result = PoocH(machine, config,
+                       plan_cache=args.plan_cache).optimize(graph)
         timeline = result.execute()
     elif args.method == "swap-opt":
         plan = plan_swap_opt(graph, machine)
@@ -194,6 +199,14 @@ def make_parser() -> argparse.ArgumentParser:
     _add_model_args(p)
     p.add_argument("--budget", type=int, default=600,
                    help="step-1 simulation budget")
+    p.add_argument("--workers", type=int, default=1,
+                   help="search parallelism (process pool); results are "
+                        "bit-identical to --workers 1")
+    p.add_argument("--plan-cache", metavar="DIR",
+                   help="persistent plan/simulation cache directory: reuses "
+                        "a previously chosen plan for the same graph, "
+                        "machine and config (after re-verifying it by "
+                        "simulation) and warm-starts the search otherwise")
     p.add_argument("--verbose", action="store_true",
                    help="print the per-map classification")
     p.add_argument("--save", metavar="PLAN.json",
@@ -205,6 +218,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="pooch",
                    choices=["pooch", "swap-opt", *sorted(_SIMPLE_PLANNERS)])
     p.add_argument("--budget", type=int, default=600)
+    p.add_argument("--workers", type=int, default=1,
+                   help="search parallelism for --method pooch")
+    p.add_argument("--plan-cache", metavar="DIR",
+                   help="persistent plan cache directory for --method pooch")
     p.add_argument("--plan", metavar="PLAN.json",
                    help="execute a saved plan instead of --method")
     p.set_defaults(fn=_cmd_run)

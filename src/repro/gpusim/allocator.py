@@ -43,9 +43,15 @@ class AllocEvent:
 
 
 class MemoryPool:
-    """Capacity-limited counting allocator with a full event trace."""
+    """Capacity-limited counting allocator with a full event trace.
 
-    def __init__(self, capacity: int, name: str = "gpu") -> None:
+    ``track=False`` disables trace recording (state transitions, peaks and
+    failure behaviour are unchanged) — the predictor's search hot loop runs
+    hundreds of simulations whose traces nobody reads.
+    """
+
+    def __init__(self, capacity: int, name: str = "gpu",
+                 track: bool = True) -> None:
         if capacity <= 0:
             raise SimulationError(f"pool capacity must be positive, got {capacity}")
         self.name = name
@@ -53,6 +59,7 @@ class MemoryPool:
         self.in_use = 0
         self.peak = 0
         self._sizes: dict[str, int] = {}
+        self._track = track
         self.trace: list[AllocEvent] = []
 
     # -- queries ---------------------------------------------------------------
@@ -98,8 +105,10 @@ class MemoryPool:
             )
         self._sizes[buffer] = size
         self.in_use += size
-        self.peak = max(self.peak, self.in_use)
-        self.trace.append(AllocEvent(time, "malloc", buffer, size, self.in_use))
+        if self.in_use > self.peak:
+            self.peak = self.in_use
+        if self._track:
+            self.trace.append(AllocEvent(time, "malloc", buffer, size, self.in_use))
 
     def free(self, buffer: str, time: float) -> None:
         """Release ``buffer``; raises on unknown/double free."""
@@ -107,7 +116,8 @@ class MemoryPool:
         if size is None:
             raise SimulationError(f"{self.name}: free of non-resident {buffer!r}")
         self.in_use -= size
-        self.trace.append(AllocEvent(time, "free", buffer, size, self.in_use))
+        if self._track:
+            self.trace.append(AllocEvent(time, "free", buffer, size, self.in_use))
 
     # -- reporting ---------------------------------------------------------------
 
@@ -204,8 +214,10 @@ class BlockMemoryPool(MemoryPool):
         self._offsets[buffer] = (off, size)
         self._sizes[buffer] = size
         self.in_use += size
-        self.peak = max(self.peak, self.in_use)
-        self.trace.append(AllocEvent(time, "malloc", buffer, size, self.in_use))
+        if self.in_use > self.peak:
+            self.peak = self.in_use
+        if self._track:
+            self.trace.append(AllocEvent(time, "malloc", buffer, size, self.in_use))
 
     def free(self, buffer: str, time: float) -> None:
         placed = self._offsets.pop(buffer, None)
@@ -214,7 +226,8 @@ class BlockMemoryPool(MemoryPool):
         off, size = placed
         del self._sizes[buffer]
         self.in_use -= size
-        self.trace.append(AllocEvent(time, "free", buffer, size, self.in_use))
+        if self._track:
+            self.trace.append(AllocEvent(time, "free", buffer, size, self.in_use))
         # insert and coalesce with neighbours
         import bisect
 

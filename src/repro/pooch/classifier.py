@@ -29,14 +29,16 @@ caps the search while keeping the best plan found.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
 
 from repro.common.errors import OutOfMemoryError
 from repro.graph import NNGraph
 from repro.gpusim.allocator import round_size
 from repro.hw import MachineSpec
 from repro.pooch.overlap import OverlapAnalysis, analyze_overlap
-from repro.pooch.predictor import TimelinePredictor
+from repro.pooch.predictor import PredictedOutcome, TimelinePredictor
 from repro.runtime.plan import Classification, MapClass, SwapInPolicy
 from repro.runtime.profiler import Profile
 
@@ -67,6 +69,23 @@ class PoochConfig:
     #: forward re-fetch gap for long skip connections (extension; see
     #: ScheduleOptions.forward_refetch_gap; None reproduces the paper)
     forward_refetch_gap: int | None = None
+    #: simulation parallelism: >1 fans step-1 leaf evaluations and step-2
+    #: r(X) rounds over a process pool.  Results — chosen classification,
+    #: SearchStats times and simulation counts — are bit-identical to
+    #: ``workers=1``; see DESIGN.md §5 for the replay argument.
+    workers: int = 1
+
+    def signature(self) -> str:
+        """Stable identity of every knob that affects the *chosen plan*
+        (``workers`` excluded: it changes wall-clock, never results).
+        Plan caches key on this."""
+        return (
+            f"policy={self.policy.value};abs={self.abs_tolerance!r};"
+            f"rel={self.rel_tolerance!r};li={self.max_exact_li};"
+            f"budget={self.step1_sim_budget};eps={self.time_epsilon!r};"
+            f"verify={self.verify_flips};margin={self.capacity_margin};"
+            f"gap={self.forward_refetch_gap}"
+        )
 
 
 @dataclass
@@ -86,6 +105,67 @@ class SearchStats:
     #: the paper's r(X) ratio per map, from the first step-2 round (the
     #: round where every step-1 swap map is evaluated)
     r_values: dict[int, float] = field(default_factory=dict)
+    #: True when the plan came from a PlanCache (verified by simulation)
+    #: instead of a fresh search — search fields above are then empty
+    plan_cache_hit: bool = False
+
+
+# -- worker-process side of the parallel search ----------------------------------
+#
+# Each pool worker builds its own TimelinePredictor once (initializer) and
+# then evaluates work items independently; the parent *replays* the returned
+# outcomes in serial order, so caches, budget accounting and tie-breaking
+# are exactly those of the serial search (DESIGN.md §5).
+
+_worker_predictor: TimelinePredictor | None = None
+_worker_all_swap: Classification | None = None
+_worker_epsilon: float = 0.0
+
+
+def _init_search_worker(graph: NNGraph, profile: Profile,
+                        machine: MachineSpec, config: PoochConfig) -> None:
+    global _worker_predictor, _worker_all_swap, _worker_epsilon
+    _worker_predictor = TimelinePredictor(
+        graph, profile, machine, policy=config.policy,
+        capacity_margin=config.capacity_margin,
+        forward_refetch_gap=config.forward_refetch_gap,
+    )
+    _worker_all_swap = Classification.all_swap(graph)
+    _worker_epsilon = config.time_epsilon
+
+
+def _eval_leaf(
+    args: tuple[tuple[int, ...], list[int], dict[int, int], int],
+) -> tuple[PredictedOutcome, list[PredictedOutcome | None]]:
+    """Evaluate one step-1 leaf to completion (no budget — the parent
+    truncates during replay).  Returns the leaf-base outcome plus one event
+    per scan position: ``None`` for a byte-budget skip, else the trial's
+    outcome."""
+    keeps, scan, map_bytes, keep_budget = args
+    pred, all_swap = _worker_predictor, _worker_all_swap
+    cls = all_swap.with_classes({m: MapClass.KEEP for m in keeps})
+    base = pred.predict(cls)
+    events: list[PredictedOutcome | None] = []
+    if not base.feasible:
+        return base, events
+    cur_cls, cur_time = cls, base.time
+    kept_bytes = sum(map_bytes[m] for m in keeps)
+    for m in scan:
+        if kept_bytes + map_bytes[m] > keep_budget:
+            events.append(None)
+            continue
+        trial = cur_cls.with_class(m, MapClass.KEEP)
+        out = pred.predict(trial)
+        events.append(out)
+        if out.feasible and out.time <= cur_time + _worker_epsilon:
+            cur_cls, cur_time = trial, out.time
+            kept_bytes += map_bytes[m]
+    return base, events
+
+
+def _predict_one(classification: Classification) -> PredictedOutcome:
+    """Simulate a single candidate in a pool worker (step-2 rounds)."""
+    return _worker_predictor.predict(classification)
 
 
 class PoochClassifier:
@@ -120,16 +200,35 @@ class PoochClassifier:
         """
         if steps not in (1, 2):
             raise ValueError(f"steps must be 1 or 2, got {steps}")
-        step1 = self._step1_keep_vs_swap()
-        if steps == 1:
-            self.stats.time_after_step2 = self.stats.time_after_step1
-            return step1, self.stats
-        step2 = self._step2_swap_vs_recompute(step1)
-        return step2, self.stats
+        executor = self._make_executor()
+        try:
+            step1 = self._step1_keep_vs_swap(executor)
+            if steps == 1:
+                self.stats.time_after_step2 = self.stats.time_after_step1
+                return step1, self.stats
+            step2 = self._step2_swap_vs_recompute(step1, executor)
+            return step2, self.stats
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+
+    def _make_executor(self) -> ProcessPoolExecutor | None:
+        if self.config.workers <= 1:
+            return None
+        # the baseline timeline is only read parent-side (overlap analysis);
+        # dropping it keeps the per-worker pickle payload small
+        profile = replace(self.profile, baseline=None)
+        return ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            initializer=_init_search_worker,
+            initargs=(self.graph, profile, self.machine, self.config),
+        )
 
     # -- step 1 -------------------------------------------------------------------
 
-    def _step1_keep_vs_swap(self) -> Classification:
+    def _step1_keep_vs_swap(
+        self, executor: ProcessPoolExecutor | None = None
+    ) -> Classification:
         cfg = self.config
         all_swap = Classification.all_swap(self.graph)
         base_outcome = self.predictor.predict(all_swap)
@@ -182,46 +281,93 @@ class PoochClassifier:
                 return False
             return True
 
-        def evaluate_leaf(keeps: set[int]) -> None:
+        def consume_leaf(
+            keeps: tuple[int, ...],
+            pre: tuple[PredictedOutcome, list[PredictedOutcome | None]] | None,
+        ) -> bool:
+            """Evaluate one leaf: the exact L_I subset ``keeps``, then the
+            greedy scan.  With ``pre`` (a worker's outcomes) the evaluation
+            *replays* — each outcome is absorbed into the shared predictor
+            cache right before the lookup the serial search would make, so
+            state, accounting and budget truncation are identical.  Returns
+            False when the simulation budget ran out mid-leaf."""
             nonlocal best_cls, best_time
             cls = all_swap.with_classes({m: MapClass.KEEP for m in keeps})
+            if pre is not None:
+                self.predictor.absorb(cls.key(), pre[0])
             outcome = self.predictor.predict(cls)
             if not outcome.feasible:
-                return  # keeping this L_I subset already over-commits memory
+                return True  # keeping this L_I subset over-commits memory
             cur_cls, cur_time = cls, outcome.time
             if cur_time < best_time:
                 best_cls, best_time = cur_cls, cur_time
             kept_bytes = sum(map_bytes[m] for m in keeps)
-            for m in scan:
+            for idx, m in enumerate(scan):
                 if not budget_left():
-                    return
+                    return False
                 if kept_bytes + map_bytes[m] > keep_budget:
                     continue
                 trial = cur_cls.with_class(m, MapClass.KEEP)
+                if pre is not None:
+                    self.predictor.absorb(trial.key(), pre[1][idx])
                 out = self.predictor.predict(trial)
                 if out.feasible and out.time <= cur_time + cfg.time_epsilon:
                     cur_cls, cur_time = trial, out.time
                     kept_bytes += map_bytes[m]
                     if cur_time < best_time:
                         best_cls, best_time = cur_cls, cur_time
+            return True
 
-        # DFS over the exact L_I variables, KEEP branch first (high-overhead
-        # maps are kept in the best plans, so good leaves are found early
-        # under a simulation budget)
-        def dfs(idx: int, keeps: set[int], kept_bytes: int) -> None:
-            if not budget_left():
-                return
+        # Enumerate the exact-tree leaves in DFS order, KEEP branch first
+        # (high-overhead maps are kept in the best plans, so good leaves are
+        # found early under a simulation budget).  Enumeration depends only
+        # on the byte prune, never on simulation results, so the leaf list —
+        # and therefore the evaluation order — is identical for any number
+        # of workers.
+        leaves: list[tuple[int, ...]] = []
+
+        def enumerate_leaves(idx: int, keeps: list[int], kept_bytes: int) -> None:
             if idx == len(exact_li):
-                evaluate_leaf(keeps)
+                leaves.append(tuple(keeps))
                 return
             m = exact_li[idx]
             if kept_bytes + map_bytes[m] <= keep_budget:
-                keeps.add(m)
-                dfs(idx + 1, keeps, kept_bytes + map_bytes[m])
-                keeps.discard(m)
-            dfs(idx + 1, keeps, kept_bytes)
+                keeps.append(m)
+                enumerate_leaves(idx + 1, keeps, kept_bytes + map_bytes[m])
+                keeps.pop()
+            enumerate_leaves(idx + 1, keeps, kept_bytes)
 
-        dfs(0, set(), 0)
+        enumerate_leaves(0, [], 0)
+
+        if executor is None:
+            for keeps in leaves:
+                if not budget_left() or not consume_leaf(keeps, None):
+                    break
+        else:
+            # keep a small window of leaves in flight; results are consumed
+            # strictly in leaf order, and the window bounds wasted work when
+            # the budget truncates the search
+            window = 2 * self.config.workers
+            pending: deque = deque()
+            leaf_iter = iter(leaves)
+
+            def top_up() -> None:
+                while len(pending) < window:
+                    keeps = next(leaf_iter, None)
+                    if keeps is None:
+                        return
+                    args = (keeps, scan, map_bytes, keep_budget)
+                    pending.append((keeps, executor.submit(_eval_leaf, args)))
+
+            top_up()
+            while pending:
+                if not budget_left():
+                    break
+                keeps, future = pending.popleft()
+                if not consume_leaf(keeps, future.result()):
+                    break
+                top_up()
+
         self.stats.sims_step1 = self.predictor.simulations - sims_at_start
         self.stats.time_after_step1 = best_time
         return best_cls
@@ -251,7 +397,10 @@ class PoochClassifier:
             return float("inf")
         return rec_overhead / swap_overhead
 
-    def _step2_swap_vs_recompute(self, step1: Classification) -> Classification:
+    def _step2_swap_vs_recompute(
+        self, step1: Classification,
+        executor: ProcessPoolExecutor | None = None,
+    ) -> Classification:
         cfg = self.config
         sims_at_start = self.predictor.simulations
         current = step1
@@ -263,6 +412,20 @@ class PoochClassifier:
 
         first_round = True
         while pool:
+            if executor is not None:
+                # Every r(X) of a round reads two candidates (X recompute /
+                # X kept) against the frozen `current` — embarrassingly
+                # parallel.  Fan out the uncached ones, then absorb in the
+                # serial evaluation order so cache contents and simulation
+                # counts match workers=1 exactly.
+                needed = [
+                    c for x in pool
+                    for c in (current.with_class(x, MapClass.RECOMPUTE),
+                              current.with_class(x, MapClass.KEEP))
+                    if self.predictor.cached(c) is None
+                ]
+                for c, outcome in zip(needed, executor.map(_predict_one, needed)):
+                    self.predictor.absorb(c.key(), outcome)
             r_values = {x: self._r_value(current, x, current_time) for x in pool}
             if first_round:
                 self.stats.r_values = dict(r_values)

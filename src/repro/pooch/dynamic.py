@@ -25,6 +25,7 @@ that lets PoocH avoid superneurons' memory failures.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
@@ -36,7 +37,9 @@ from repro.pooch.classifier import PoochClassifier, PoochConfig
 from repro.pooch.predictor import TimelinePredictor
 from repro.runtime.executor import execute
 from repro.runtime.plan import Classification
-from repro.runtime.profiler import run_profiling
+from repro.runtime.plan_io import PlanCache
+from repro.runtime.profiler import Profile, run_profiling
+from repro.runtime.schedule import ScheduleOptions
 
 #: a problem size is any hashable key with a total order (batch int,
 #: (T, H, W) tuple, ...)
@@ -49,6 +52,9 @@ class DynamicStats:
 
     iterations: int = 0
     optimizations: int = 0
+    #: actual profiling runs — exactly one per distinct size (profiles are
+    #: cached and reused across optimization, donor checks and verification)
+    profilings: int = 0
     plan_reuses: int = 0
     transfers: int = 0  # nearest-plan reuses across different sizes
     transfer_rejections: int = 0  # transferred plans predicted infeasible
@@ -69,6 +75,10 @@ class DynamicPoocH:
             names/indices) — only shapes may differ.
         config: search configuration shared by every optimization.
         strategy: ``"exact"`` or ``"nearest"`` (see module docstring).
+        plan_cache: optional :class:`~repro.runtime.plan_io.PlanCache` (or a
+            directory path) — plans and simulation outcomes then persist
+            across streams *and* across processes, so a restarted training
+            run skips the searches entirely.
     """
 
     def __init__(
@@ -77,6 +87,7 @@ class DynamicPoocH:
         build_graph: Callable[[Size], NNGraph],
         config: PoochConfig | None = None,
         strategy: str = "exact",
+        plan_cache: PlanCache | str | pathlib.Path | None = None,
     ) -> None:
         if strategy not in ("exact", "nearest"):
             raise ScheduleError(f"unknown strategy {strategy!r}")
@@ -84,8 +95,19 @@ class DynamicPoocH:
         self.build_graph = build_graph
         self.config = config or PoochConfig()
         self.strategy = strategy
+        if plan_cache is not None and not isinstance(plan_cache, PlanCache):
+            plan_cache = PlanCache(plan_cache)
+        self.plan_cache = plan_cache
         self._plans: dict[Size, Classification] = {}
         self._graphs: dict[Size, NNGraph] = {}
+        self._profiles: dict[Size, Profile] = {}
+        self._predictors: dict[Size, TimelinePredictor] = {}
+        #: one options object per stream — verification and execution MUST
+        #: agree on it (simulate-before-running is void otherwise)
+        self._options = ScheduleOptions(
+            policy=self.config.policy,
+            forward_refetch_gap=self.config.forward_refetch_gap,
+        )
         self.stats = DynamicStats()
 
     # -- internals -------------------------------------------------------------
@@ -103,12 +125,58 @@ class DynamicPoocH:
             self._graphs[size] = graph
         return self._graphs[size]
 
+    def _profile(self, size: Size) -> Profile:
+        """Exactly one profiling run per distinct size, shared by
+        optimization, donor feasibility checks and transfer verification."""
+        if size not in self._profiles:
+            self._profiles[size] = run_profiling(
+                self._graph(size), self.machine,
+                policy=self.config.policy,
+                forward_refetch_gap=self.config.forward_refetch_gap,
+            )
+            self.stats.profilings += 1
+        return self._profiles[size]
+
+    def _predictor(self, size: Size) -> TimelinePredictor:
+        """Per-size predictor under the *full* search config — the same
+        capacity margin and re-fetch gap the plans were chosen with."""
+        if size not in self._predictors:
+            self._predictors[size] = TimelinePredictor(
+                self._graph(size), self._profile(size), self.machine,
+                policy=self.config.policy,
+                capacity_margin=self.config.capacity_margin,
+                forward_refetch_gap=self.config.forward_refetch_gap,
+            )
+        return self._predictors[size]
+
     def _optimize(self, size: Size) -> Classification:
         graph = self._graph(size)
-        profile = run_profiling(graph, self.machine,
-                                policy=self.config.policy)
-        classifier = PoochClassifier(graph, profile, self.machine, self.config)
+        profile = self._profile(size)
+        predictor = self._predictor(size)
+        cache = self.plan_cache
+        if cache is not None:
+            predictor.preload_outcomes(
+                cache.load_outcomes(graph, self.machine,
+                                    predictor.sim_signature())
+            )
+            hit = cache.load_plan(graph, self.machine, self.config.signature())
+            if hit is not None:
+                classification, _meta = hit
+                if predictor.predict(classification).feasible:
+                    self.stats.optimizations += 1
+                    return classification
+        classifier = PoochClassifier(
+            graph, profile, self.machine, self.config, predictor
+        )
         classification, _ = classifier.classify()
+        if cache is not None:
+            cache.store_plan(
+                graph, self.machine, self.config.signature(), classification,
+                predicted_time=predictor.predict(classification).time,
+            )
+            cache.merge_outcomes(graph, self.machine,
+                                 predictor.sim_signature(),
+                                 predictor.export_outcomes())
         self.stats.optimizations += 1
         return classification
 
@@ -118,19 +186,15 @@ class DynamicPoocH:
         candidates = sorted(
             (s for s in self._plans if s >= size), key=lambda s: s
         )
+        graph = self._graph(size)
         for donor in candidates:
             plan = self._plans[donor]
-            graph = self._graph(size)
             try:
                 remapped = Classification(dict(plan.classes))
                 remapped.validate(graph)
             except ScheduleError:
                 continue
-            profile = run_profiling(graph, self.machine,
-                                    policy=self.config.policy)
-            predictor = TimelinePredictor(graph, profile, self.machine,
-                                          policy=self.config.policy)
-            if predictor.predict(remapped).feasible:
+            if self._predictor(size).predict(remapped).feasible:
                 self.stats.transfers += 1
                 return remapped
             self.stats.transfer_rejections += 1
@@ -155,7 +219,7 @@ class DynamicPoocH:
         """Execute one iteration of the given size under its plan."""
         plan = self.plan_for(size)
         graph = self._graph(size)
-        result = execute(graph, plan, self.machine, policy=self.config.policy)
+        result = execute(graph, plan, self.machine, options=self._options)
         self.stats.iterations += 1
         self.stats.iteration_times.append(result.makespan)
         return result

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
 
 from repro.graph import NNGraph
@@ -11,6 +12,7 @@ from repro.pooch.classifier import PoochClassifier, PoochConfig, SearchStats
 from repro.pooch.predictor import PredictedOutcome, TimelinePredictor
 from repro.runtime.executor import execute
 from repro.runtime.plan import Classification
+from repro.runtime.plan_io import PlanCache
 from repro.runtime.profiler import Profile, run_profiling
 
 
@@ -93,7 +95,9 @@ class PoochResult:
                 f"{k.value}={v}" for k, v in counts.items()
             ),
             f"  predicted iteration time: {self.predicted.time * 1e3:.3f} ms "
-            f"(all-swap baseline {self.stats.time_all_swap * 1e3:.3f} ms)",
+            + ("(from plan cache)"
+               if self.stats.plan_cache_hit else
+               f"(all-swap baseline {self.stats.time_all_swap * 1e3:.3f} ms)"),
             f"  search simulations: step1={self.stats.sims_step1} "
             f"step2={self.stats.sims_step2}",
         ]
@@ -111,6 +115,12 @@ class PoocH:
             (pass one with ``jitter > 0`` to exercise noisy profiling).
         profile_iterations: how many iterations the profiling phase averages
             (the paper runs "several"; 1 suffices when deterministic).
+        plan_cache: a :class:`~repro.runtime.plan_io.PlanCache` (or a
+            directory path for one).  ``optimize`` then warm-starts the
+            predictor from cached simulation outcomes, reuses a cached plan
+            when one exists for this (graph, machine, config) — after
+            re-verifying it by simulation against the current profile — and
+            stores fresh results back for the next run.
     """
 
     def __init__(
@@ -119,11 +129,15 @@ class PoocH:
         config: PoochConfig | None = None,
         cost_model: CostModel | None = None,
         profile_iterations: int = 1,
+        plan_cache: PlanCache | str | pathlib.Path | None = None,
     ) -> None:
         self.machine = machine
         self.config = config or PoochConfig()
         self.cost_model = cost_model
         self.profile_iterations = profile_iterations
+        if plan_cache is not None and not isinstance(plan_cache, PlanCache):
+            plan_cache = PlanCache(plan_cache)
+        self.plan_cache = plan_cache
 
     def optimize(self, graph: NNGraph, profile: Profile | None = None) -> PoochResult:
         """Run profiling (unless a profile is supplied) and classification."""
@@ -141,16 +155,49 @@ class PoocH:
             capacity_margin=self.config.capacity_margin,
             forward_refetch_gap=self.config.forward_refetch_gap,
         )
+        cache = self.plan_cache
+        if cache is not None:
+            predictor.preload_outcomes(
+                cache.load_outcomes(graph, self.machine,
+                                    predictor.sim_signature())
+            )
+            hit = cache.load_plan(graph, self.machine, self.config.signature())
+            if hit is not None:
+                classification, _meta = hit
+                # simulate-before-running: trust the cache only if the plan
+                # is still feasible under the *current* profile
+                outcome = predictor.predict(classification)
+                if outcome.feasible:
+                    stats = SearchStats(plan_cache_hit=True)
+                    stats.time_after_step2 = outcome.time
+                    return PoochResult(
+                        graph=graph,
+                        machine=self.machine,
+                        classification=classification,
+                        profile=profile,
+                        stats=stats,
+                        predicted=outcome,
+                        config=self.config,
+                    )
         classifier = PoochClassifier(
             graph, profile, self.machine, self.config, predictor
         )
         classification, stats = classifier.classify()
+        predicted = predictor.predict(classification)
+        if cache is not None:
+            cache.store_plan(
+                graph, self.machine, self.config.signature(), classification,
+                predicted_time=predicted.time,
+            )
+            cache.merge_outcomes(graph, self.machine,
+                                 predictor.sim_signature(),
+                                 predictor.export_outcomes())
         return PoochResult(
             graph=graph,
             machine=self.machine,
             classification=classification,
             profile=profile,
             stats=stats,
-            predicted=predictor.predict(classification),
+            predicted=predicted,
             config=self.config,
         )

@@ -11,7 +11,10 @@ extensive tests rely on that property, and the jitter knob restores the
 realistic predicted≈measured gap.
 
 Predictions are memoized on the classification key — the classifier's
-searches re-visit many identical candidates.
+searches re-visit many identical candidates.  The hot path replays draft
+schedules through :class:`~repro.gpusim.fastengine.FastEngine` (bit-identical
+makespans, no timeline records); :meth:`TimelinePredictor.timeline` re-runs
+the full engine on demand when records or memory traces are actually needed.
 """
 
 from __future__ import annotations
@@ -21,10 +24,11 @@ from dataclasses import dataclass
 from repro.common.errors import OutOfMemoryError
 from repro.graph import NNGraph
 from repro.gpusim import Engine, RunResult
+from repro.gpusim.fastengine import FastEngine
 from repro.hw import MachineSpec
 from repro.runtime.plan import Classification, SwapInPolicy
 from repro.runtime.profiler import Profile
-from repro.runtime.schedule import ScheduleOptions, build_schedule
+from repro.runtime.schedule import ScheduleBuilder, ScheduleOptions, build_schedule
 
 
 @dataclass(frozen=True)
@@ -61,13 +65,16 @@ class TimelinePredictor:
         #: robustness against allocator fragmentation the counting model
         #: does not see (see the fragmentation ablation benchmark)
         self.capacity_margin = capacity_margin
+        self.policy = policy
+        self.forward_refetch_gap = forward_refetch_gap
         self.options = ScheduleOptions(policy=policy,
                                        forward_refetch_gap=forward_refetch_gap)
         self._durations = profile.durations()
         self._cache: dict[tuple, PredictedOutcome] = {}
         self._full_cache: dict[tuple, RunResult] = {}
         #: simulations actually executed (cache misses) — the classifier's
-        #: search-cost metric
+        #: search-cost metric.  Outcomes absorbed from worker processes via
+        #: :meth:`absorb` count too: the simulation ran, just elsewhere.
         self.simulations = 0
 
     def predict(self, classification: Classification) -> PredictedOutcome:
@@ -77,33 +84,77 @@ class TimelinePredictor:
         if hit is not None:
             return hit
         self.simulations += 1
-        try:
-            result = self._run(classification)
-            outcome = PredictedOutcome(
-                feasible=True, time=result.makespan, peak_memory=result.device_peak
-            )
-            self._full_cache[key] = result
-        except OutOfMemoryError as e:
-            outcome = PredictedOutcome(
-                feasible=False, time=float("inf"), peak_memory=0,
-                oom_context=e.context,
-            )
+        outcome = self._simulate(classification)
         self._cache[key] = outcome
         return outcome
 
+    def cached(self, classification: Classification) -> PredictedOutcome | None:
+        """Cache lookup without simulating (and without counting a miss)."""
+        return self._cache.get(classification.key())
+
+    def absorb(self, key: tuple, outcome: PredictedOutcome) -> None:
+        """Install an outcome computed elsewhere (a worker process) under
+        ``key``, with the same miss accounting as a local simulation."""
+        if key not in self._cache:
+            self.simulations += 1
+            self._cache[key] = outcome
+
+    def sim_signature(self) -> str:
+        """Identity of everything (besides graph and machine) an outcome of
+        this predictor depends on — the :class:`~repro.runtime.plan_io.PlanCache`
+        key for sharing outcomes across runs."""
+        from repro.runtime.plan_io import profile_signature
+
+        return (
+            f"{profile_signature(self.profile)};policy={self.policy.value};"
+            f"margin={self.capacity_margin};gap={self.forward_refetch_gap}"
+        )
+
+    def export_outcomes(self) -> dict[tuple, dict]:
+        """The memo cache as JSON-ready dicts (for :class:`PlanCache`)."""
+        return {
+            k: {
+                "feasible": o.feasible,
+                "time": o.time,
+                "peak_memory": o.peak_memory,
+                "oom_context": o.oom_context,
+            }
+            for k, o in self._cache.items()
+        }
+
+    def preload_outcomes(self, entries: dict[tuple, dict]) -> int:
+        """Warm-start the memo cache from exported entries; returns how many
+        were new.  Preloaded entries are cache hits — they do not count as
+        simulations."""
+        loaded = 0
+        for k, d in entries.items():
+            if k in self._cache:
+                continue
+            self._cache[k] = PredictedOutcome(
+                feasible=bool(d["feasible"]),
+                time=float(d["time"]),
+                peak_memory=int(d["peak_memory"]),
+                oom_context=str(d.get("oom_context", "")),
+            )
+            loaded += 1
+        return loaded
+
     def timeline(self, classification: Classification) -> RunResult:
         """Full predicted timeline (records, memory trace) for a feasible
-        plan; used by the overlap analysis and the examples."""
-        key = classification.key()
-        if key not in self._full_cache:
-            outcome = self.predict(classification)
-            if not outcome.feasible:
-                raise OutOfMemoryError(
-                    f"classification is predicted infeasible ({outcome.oom_context})"
-                )
-        return self._full_cache[key]
+        plan; used by the overlap analysis and the examples.
 
-    def _run(self, classification: Classification) -> RunResult:
+        Runs the *full* engine (the fast path keeps no records), caching the
+        result per classification key.
+        """
+        key = classification.key()
+        hit = self._full_cache.get(key)
+        if hit is not None:
+            return hit
+        outcome = self.predict(classification)
+        if not outcome.feasible:
+            raise OutOfMemoryError(
+                f"classification is predicted infeasible ({outcome.oom_context})"
+            )
         schedule = build_schedule(
             self.graph, classification, self._durations, self.options
         )
@@ -111,7 +162,32 @@ class TimelinePredictor:
             schedule,
             device_capacity=self.machine.usable_gpu_memory - self.capacity_margin,
             host_capacity=self.machine.cpu_mem_capacity,
-            validate=False,  # builder output is structurally valid; skip the
-            # O(tasks) re-check in the search hot loop
+            validate=False,
         )
-        return engine.run()
+        result = engine.run()
+        self._full_cache[key] = result
+        return result
+
+    def _simulate(self, classification: Classification) -> PredictedOutcome:
+        """One uncached simulation through the fast draft-replay path."""
+        builder = ScheduleBuilder(
+            self.graph, classification, self._durations, self.options,
+            validate=False,  # the search only proposes structurally valid
+            # classifications; skip the O(maps) re-check per candidate
+        )
+        tasks, queues, buffers = builder.build_raw()
+        engine = FastEngine(
+            tasks, queues, buffers,
+            device_capacity=self.machine.usable_gpu_memory - self.capacity_margin,
+            host_capacity=self.machine.cpu_mem_capacity,
+        )
+        try:
+            makespan, device_peak, _host_peak = engine.run()
+        except OutOfMemoryError as e:
+            return PredictedOutcome(
+                feasible=False, time=float("inf"), peak_memory=0,
+                oom_context=e.context,
+            )
+        return PredictedOutcome(
+            feasible=True, time=makespan, peak_memory=device_peak
+        )

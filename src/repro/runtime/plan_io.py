@@ -6,19 +6,76 @@ against a structurally different graph fails loudly instead of producing a
 silently wrong schedule.  This is also the vehicle for the paper's
 plan-portability experiment in tool form: save the POWER9 plan, load it on
 the x86 machine, watch it underperform.
+
+:class:`PlanCache` layers a directory-backed store on top: chosen plans
+keyed by (graph signature, machine signature, search-config signature), and
+predictor simulation outcomes keyed additionally by classification — so
+repeated optimizations (PoocH across runs, DynamicPoocH across sizes) can
+warm-start instead of re-searching from scratch.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
 from repro.common.errors import ScheduleError
 from repro.graph import NNGraph
 from repro.runtime.plan import Classification, MapClass
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw import MachineSpec
+    from repro.runtime.profiler import Profile
+
 FORMAT_VERSION = 1
+
+
+def graph_signature(graph: NNGraph) -> str:
+    """Structural identity of a graph: layers, ops, shapes, wiring.
+
+    Two graphs with the same signature build identical schedules for a given
+    classification — the property plan/outcome reuse rests on.  Deliberately
+    *excludes* the graph name, so e.g. a renamed but structurally unchanged
+    model still hits the cache.
+    """
+    h = hashlib.sha256()
+    for layer in graph:
+        op = layer.op
+        h.update(
+            (
+                f"{layer.index};{op.kind.value};{op.fwd_flops!r};"
+                f"{op.bwd_flops!r};{op.fwd_bytes!r};{op.bwd_bytes!r};"
+                f"{op.param_bytes};{op.workspace_bytes};"
+                f"{int(op.bwd_needs_input)}{int(op.bwd_needs_output)};"
+                f"{op.fused_activation};{layer.out_spec.nbytes};"
+                f"{','.join(map(str, layer.preds))}\n"
+            ).encode()
+        )
+    return h.hexdigest()[:32]
+
+
+def machine_signature(machine: "MachineSpec") -> str:
+    """Identity of every machine field the simulations depend on."""
+    return (
+        f"{machine.name};gpu={machine.usable_gpu_memory};"
+        f"cpu={machine.cpu_mem_capacity};flops={machine.gpu_peak_flops!r};"
+        f"membw={machine.gpu_mem_bandwidth!r};h2d={machine.h2d_bandwidth!r};"
+        f"d2h={machine.d2h_bandwidth!r};lat={machine.copy_latency!r}"
+    )
+
+
+def profile_signature(profile: "Profile") -> str:
+    """Content hash of the profiled durations — simulation outcomes are a
+    pure function of (graph, machine capacities, these numbers)."""
+    h = hashlib.sha256()
+    for table in (profile.fwd, profile.bwd, profile.swap_out, profile.swap_in):
+        for k in sorted(table):
+            h.update(f"{k}:{table[k]!r};".encode())
+        h.update(b"|")
+    h.update(f"upd:{profile.update_time!r}".encode())
+    return h.hexdigest()[:32]
 
 
 def plan_to_dict(
@@ -52,6 +109,15 @@ def plan_from_dict(data: dict[str, Any], graph: NNGraph) -> Classification:
             f"plan was made for a {data.get('n_layers')}-layer graph "
             f"({data.get('graph_name')!r}); this graph has {len(graph)} layers"
         )
+    n_maps = len(graph.classifiable_maps())
+    stored_maps = data.get("classifiable_maps")
+    if stored_maps is not None and stored_maps != n_maps:
+        # catches e.g. a fuse_activations mismatch, where the layer count is
+        # identical but the set of classifiable maps is not
+        raise ScheduleError(
+            f"plan was made for a graph with {stored_maps} classifiable maps "
+            f"({data.get('graph_name')!r}); this graph has {n_maps}"
+        )
     try:
         classes = {
             int(i): MapClass(value) for i, value in data["classes"].items()
@@ -84,3 +150,158 @@ def load_plan(path: str | pathlib.Path, graph: NNGraph) -> Classification:
     except (OSError, json.JSONDecodeError) as e:
         raise ScheduleError(f"cannot read plan file {path}: {e}") from e
     return plan_from_dict(data, graph)
+
+
+# -- persistent plan / simulation-outcome cache -----------------------------------
+
+#: serialized form of Classification.key(): "0:swap,1:keep,..."
+def key_to_str(key: tuple[tuple[int, str], ...]) -> str:
+    return ",".join(f"{i}:{v}" for i, v in key)
+
+
+def key_from_str(s: str) -> tuple[tuple[int, str], ...]:
+    if not s:
+        return ()
+    return tuple(
+        (int(i), v) for i, _, v in (part.partition(":") for part in s.split(","))
+    )
+
+
+class PlanCache:
+    """Directory-backed cache of search results, shareable across runs.
+
+    Two stores under ``root``:
+
+    * ``plans/`` — the chosen classification per (graph signature, machine
+      signature, caller-supplied config signature).  Callers are expected to
+      re-verify a loaded plan by simulation before trusting it (the
+      simulate-before-running discipline); the cache only guarantees the
+      plan was chosen for a structurally identical problem.
+    * ``outcomes/`` — predictor simulation outcomes per (graph signature,
+      machine signature, caller-supplied simulation signature), keyed by
+      classification.  Entries are plain dicts mirroring
+      ``PredictedOutcome`` fields; merging is last-writer-wins per
+      classification (outcomes are deterministic, so writers agree).
+
+    File names are content-hashed from the key signatures; each file also
+    records the full signatures and is ignored on mismatch, so a hash
+    collision degrades to a cache miss, never a wrong plan.
+    """
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        try:
+            (self.root / "plans").mkdir(parents=True, exist_ok=True)
+            (self.root / "outcomes").mkdir(parents=True, exist_ok=True)
+        except OSError as e:
+            raise ScheduleError(
+                f"cannot create plan cache directory at {self.root}: {e}"
+            ) from e
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _digest(*parts: str) -> str:
+        return hashlib.sha256(";;".join(parts).encode()).hexdigest()[:24]
+
+    def _read(self, path: pathlib.Path, signatures: dict[str, str]) -> dict | None:
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # unreadable cache entries are misses, not errors
+        for field, expect in signatures.items():
+            if data.get(field) != expect:
+                return None
+        return data
+
+    # -- plans -------------------------------------------------------------------
+
+    def plan_path(self, graph: NNGraph, machine: "MachineSpec",
+                  config_signature: str) -> pathlib.Path:
+        digest = self._digest(graph_signature(graph),
+                              machine_signature(machine), config_signature)
+        return self.root / "plans" / f"{digest}.json"
+
+    def load_plan(
+        self, graph: NNGraph, machine: "MachineSpec", config_signature: str
+    ) -> tuple[Classification, dict[str, Any]] | None:
+        """The cached plan and its provenance dict, or ``None`` on miss."""
+        data = self._read(
+            self.plan_path(graph, machine, config_signature),
+            {
+                "graph_signature": graph_signature(graph),
+                "machine_signature": machine_signature(machine),
+                "config_signature": config_signature,
+            },
+        )
+        if data is None:
+            return None
+        return plan_from_dict(data, graph), data
+
+    def store_plan(
+        self,
+        graph: NNGraph,
+        machine: "MachineSpec",
+        config_signature: str,
+        classification: Classification,
+        *,
+        predicted_time: float | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> pathlib.Path:
+        payload = plan_to_dict(classification, graph, machine=machine.name,
+                               predicted_time=predicted_time)
+        payload["graph_signature"] = graph_signature(graph)
+        payload["machine_signature"] = machine_signature(machine)
+        payload["config_signature"] = config_signature
+        if extra:
+            payload.update(extra)
+        path = self.plan_path(graph, machine, config_signature)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return path
+
+    # -- simulation outcomes -----------------------------------------------------
+
+    def outcomes_path(self, graph: NNGraph, machine: "MachineSpec",
+                      sim_signature: str) -> pathlib.Path:
+        digest = self._digest(graph_signature(graph),
+                              machine_signature(machine), sim_signature)
+        return self.root / "outcomes" / f"{digest}.json"
+
+    def load_outcomes(
+        self, graph: NNGraph, machine: "MachineSpec", sim_signature: str
+    ) -> dict[tuple[tuple[int, str], ...], dict[str, Any]]:
+        """Cached simulation outcomes by classification key (empty on miss)."""
+        data = self._read(
+            self.outcomes_path(graph, machine, sim_signature),
+            {
+                "graph_signature": graph_signature(graph),
+                "machine_signature": machine_signature(machine),
+                "sim_signature": sim_signature,
+            },
+        )
+        if data is None:
+            return {}
+        return {key_from_str(k): v for k, v in data.get("entries", {}).items()}
+
+    def merge_outcomes(
+        self,
+        graph: NNGraph,
+        machine: "MachineSpec",
+        sim_signature: str,
+        entries: dict[tuple[tuple[int, str], ...], dict[str, Any]],
+    ) -> int:
+        """Union ``entries`` into the store; returns the total entry count."""
+        existing = self.load_outcomes(graph, machine, sim_signature)
+        existing.update(entries)
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "graph_signature": graph_signature(graph),
+            "machine_signature": machine_signature(machine),
+            "sim_signature": sim_signature,
+            "entries": {key_to_str(k): v for k, v in existing.items()},
+        }
+        path = self.outcomes_path(graph, machine, sim_signature)
+        path.write_text(json.dumps(payload) + "\n")
+        return len(existing)

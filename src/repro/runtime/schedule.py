@@ -138,12 +138,15 @@ class ScheduleBuilder:
         classification: Classification,
         durations: DurationProvider,
         options: ScheduleOptions | None = None,
+        *,
+        validate: bool = True,
     ) -> None:
         self.graph = graph
         self.cls = classification
         self.dur = durations
         self.opt = options or ScheduleOptions()
-        classification.validate(graph)
+        if validate:
+            classification.validate(graph)
 
         self._tasks: dict[str, _TaskDraft] = {}
         self._buffers: dict[str, _BufferDraft] = {}
@@ -561,8 +564,17 @@ class ScheduleBuilder:
                 worst = max(worst, alloc_by.get(t.tid, 0) + round_size(t.scratch_bytes))
         return worst
 
-    def build(self) -> Schedule:
-        """Construct and return the validated schedule."""
+    def build_raw(
+        self,
+    ) -> tuple[dict[str, _TaskDraft], dict[StreamName, list[str]],
+               dict[str, _BufferDraft]]:
+        """Construct the schedule in *draft* form: (tasks, queues, buffers).
+
+        This is the search hot path — :class:`repro.gpusim.FastEngine`
+        consumes the drafts directly, skipping ``Task``/``BufferSpec``
+        finalisation and structural validation.  :meth:`build` layers those
+        on top, so both paths describe the exact same schedule.
+        """
         # persistent parameter and parameter-gradient storage (kept on GPU
         # for the whole run, per §4.1.1)
         params = self.graph.total_param_bytes
@@ -573,6 +585,15 @@ class ScheduleBuilder:
         self._build_forward()
         self._build_backward()
         self._apply_swap_in_policy()
+        return self._tasks, {
+            StreamName.COMPUTE: self._compute_q,
+            StreamName.H2D: self._h2d_q,
+            StreamName.D2H: self._d2h_q,
+        }, self._buffers
+
+    def build(self) -> Schedule:
+        """Construct and return the validated schedule."""
+        self.build_raw()
 
         tasks = {tid: d.to_task() for tid, d in self._tasks.items()}
         # carry io annotations for the numeric backend

@@ -80,6 +80,25 @@ class TestOptimizeAndTimeline:
                      "--plan", "keep"]) == 0
 
 
+class TestOptimizeCacheAndWorkers:
+    def test_plan_cache_roundtrip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["optimize", "poster_example", "--batch", "64",
+                "--budget", "50", "--plan-cache", cache]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "plan reused from cache" not in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "plan reused from cache" in second
+        assert "step1=0 step2=0" in second  # no re-search on the hit
+
+    def test_workers_flag(self, capsys):
+        assert main(["optimize", "mlp", "--batch", "8", "--budget", "20",
+                     "--workers", "2"]) == 0
+        assert "PoocH plan" in capsys.readouterr().out
+
+
 class TestReport:
     def test_collates_results(self, tmp_path, capsys):
         (tmp_path / "a.txt").write_text("== A ==\nrow\n")

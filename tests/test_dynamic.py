@@ -74,6 +74,68 @@ class TestNearestStrategy:
         assert nearest.stats.total_time <= exact.stats.total_time * 1.5
 
 
+class TestProfilingReuse:
+    def test_one_profiling_per_distinct_size(self, machine):
+        d = DynamicPoocH(machine, build, CFG, strategy="exact")
+        d.run_stream([16, 32, 16, 16, 32, 64])
+        assert d.stats.profilings == 3  # sizes 16, 32, 64 — never re-profiled
+
+    def test_nearest_transfer_does_not_reprofile(self, machine):
+        # regression: transfer verification used to run its own profiling
+        # (and a predictor without the search's capacity margin / gap)
+        d = DynamicPoocH(machine, build, CFG, strategy="nearest")
+        d.run_iteration(64)
+        d.run_iteration(32)
+        assert d.stats.transfers == 1
+        assert d.stats.profilings == 2  # one for 64, one for 32
+
+    def test_profile_and_predictor_cached_per_size(self, machine):
+        d = DynamicPoocH(machine, build, CFG)
+        assert d._profile(16) is d._profile(16)
+        assert d._predictor(16) is d._predictor(16)
+        assert d.stats.profilings == 1
+
+
+class TestRegressionFixes:
+    def test_verification_predictor_gets_full_config(self, machine):
+        # regression: _transferable_plan verified donors through a predictor
+        # built without capacity_margin / forward_refetch_gap, so a plan
+        # could pass verification under laxer conditions than execution
+        from repro.common.units import MiB
+
+        cfg = PoochConfig(max_exact_li=3, step1_sim_budget=120,
+                          capacity_margin=4 * MiB, forward_refetch_gap=3)
+        d = DynamicPoocH(machine, build, cfg, strategy="nearest")
+        p = d._predictor(16)
+        assert p.capacity_margin == cfg.capacity_margin
+        assert p.forward_refetch_gap == cfg.forward_refetch_gap
+        assert p.policy == cfg.policy
+
+    def test_execute_gets_schedule_options(self, machine, monkeypatch):
+        # regression: run_iteration called execute() without options,
+        # silently dropping the configured forward_refetch_gap
+        import repro.pooch.dynamic as dyn
+
+        captured = {}
+        real_execute = dyn.execute
+
+        def spy(graph, plan, machine_, **kw):
+            captured.update(kw)
+            return real_execute(graph, plan, machine_, **kw)
+
+        monkeypatch.setattr(dyn, "execute", spy)
+        cfg = PoochConfig(max_exact_li=3, step1_sim_budget=120,
+                          forward_refetch_gap=2)
+        d = DynamicPoocH(machine, build, cfg)
+        d.run_iteration(16)
+        opts = captured["options"]
+        assert opts is not None
+        assert opts.forward_refetch_gap == 2
+        assert opts.policy == cfg.policy
+        # verification and execution share the exact same options object
+        assert opts is d._options
+
+
 class TestValidation:
     def test_unknown_strategy(self, machine):
         with pytest.raises(ScheduleError):

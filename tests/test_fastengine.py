@@ -1,0 +1,165 @@
+"""FastEngine == Engine: the search's replay path must be *bit-identical*.
+
+The parallel classifier's determinism argument (DESIGN.md §5) and the
+predictor's memo cache both rest on the fast draft-replay engine agreeing
+with the full engine float-for-float — same makespans, same peaks, and the
+same OOM attribution for infeasible plans.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import OutOfMemoryError
+from repro.common.units import MiB
+from repro.gpusim import Engine
+from repro.gpusim.fastengine import FastEngine
+from repro.hw import X86_V100
+from repro.models import linear_chain, poster_example, small_cnn
+from repro.pooch.predictor import TimelinePredictor
+from repro.runtime.plan import Classification, MapClass, SwapInPolicy
+from repro.runtime.profiler import run_profiling
+from repro.runtime.schedule import ScheduleBuilder, ScheduleOptions, build_schedule
+from tests.conftest import tiny_machine
+
+
+def _engines(graph, cls, machine, *, policy=SwapInPolicy.EAGER, gap=None,
+             margin=0):
+    """Both engines set up for the same (graph, classification, machine)."""
+    durations = run_profiling(
+        graph, machine, policy=policy, forward_refetch_gap=gap
+    ).durations()
+    options = ScheduleOptions(policy=policy, forward_refetch_gap=gap)
+    capacity = machine.usable_gpu_memory - margin
+    tasks, queues, buffers = ScheduleBuilder(
+        graph, cls, durations, options, validate=False
+    ).build_raw()
+    fast = FastEngine(tasks, queues, buffers, device_capacity=capacity,
+                      host_capacity=machine.cpu_mem_capacity)
+    full = Engine(
+        build_schedule(graph, cls, durations, options),
+        device_capacity=capacity,
+        host_capacity=machine.cpu_mem_capacity,
+        validate=False,
+    )
+    return fast, full
+
+
+def assert_equivalent(graph, cls, machine, **kw):
+    fast, full = _engines(graph, cls, machine, **kw)
+    try:
+        want = full.run()
+    except OutOfMemoryError as e:
+        with pytest.raises(OutOfMemoryError) as caught:
+            fast.run()
+        assert caught.value.context == e.context
+        return
+    makespan, device_peak, host_peak = fast.run()
+    assert makespan == want.makespan  # exact, not approx
+    assert device_peak == want.device_peak
+    assert host_peak == want.host_peak
+
+
+def _random_classification(graph, rng):
+    classes = {}
+    for m in graph.classifiable_maps():
+        options = [MapClass.SWAP, MapClass.KEEP]
+        if graph[m].op.recomputable:
+            options.append(MapClass.RECOMPUTE)
+        classes[m] = rng.choice(options)
+    return Classification(classes)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("policy", list(SwapInPolicy))
+    def test_poster_all_swap(self, policy):
+        g = poster_example()
+        assert_equivalent(g, Classification.all_swap(g),
+                          tiny_machine(mem_mib=224), policy=policy)
+
+    def test_poster_all_recompute(self):
+        g = poster_example()
+        assert_equivalent(g, Classification.all_recompute(g),
+                          tiny_machine(mem_mib=224))
+
+    def test_in_core_plan(self):
+        g = poster_example()
+        assert_equivalent(g, Classification.all_keep(g), X86_V100)
+
+    def test_all_keep_oom_matches(self):
+        # infeasible plans must fail the same way, blaming the same task
+        g = poster_example()
+        assert_equivalent(g, Classification.all_keep(g),
+                          tiny_machine(mem_mib=224))
+
+    def test_capacity_margin(self):
+        g = poster_example()
+        assert_equivalent(g, Classification.all_swap(g),
+                          tiny_machine(mem_mib=224), margin=16 * MiB)
+
+    def test_forward_refetch_gap(self):
+        g = linear_chain(6, batch=16, channels=32, image=64)
+        assert_equivalent(g, Classification.all_swap(g),
+                          tiny_machine(mem_mib=224), gap=2)
+
+    def test_random_mixed_plans(self):
+        g = small_cnn()
+        machine = tiny_machine(mem_mib=160)
+        rng = random.Random(7)
+        for _ in range(12):
+            assert_equivalent(g, _random_classification(g, rng), machine)
+
+    def test_random_mixed_plans_near_capacity(self):
+        # tighter memory: exercise the OOM branch of the comparison too
+        g = small_cnn()
+        machine = tiny_machine(mem_mib=96)
+        rng = random.Random(11)
+        for _ in range(12):
+            assert_equivalent(g, _random_classification(g, rng), machine)
+
+
+class TestPredictorIntegration:
+    def test_predict_matches_full_engine(self):
+        g = poster_example()
+        machine = tiny_machine(mem_mib=224)
+        profile = run_profiling(g, machine)
+        predictor = TimelinePredictor(g, profile, machine)
+        cls = Classification.all_swap(g)
+        outcome = predictor.predict(cls)
+        full = Engine(
+            build_schedule(g, cls, profile.durations(), predictor.options),
+            device_capacity=machine.usable_gpu_memory,
+            host_capacity=machine.cpu_mem_capacity,
+            validate=False,
+        ).run()
+        assert outcome.feasible
+        assert outcome.time == full.makespan
+        assert outcome.peak_memory == full.device_peak
+
+    def test_timeline_without_prior_predict(self):
+        # regression: timeline() used to assume predict() had populated a
+        # full-engine cache; it must work standalone
+        g = poster_example()
+        machine = tiny_machine(mem_mib=224)
+        predictor = TimelinePredictor(g, run_profiling(g, machine), machine)
+        result = predictor.timeline(Classification.all_swap(g))
+        assert result.makespan == predictor.predict(Classification.all_swap(g)).time
+        assert result.records  # the full engine keeps the timeline
+
+    def test_timeline_infeasible_raises(self):
+        g = poster_example()
+        machine = tiny_machine(mem_mib=224)
+        predictor = TimelinePredictor(g, run_profiling(g, machine), machine)
+        with pytest.raises(OutOfMemoryError, match="infeasible"):
+            predictor.timeline(Classification.all_keep(g))
+
+    def test_infeasible_outcome_carries_context(self):
+        g = poster_example()
+        machine = tiny_machine(mem_mib=224)
+        predictor = TimelinePredictor(g, run_profiling(g, machine), machine)
+        outcome = predictor.predict(Classification.all_keep(g))
+        assert outcome.infeasible
+        assert outcome.time == float("inf")
+        assert outcome.oom_context

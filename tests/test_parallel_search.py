@@ -1,0 +1,105 @@
+"""Parallel search determinism: ``workers`` is a pure wall-clock knob.
+
+The classifier fans step-1 leaf evaluations and step-2 r(X) rounds over a
+process pool, but the parent *replays* worker outcomes in the serial
+evaluation order (DESIGN.md §5) — so the chosen classification and every
+``SearchStats`` field must be bit-identical to ``workers=1``, including
+under mid-leaf budget truncation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import poster_example, resnet18
+from repro.pooch import PoochConfig
+from repro.pooch.classifier import PoochClassifier
+from repro.runtime.profiler import run_profiling
+from tests.conftest import tiny_machine
+
+
+def _search(graph, machine, profile, config):
+    return PoochClassifier(graph, profile, machine, config).classify()
+
+
+def assert_workers_identical(graph, machine, serial_cfg, workers):
+    """The full equality contract between serial and parallel searches."""
+    from dataclasses import replace
+
+    profile = run_profiling(graph, machine, policy=serial_cfg.policy,
+                            forward_refetch_gap=serial_cfg.forward_refetch_gap)
+    want_cls, want = _search(graph, machine, profile, serial_cfg)
+    got_cls, got = _search(graph, machine, profile,
+                           replace(serial_cfg, workers=workers))
+
+    assert got_cls.key() == want_cls.key()
+    assert got.sims_step1 == want.sims_step1
+    assert got.sims_step2 == want.sims_step2
+    assert got.budget_exhausted == want.budget_exhausted
+    # times are exact replays, not approximations
+    assert got.time_all_swap == want.time_all_swap
+    assert got.time_after_step1 == want.time_after_step1
+    assert got.time_after_step2 == want.time_after_step2
+    assert got.exact_li == want.exact_li
+    assert got.scan_order == want.scan_order
+    assert got.flips_to_recompute == want.flips_to_recompute
+    assert got.r_values == want.r_values
+    return want
+
+
+class TestDeterminism:
+    def test_poster_example_workers4(self):
+        # the paper's 8-layer poster network, search run to completion
+        graph = poster_example()
+        machine = tiny_machine(mem_mib=224)
+        cfg = PoochConfig(max_exact_li=6, step1_sim_budget=400)
+        stats = assert_workers_identical(graph, machine, cfg, workers=4)
+        assert not stats.budget_exhausted  # full enumeration path covered
+
+    def test_resnet18_workers4_budget_truncated(self):
+        # a budget small enough to truncate mid-leaf: the replay must stop
+        # at exactly the same simulation as the serial search
+        graph = resnet18(batch=32)
+        machine = tiny_machine(mem_mib=512)
+        cfg = PoochConfig(max_exact_li=4, step1_sim_budget=80)
+        stats = assert_workers_identical(graph, machine, cfg, workers=4)
+        assert stats.budget_exhausted  # truncation path covered
+
+    def test_workers2_step1_only(self):
+        # the swap-opt ablation (steps=1) goes through the same pool
+        graph = poster_example()
+        machine = tiny_machine(mem_mib=224)
+        profile = run_profiling(graph, machine)
+        cfg = PoochConfig(max_exact_li=4, step1_sim_budget=100)
+        want_cls, want = PoochClassifier(
+            graph, profile, machine, cfg
+        ).classify(steps=1)
+        from dataclasses import replace
+
+        got_cls, got = PoochClassifier(
+            graph, profile, machine, replace(cfg, workers=2)
+        ).classify(steps=1)
+        assert got_cls.key() == want_cls.key()
+        assert got.sims_step1 == want.sims_step1
+        assert got.time_after_step1 == want.time_after_step1
+
+
+class TestConfig:
+    def test_workers_excluded_from_signature(self):
+        a = PoochConfig(workers=1)
+        b = PoochConfig(workers=8)
+        assert a.signature() == b.signature()
+
+    def test_signature_reflects_search_knobs(self):
+        assert (PoochConfig(step1_sim_budget=100).signature()
+                != PoochConfig(step1_sim_budget=200).signature())
+        assert (PoochConfig(capacity_margin=1).signature()
+                != PoochConfig().signature())
+
+    def test_single_worker_uses_no_pool(self):
+        g = poster_example()
+        m = tiny_machine(mem_mib=224)
+        p = run_profiling(g, m)
+        c = PoochClassifier(g, p, m, PoochConfig(max_exact_li=3,
+                                                 step1_sim_budget=50))
+        assert c._make_executor() is None
