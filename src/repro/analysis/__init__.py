@@ -15,8 +15,16 @@ from repro.analysis.bottleneck import BottleneckReport, Stall, analyze_bottlenec
 from repro.analysis.chrometrace import to_chrome_trace, write_chrome_trace
 from repro.analysis.plots import bar_chart, memory_curve_plot
 from repro.analysis.report import Table, format_table
+from repro.analysis.robustness import (
+    RobustnessReport,
+    RobustnessRow,
+    robustness_report,
+)
 
 __all__ = [
+    "RobustnessReport",
+    "RobustnessRow",
+    "robustness_report",
     "bar_chart",
     "memory_curve_plot",
     "analyze_bottlenecks",

@@ -1,0 +1,143 @@
+"""Robustness reporting: how gracefully does PoocH degrade under faults?
+
+``robustness_report`` sweeps a list of fault specifications (by default a
+noise ladder) over one (graph, machine) pair.  For each spec it re-runs the
+whole pipeline — profile (perturbed), classify, execute resiliently — and
+records the makespan/throughput degradation relative to the clean run, the
+transfer retries spent, and any fallback-chain steps taken.  The resulting
+table is the repo's analogue of the paper's "execution fails" columns: where
+SuperNeurons' rows would read *fail*, PoocH's rows read *degraded via
+swap-all* with a number attached.
+
+Everything is seed-driven and bit-reproducible; the pooch import happens
+lazily because :mod:`repro.pooch.overlap` itself imports this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import Table
+from repro.faults import FaultInjector, FaultSpec, RetryPolicy
+from repro.graph import NNGraph
+from repro.hw import MachineSpec
+
+#: default sweep: profile+duration noise ladder up to the issue's 10% target
+DEFAULT_NOISE_LEVELS = (0.02, 0.05, 0.10)
+
+
+@dataclass
+class RobustnessRow:
+    """Outcome of one faulted pipeline run."""
+
+    label: str
+    spec: FaultSpec
+    makespan: float
+    #: relative makespan increase vs the clean run (0.07 = 7% slower)
+    degradation: float
+    throughput: float
+    plan_used: str
+    transfer_retries: int = 0
+    attempts: int = 1
+    fallbacks: int = 0
+    fallback_path: str = ""
+
+
+@dataclass
+class RobustnessReport:
+    """Degradation profile of one (graph, machine) pair under a fault sweep."""
+
+    graph_name: str
+    machine_name: str
+    batch: int
+    seed: int
+    clean_makespan: float
+    clean_throughput: float
+    rows: list[RobustnessRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        t = Table(
+            f"robustness of {self.graph_name!r} on {self.machine_name} "
+            f"(clean: {self.clean_makespan * 1e3:.3f} ms, "
+            f"{self.clean_throughput:.1f} img/s, fault seed {self.seed})",
+            ["faults", "plan used", "makespan (ms)", "degradation",
+             "img/s", "retries", "attempts", "fallbacks"],
+        )
+        for r in self.rows:
+            t.add(
+                r.label,
+                r.plan_used + (f" ({r.fallback_path})" if r.fallback_path else ""),
+                f"{r.makespan * 1e3:.3f}",
+                f"{r.degradation * 100:+.1f}%",
+                f"{r.throughput:.1f}",
+                r.transfer_retries,
+                r.attempts,
+                r.fallbacks,
+            )
+        return t.render()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _batch_of(graph: NNGraph) -> int:
+    return next(iter(graph)).out_spec.batch
+
+
+def robustness_report(
+    graph: NNGraph,
+    machine: MachineSpec,
+    *,
+    specs: list[FaultSpec] | None = None,
+    noise_levels: tuple[float, ...] = DEFAULT_NOISE_LEVELS,
+    seed: int = 0,
+    config=None,
+    retry: RetryPolicy | None = None,
+) -> RobustnessReport:
+    """Run the fault sweep and return the filled report.
+
+    ``specs`` overrides the sweep entirely; otherwise each entry of
+    ``noise_levels`` becomes a spec with that much duration *and* profile
+    noise plus a small stall probability — the "everything is a bit sick"
+    scenario the acceptance criteria target.
+    """
+    from repro.pooch import PoocH  # lazy: pooch.overlap imports this package
+
+    if specs is None:
+        specs = [
+            FaultSpec(duration_noise=lvl, profile_noise=lvl,
+                      stall_prob=min(lvl / 2, 1.0))
+            for lvl in noise_levels
+        ]
+    batch = _batch_of(graph)
+
+    clean = PoocH(machine, config=config).optimize(graph)
+    clean_result = clean.execute()
+    clean_makespan = clean_result.makespan
+    report = RobustnessReport(
+        graph_name=graph.name,
+        machine_name=machine.name,
+        batch=batch,
+        seed=seed,
+        clean_makespan=clean_makespan,
+        clean_throughput=batch / clean_makespan,
+    )
+
+    for spec in specs:
+        injector = FaultInjector(spec, seed=seed)
+        result = PoocH(machine, config=config, faults=injector).optimize(graph)
+        robust = result.execute_resilient(retry=retry)
+        report.rows.append(RobustnessRow(
+            label=spec.describe(),
+            spec=spec,
+            makespan=robust.makespan,
+            degradation=robust.makespan / clean_makespan - 1.0,
+            throughput=batch / robust.makespan,
+            plan_used=robust.plan_used,
+            transfer_retries=robust.transfer_retries,
+            attempts=robust.attempts,
+            fallbacks=len(robust.fallbacks),
+            fallback_path=" -> ".join(
+                s.to_plan for s in robust.fallbacks),
+        ))
+    return report

@@ -11,6 +11,12 @@ Commands:
   report throughput.
 * ``timeline <model> [--plan ...] [--policy ...]`` — render the ASCII
   execution timeline.
+* ``robustness <model> [--noise-levels ...] [--fault-seed N]`` — sweep
+  seeded fault levels and report makespan degradation, transfer retries and
+  fallback-chain steps.
+
+``run`` additionally accepts ``--faults SPEC --fault-seed N`` to execute
+under deterministic injected faults (see ``repro.faults``).
 
 All commands are offline simulations; nothing touches real hardware.
 """
@@ -33,6 +39,7 @@ from repro.baselines import (
 )
 from repro.common.errors import OutOfMemoryError, ReproError
 from repro.common.units import GiB, format_bytes
+from repro.faults import FaultInjector, FaultSpec
 from repro.hw import MachineSpec, POWER9_V100, X86_V100
 from repro.models import MODEL_ZOO, build_model
 from repro.pooch import PoocH, PoochConfig
@@ -49,6 +56,41 @@ _SIMPLE_PLANNERS = {
     "recompute-all": plan_recompute_all,
     "checkpoint": plan_checkpoint,
 }
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (--workers, --budget)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}")
+    return value
+
+
+def _injector(args) -> FaultInjector | None:
+    """Build the fault injector from --faults/--fault-seed (None when off)."""
+    if not getattr(args, "faults", None):
+        return None
+    spec = FaultSpec.parse(args.faults)
+    if not spec.active:
+        return None
+    return FaultInjector(spec, seed=args.fault_seed)
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--faults", metavar="SPEC",
+                   help="inject deterministic faults, e.g. "
+                        "'duration_noise=0.1,stall_prob=0.05,oom_prob=0.01' "
+                        "(keys: duration_noise profile_noise bandwidth_factor "
+                        "stall_prob stall_time oom_prob host_oom_prob "
+                        "host_capacity_factor)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault injector; a fixed seed makes a "
+                        "faulted run bit-reproducible")
 
 
 def _build(args) -> "NNGraph":  # noqa: F821 - doc reference
@@ -109,14 +151,26 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _run_resilient(graph, cls, machine, injector, policy=SwapInPolicy.EAGER):
+    from repro.faults import execute_resilient
+    from repro.runtime.schedule import ScheduleOptions
+
+    robust = execute_resilient(graph, cls, machine, faults=injector,
+                               options=ScheduleOptions(policy=policy))
+    print(robust.describe())
+    return robust.result
+
+
 def _cmd_run(args) -> int:
     graph = _build(args)
     machine = _MACHINES[args.machine]
+    injector = _injector(args)
     if args.plan:
         from repro.runtime import load_plan
 
         cls = load_plan(args.plan, graph)
-        timeline = execute(graph, cls, machine)
+        timeline = (execute(graph, cls, machine) if injector is None
+                    else _run_resilient(graph, cls, machine, injector))
         print(f"saved-plan on {machine.name}: {timeline.makespan * 1e3:.2f} ms "
               f"per iteration = "
               f"{images_per_second(timeline, args.batch):.1f} img/s "
@@ -125,18 +179,47 @@ def _cmd_run(args) -> int:
     if args.method == "pooch":
         config = PoochConfig(step1_sim_budget=args.budget,
                              workers=args.workers)
-        result = PoocH(machine, config,
-                       plan_cache=args.plan_cache).optimize(graph)
-        timeline = result.execute()
-    elif args.method == "swap-opt":
-        plan = plan_swap_opt(graph, machine)
-        timeline = plan.execute(graph, machine)
+        result = PoocH(machine, config, plan_cache=args.plan_cache,
+                       faults=injector).optimize(graph)
+        if injector is None:
+            timeline = result.execute()
+        else:
+            robust = result.execute_resilient()
+            print(robust.describe())
+            timeline = robust.result
     else:
-        plan = _SIMPLE_PLANNERS[args.method](graph, machine)
-        timeline = plan.execute(graph, machine)
+        if args.method == "swap-opt":
+            plan = plan_swap_opt(graph, machine)
+        else:
+            plan = _SIMPLE_PLANNERS[args.method](graph, machine)
+        if injector is None:
+            timeline = plan.execute(graph, machine)
+        else:
+            timeline = _run_resilient(graph, plan.classification, machine,
+                                      injector, policy=plan.policy)
     print(f"{args.method} on {machine.name}: {timeline.makespan * 1e3:.2f} ms "
           f"per iteration = {images_per_second(timeline, args.batch):.1f} img/s "
           f"(peak {timeline.device_peak / GiB:.2f} GiB)")
+    return 0
+
+
+def _cmd_robustness(args) -> int:
+    from repro.analysis import robustness_report
+
+    graph = _build(args)
+    machine = _MACHINES[args.machine]
+    specs = None
+    if args.faults:
+        spec = FaultSpec.parse(args.faults)
+        if spec.active:
+            specs = [spec]
+    report = robustness_report(
+        graph, machine,
+        specs=specs,
+        noise_levels=tuple(args.noise_levels),
+        seed=args.fault_seed,
+    )
+    print(report.render())
     return 0
 
 
@@ -197,9 +280,9 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("optimize", help="run PoocH and print the plan")
     _add_model_args(p)
-    p.add_argument("--budget", type=int, default=600,
-                   help="step-1 simulation budget")
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--budget", type=_positive_int, default=600,
+                   help="step-1 simulation budget (positive integer)")
+    p.add_argument("--workers", type=_positive_int, default=1,
                    help="search parallelism (process pool); results are "
                         "bit-identical to --workers 1")
     p.add_argument("--plan-cache", metavar="DIR",
@@ -217,14 +300,25 @@ def make_parser() -> argparse.ArgumentParser:
     _add_model_args(p)
     p.add_argument("--method", default="pooch",
                    choices=["pooch", "swap-opt", *sorted(_SIMPLE_PLANNERS)])
-    p.add_argument("--budget", type=int, default=600)
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--budget", type=_positive_int, default=600)
+    p.add_argument("--workers", type=_positive_int, default=1,
                    help="search parallelism for --method pooch")
     p.add_argument("--plan-cache", metavar="DIR",
                    help="persistent plan cache directory for --method pooch")
     p.add_argument("--plan", metavar="PLAN.json",
                    help="execute a saved plan instead of --method")
+    _add_fault_args(p)
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "robustness",
+        help="sweep fault levels and report degradation/retries/fallbacks")
+    _add_model_args(p)
+    p.add_argument("--noise-levels", type=float, nargs="+",
+                   default=[0.02, 0.05, 0.10], metavar="STDDEV",
+                   help="duration+profile noise ladder for the sweep")
+    _add_fault_args(p)
+    p.set_defaults(fn=_cmd_robustness)
 
     p = sub.add_parser("report", help="collate benchmark result tables")
     p.add_argument("--results-dir", default="benchmarks/results")

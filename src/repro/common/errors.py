@@ -59,3 +59,31 @@ class OutOfMemoryError(ReproError):
 class NumericError(ReproError):
     """The numeric validation backend detected incorrect data movement
     (use-after-free, missing tensor, gradient mismatch)."""
+
+
+class FaultError(ReproError):
+    """An injected fault could not be absorbed by the runtime's resilience
+    machinery (see :mod:`repro.faults`)."""
+
+
+class TransferFaultError(FaultError):
+    """A DMA transfer kept failing past the bounded retry budget.
+
+    Attributes:
+        tid: the transfer task that gave up.
+        attempts: how many attempts were made (1 + retries).
+    """
+
+    def __init__(self, message: str, *, tid: str = "", attempts: int = 0) -> None:
+        super().__init__(message)
+        self.tid = tid
+        self.attempts = attempts
+
+
+class SpuriousOOMError(OutOfMemoryError):
+    """A *transient* allocation failure injected by the fault layer: memory
+    was actually available, the allocator just misbehaved (driver hiccup,
+    temporary pinned-buffer exhaustion).  Unlike a plain
+    :class:`OutOfMemoryError` — which means the plan does not fit — a retry
+    of the same plan may succeed, and the resilient executor treats the two
+    differently."""

@@ -1,0 +1,215 @@
+"""Deterministic, seed-driven fault injection.
+
+Every decision the :class:`FaultInjector` makes — how much noise a task's
+duration gets, whether a transfer stalls, whether an allocation spuriously
+fails — is a *pure function* of ``(seed, decision key)``: a keyed RNG is
+derived per decision instead of consuming one shared stream.  That buys two
+properties the tests lean on hard:
+
+* **bit-reproducibility**: a faulted run with a fixed ``--fault-seed`` is
+  bit-identical no matter how many times (or in what order) components ask
+  the injector for decisions;
+* **purity of durations**: :class:`FaultyDurations` can answer the same
+  query twice with the same value, so the schedule builder may be re-run
+  (e.g. by the resilient executor's fallback chain) without the fault layer
+  drifting underneath it.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.common.errors import SpuriousOOMError
+from repro.common.units import format_bytes
+from repro.faults.spec import FaultSpec
+from repro.gpusim.allocator import MemoryPool, round_size
+
+#: hard floor on any multiplicative noise factor — matches the cost model's
+#: jitter clamp so a noisy duration can never go zero or negative
+_MIN_FACTOR = 0.05
+
+
+class FaultInjector:
+    """Turns a :class:`FaultSpec` into deterministic per-decision draws."""
+
+    def __init__(self, spec: FaultSpec | str | None = None, seed: int = 0) -> None:
+        if spec is None:
+            spec = FaultSpec()
+        elif isinstance(spec, str):
+            spec = FaultSpec.parse(spec)
+        self.spec = spec
+        self.seed = int(seed)
+
+    # -- keyed randomness ---------------------------------------------------------
+
+    def _rng(self, *key: object) -> np.random.Generator:
+        """A fresh generator keyed on (seed, key): same key → same stream."""
+        digest = zlib.crc32(repr(key).encode())
+        return np.random.default_rng((self.seed, digest))
+
+    def _noise_factor(self, stddev: float, *key: object) -> float:
+        if stddev <= 0.0:
+            return 1.0
+        draw = float(self._rng(*key).standard_normal())
+        return max(_MIN_FACTOR, 1.0 + stddev * draw)
+
+    # -- duration faults ------------------------------------------------------------
+
+    def duration_factor(self, what: str, layer: int) -> float:
+        """Multiplicative noise on one executed task's duration, keyed by
+        (task kind, layer) — deterministic per task identity."""
+        return self._noise_factor(self.spec.duration_noise, "dur", what, layer)
+
+    def transfer_slowdown(self) -> float:
+        """Uniform slowdown of all H2D/D2H transfers (degraded link)."""
+        return 1.0 / self.spec.bandwidth_factor
+
+    def profile_factor(self, what: str, layer: int) -> float:
+        """Multiplicative noise on one *profiled* duration."""
+        return self._noise_factor(self.spec.profile_noise, "prof", what, layer)
+
+    # -- transfer stalls -------------------------------------------------------------
+
+    def transfer_failures(self, tid: str, cap: int, epoch: int = 0) -> int:
+        """How many consecutive attempts of transfer ``tid`` transiently
+        fail before one succeeds; capped at ``cap + 1`` (i.e. a return value
+        of ``cap + 1`` means the retry budget is exhausted).  ``epoch`` keys
+        the draw so a re-executed iteration sees fresh transient
+        conditions."""
+        p = self.spec.stall_prob
+        if p <= 0.0:
+            return 0
+        rng = self._rng("stall", epoch, tid)
+        failures = 0
+        while failures <= cap and float(rng.random()) < p:
+            failures += 1
+        return failures
+
+    # -- allocation faults -----------------------------------------------------------
+
+    def spurious_oom(self, pool: str, buffer: str, attempt: int) -> bool:
+        """Whether this allocation transiently fails.  Keyed by the attempt
+        index too, so a retried iteration makes an independent draw."""
+        p = self.spec.host_oom_prob if pool == "host" else self.spec.oom_prob
+        if p <= 0.0:
+            return False
+        return float(self._rng("oom", pool, buffer, attempt).random()) < p
+
+    def host_capacity(self, nominal: int) -> int:
+        """Host swap space actually available under pinned-memory pressure."""
+        return int(nominal * self.spec.host_capacity_factor)
+
+    # -- profile perturbation -----------------------------------------------------------
+
+    def perturb_profile(self, profile, graph=None, machine=None, options=None):
+        """A copy of ``profile`` with noisy durations — what the classifier
+        sees when the few profiled iterations were not representative.
+
+        When ``graph`` and ``machine`` are given, the profile's all-swap
+        baseline timeline is replayed from the perturbed durations (the
+        classifier's overlap analysis inspects it, so it must be consistent
+        with the numbers).
+        """
+        from repro.gpusim import Engine
+        from repro.runtime.plan import Classification
+        from repro.runtime.profiler import Profile
+        from repro.runtime.schedule import ScheduleOptions, build_schedule
+
+        if self.spec.profile_noise <= 0.0:
+            return profile
+
+        def jig(table: dict[int, float], what: str) -> dict[int, float]:
+            return {k: v * self.profile_factor(what, k) for k, v in table.items()}
+
+        noisy = Profile(
+            graph_name=profile.graph_name,
+            machine_name=profile.machine_name,
+            fwd=jig(profile.fwd, "fwd"),
+            bwd=jig(profile.bwd, "bwd"),
+            swap_out=jig(profile.swap_out, "swap_out"),
+            swap_in=jig(profile.swap_in, "swap_in"),
+            update_time=profile.update_time * self.profile_factor("update", -1),
+            map_bytes=dict(profile.map_bytes),
+            iterations=profile.iterations,
+        )
+        if graph is not None and machine is not None:
+            opts = options or ScheduleOptions()
+            schedule = build_schedule(graph, Classification.all_swap(graph),
+                                      noisy.durations(), opts)
+            noisy.baseline = Engine(
+                schedule,
+                device_capacity=machine.usable_gpu_memory,
+                host_capacity=machine.cpu_mem_capacity,
+            ).run()
+        return noisy
+
+
+class FaultyDurations:
+    """A :class:`~repro.runtime.durations.DurationProvider` that wraps
+    another provider with the injector's duration faults.
+
+    Noise is keyed per (kind, layer), never per call: recompute tasks share
+    the forward duration exactly as the profiler assumes, and rebuilding a
+    schedule reproduces it bit-for-bit.  Faults change *time*, never data.
+    """
+
+    def __init__(self, base, injector: FaultInjector) -> None:
+        self.base = base
+        self.injector = injector
+
+    def fwd(self, layer: int) -> float:
+        return self.base.fwd(layer) * self.injector.duration_factor("fwd", layer)
+
+    def bwd(self, layer: int) -> float:
+        return self.base.bwd(layer) * self.injector.duration_factor("bwd", layer)
+
+    def swap_out(self, map_id: int) -> float:
+        return (self.base.swap_out(map_id)
+                * self.injector.duration_factor("swap_out", map_id)
+                * self.injector.transfer_slowdown())
+
+    def swap_in(self, map_id: int) -> float:
+        return (self.base.swap_in(map_id)
+                * self.injector.duration_factor("swap_in", map_id)
+                * self.injector.transfer_slowdown())
+
+    def input_load(self, layer: int) -> float:
+        return (self.base.input_load(layer)
+                * self.injector.duration_factor("input_load", layer)
+                * self.injector.transfer_slowdown())
+
+    def update(self) -> float:
+        return self.base.update() * self.injector.duration_factor("update", -1)
+
+
+class FaultyMemoryPool(MemoryPool):
+    """A counting pool whose allocations can *spuriously* fail.
+
+    A spurious failure raises :class:`SpuriousOOMError` only when the
+    allocation would otherwise have succeeded — a genuine capacity shortfall
+    keeps raising the ordinary :class:`~repro.common.errors.OutOfMemoryError`
+    so infeasibility is never mistaken for a transient fault.
+    """
+
+    def __init__(self, capacity: int, name: str, injector: FaultInjector,
+                 attempt: int = 0, track: bool = True) -> None:
+        super().__init__(capacity, name, track=track)
+        self.injector = injector
+        self.attempt = attempt
+
+    def malloc(self, buffer: str, nbytes: int, time: float,
+               context: str = "") -> None:
+        if (round_size(nbytes) <= self.free_bytes
+                and self.injector.spurious_oom(self.name, buffer, self.attempt)):
+            raise SpuriousOOMError(
+                f"{self.name} pool: injected transient allocation failure for "
+                f"{buffer!r} ({format_bytes(round_size(nbytes))}) at "
+                f"t={time:.6f}" + (f" while {context}" if context else ""),
+                requested=round_size(nbytes),
+                free=self.free_bytes,
+                capacity=self.capacity,
+                context=context or buffer,
+            )
+        super().malloc(buffer, nbytes, time, context=context)

@@ -1,0 +1,253 @@
+"""Graceful degradation: retries, bounded backoff, and the fallback chain.
+
+``execute_resilient`` is the fault-tolerant counterpart of
+:func:`repro.runtime.executor.execute`.  Instead of letting an
+execution-time failure propagate, it degrades along a declared chain:
+
+* **transient transfer stalls** are retried in place with bounded
+  exponential backoff (the retry cost is charged to the transfer's duration,
+  so the timeline honestly shows the lost time);
+* **spurious allocator failures** (:class:`SpuriousOOMError`) re-run the
+  iteration under the same plan — transient faults draw independently per
+  attempt, so a retry can succeed;
+* **genuine OOM** (the plan does not fit — e.g. a plan chosen from a noisy
+  profile, or host swap space shrunk under pinned-memory pressure) and
+  **exhausted transfer-retry budgets** advance to the next plan of the
+  fallback chain: chosen plan → swap-all → recompute-all.
+
+Only when the *last* chain entry fails does the error propagate — at that
+point the machine genuinely cannot run the model and pretending otherwise
+would be dishonest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    OutOfMemoryError,
+    SpuriousOOMError,
+    TransferFaultError,
+)
+from repro.faults.injector import FaultInjector, FaultyDurations, FaultyMemoryPool
+from repro.graph import NNGraph
+from repro.gpusim import Engine, RunResult, Schedule, StreamName
+from repro.hw import CostModel, MachineSpec
+from repro.runtime.durations import CostModelDurations, DurationProvider
+from repro.runtime.plan import Classification
+from repro.runtime.schedule import ScheduleOptions, build_schedule
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on how hard the resilient executor tries before degrading.
+
+    Attributes:
+        max_transfer_retries: in-place retries of one faulted DMA transfer
+            before the attempt is abandoned and the fallback chain engages.
+        backoff_base: first retry's backoff delay, seconds; doubles per
+            retry up to ``backoff_cap`` (bounded exponential backoff).
+        backoff_cap: ceiling on a single backoff delay, seconds.
+        max_plan_attempts: executions of the *same* plan before moving on —
+            re-runs absorb transient (spurious) allocation failures.
+    """
+
+    max_transfer_retries: int = 3
+    backoff_base: float = 1e-4
+    backoff_cap: float = 1e-2
+    max_plan_attempts: int = 3
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff delay before retry number ``attempt`` (0-based)."""
+        return min(self.backoff_base * (2.0 ** attempt), self.backoff_cap)
+
+
+@dataclass(frozen=True)
+class FallbackStep:
+    """One link of the degradation chain that was actually taken."""
+
+    from_plan: str
+    to_plan: str
+    reason: str
+
+
+@dataclass
+class RobustResult:
+    """Outcome of one resilient execution.
+
+    ``plan_used`` names the chain entry that finally ran to completion;
+    ``fallbacks`` lists every degradation step taken on the way there.
+    """
+
+    result: RunResult
+    plan_used: str
+    classification: Classification
+    transfer_retries: int = 0
+    attempts: int = 1
+    fallbacks: list[FallbackStep] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return self.result.makespan
+
+    @property
+    def degraded(self) -> bool:
+        """True when the chosen plan was abandoned for a fallback."""
+        return bool(self.fallbacks)
+
+    def describe(self) -> str:
+        lines = [
+            f"executed plan: {self.plan_used} "
+            f"({self.attempts} attempt{'s' if self.attempts != 1 else ''}, "
+            f"{self.transfer_retries} transfer "
+            f"retr{'ies' if self.transfer_retries != 1 else 'y'})"
+        ]
+        for step in self.fallbacks:
+            lines.append(
+                f"  fallback {step.from_plan} -> {step.to_plan}: {step.reason}"
+            )
+        return "\n".join(lines)
+
+
+def fallback_chain(
+    graph: NNGraph, classification: Classification
+) -> list[tuple[str, Classification]]:
+    """The declared degradation order, deduplicated by plan identity."""
+    chain = [
+        ("chosen-plan", classification),
+        ("swap-all", Classification.all_swap(graph)),
+        ("recompute-all", Classification.all_recompute(graph)),
+    ]
+    seen: set[tuple] = set()
+    unique: list[tuple[str, Classification]] = []
+    for name, cls in chain:
+        key = cls.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append((name, cls))
+    return unique
+
+
+def apply_transfer_faults(
+    schedule: Schedule,
+    injector: FaultInjector,
+    retry: RetryPolicy,
+    epoch: int = 0,
+) -> int:
+    """Resolve transient stalls for every DMA task of ``schedule``.
+
+    Each faulted transfer is retried in place: every failed attempt charges
+    the stall time plus a bounded-exponential backoff delay to the task's
+    duration.  Returns the total number of retries performed; raises
+    :class:`TransferFaultError` when a transfer exceeds the retry budget.
+    ``epoch`` keys the draws, so a later re-execution sees fresh transient
+    conditions.
+    """
+    retries = 0
+    for task in schedule.tasks.values():
+        if task.stream is StreamName.COMPUTE:
+            continue
+        failures = injector.transfer_failures(task.tid, retry.max_transfer_retries,
+                                              epoch=epoch)
+        if failures == 0:
+            continue
+        if failures > retry.max_transfer_retries:
+            raise TransferFaultError(
+                f"transfer {task.tid!r} failed {failures} consecutive attempts "
+                f"(budget: {retry.max_transfer_retries} retries)",
+                tid=task.tid,
+                attempts=failures,
+            )
+        task.duration += sum(
+            injector.spec.stall_time + retry.backoff(a) for a in range(failures)
+        )
+        retries += failures
+    return retries
+
+
+def execute_resilient(
+    graph: NNGraph,
+    classification: Classification,
+    machine: MachineSpec,
+    *,
+    faults: FaultInjector | None = None,
+    retry: RetryPolicy | None = None,
+    options: ScheduleOptions | None = None,
+    cost_model: CostModel | None = None,
+    durations: DurationProvider | None = None,
+) -> RobustResult:
+    """Execute one iteration, surviving injected faults by degradation.
+
+    Without ``faults`` this is ``execute`` plus the fallback chain: the
+    clean path builds the identical schedule and runs the identical engine,
+    so results are bit-identical to the plain executor.
+    """
+    retry = retry or RetryPolicy()
+    opts = options or ScheduleOptions()
+    base = durations
+    if base is None:
+        base = CostModelDurations(graph, cost_model or CostModel(machine))
+    if faults is not None:
+        base = FaultyDurations(base, faults)
+    host_nominal = machine.cpu_mem_capacity
+    host_capacity = (faults.host_capacity(host_nominal)
+                     if faults is not None else host_nominal)
+
+    chain = fallback_chain(graph, classification)
+    fallbacks: list[FallbackStep] = []
+    total_retries = 0
+    epoch = 0
+    last_error: Exception | None = None
+    for chain_pos, (name, cls) in enumerate(chain):
+        plan_failed: Exception | None = None
+        for _ in range(retry.max_plan_attempts):
+            epoch += 1
+            schedule = build_schedule(graph, cls, base, opts)
+            try:
+                if faults is not None:
+                    total_retries += apply_transfer_faults(
+                        schedule, faults, retry, epoch=epoch
+                    )
+                device_pool = host_pool = None
+                if faults is not None:
+                    device_pool = FaultyMemoryPool(
+                        machine.usable_gpu_memory, "gpu", faults, attempt=epoch
+                    )
+                    host_pool = FaultyMemoryPool(
+                        host_capacity, "host", faults, attempt=epoch
+                    )
+                result = Engine(
+                    schedule,
+                    device_capacity=machine.usable_gpu_memory,
+                    host_capacity=host_capacity,
+                    device_pool=device_pool,
+                    host_pool=host_pool,
+                ).run()
+                return RobustResult(
+                    result=result,
+                    plan_used=name,
+                    classification=cls,
+                    transfer_retries=total_retries,
+                    attempts=epoch,
+                    fallbacks=fallbacks,
+                )
+            except SpuriousOOMError as e:
+                # transient: retry the same plan, fresh draws under a new epoch
+                plan_failed = e
+                continue
+            except TransferFaultError as e:
+                plan_failed = e
+                break  # retrying the same schedule cannot fix a dead link
+            except OutOfMemoryError as e:
+                plan_failed = e
+                break  # the plan genuinely does not fit; degrade
+        last_error = plan_failed
+        if chain_pos + 1 < len(chain):
+            fallbacks.append(FallbackStep(
+                from_plan=name,
+                to_plan=chain[chain_pos + 1][0],
+                reason=str(plan_failed),
+            ))
+    assert last_error is not None
+    raise last_error

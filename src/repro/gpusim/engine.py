@@ -211,15 +211,21 @@ class Engine:
         validate: bool = True,
         free_hook: Callable[[str], None] | None = None,
         fragmentation: bool = False,
+        device_pool: MemoryPool | None = None,
+        host_pool: MemoryPool | None = None,
     ) -> None:
         if validate:
             schedule.validate()
         self.schedule = schedule
         # fragmentation=True swaps in the best-fit block allocator, which can
-        # additionally fail when no contiguous block fits (DESIGN.md §5)
+        # additionally fail when no contiguous block fits (DESIGN.md §5);
+        # explicit pools (e.g. the fault layer's spuriously-failing pool)
+        # override the default construction and must match the capacities
         pool_cls = BlockMemoryPool if fragmentation else MemoryPool
-        self.device = pool_cls(device_capacity, "gpu")
-        self.host = MemoryPool(host_capacity or (1 << 62), "host")
+        self.device = device_pool if device_pool is not None else pool_cls(
+            device_capacity, "gpu")
+        self.host = host_pool if host_pool is not None else MemoryPool(
+            host_capacity or (1 << 62), "host")
         #: called with the buffer id whenever a buffer is freed — lets the
         #: numeric backend invalidate its arrays so that any use-after-free
         #: in a schedule fails loudly instead of silently reusing stale data

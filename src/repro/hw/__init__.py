@@ -2,6 +2,13 @@
 model that substitutes for real V100 kernel timings (see DESIGN.md §2)."""
 
 from repro.hw.costmodel import CostModel
-from repro.hw.machine import MachineSpec, POWER9_V100, X86_V100, scaled_machine
+from repro.hw.machine import (
+    MachineSpec,
+    POWER9_V100,
+    X86_V100,
+    degraded_machine,
+    scaled_machine,
+)
 
-__all__ = ["MachineSpec", "X86_V100", "POWER9_V100", "scaled_machine", "CostModel"]
+__all__ = ["MachineSpec", "X86_V100", "POWER9_V100", "scaled_machine",
+           "degraded_machine", "CostModel"]

@@ -88,6 +88,29 @@ POWER9_V100 = MachineSpec(
 )
 
 
+def degraded_machine(base: MachineSpec, *, name: str | None = None,
+                     bandwidth_factor: float = 1.0,
+                     host_capacity_factor: float = 1.0) -> MachineSpec:
+    """Derive a *degraded* machine from ``base``: an interconnect delivering
+    only ``bandwidth_factor`` of its nominal H2D/D2H bandwidth (a sick PCIe
+    link, NVLink lane failure) and/or only ``host_capacity_factor`` of the
+    host DRAM available for swap space (pinned memory claimed by other
+    tenants).  The fault layer uses this to model persistent hardware
+    degradation, as opposed to the injector's transient faults."""
+    if not 0.0 < bandwidth_factor <= 1.0:
+        raise ValueError(f"bandwidth_factor must be in (0, 1], got {bandwidth_factor!r}")
+    if not 0.0 < host_capacity_factor <= 1.0:
+        raise ValueError(
+            f"host_capacity_factor must be in (0, 1], got {host_capacity_factor!r}")
+    return replace(
+        base,
+        name=name or f"{base.name}_degraded",
+        h2d_bandwidth=base.h2d_bandwidth * bandwidth_factor,
+        d2h_bandwidth=base.d2h_bandwidth * bandwidth_factor,
+        cpu_mem_capacity=int(base.cpu_mem_capacity * host_capacity_factor),
+    )
+
+
 def scaled_machine(base: MachineSpec, *, name: str | None = None,
                    mem_scale: float = 1.0, flops_scale: float = 1.0,
                    link_scale: float = 1.0) -> MachineSpec:

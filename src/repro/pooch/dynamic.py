@@ -30,11 +30,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable
 
 from repro.common.errors import ScheduleError
+from repro.faults import FaultInjector, FaultSpec, FaultyDurations, RetryPolicy
+from repro.faults.resilient import execute_resilient
 from repro.graph import NNGraph
 from repro.gpusim import RunResult
-from repro.hw import MachineSpec
+from repro.hw import CostModel, MachineSpec
 from repro.pooch.classifier import PoochClassifier, PoochConfig
 from repro.pooch.predictor import TimelinePredictor
+from repro.runtime.durations import CostModelDurations
 from repro.runtime.executor import execute
 from repro.runtime.plan import Classification
 from repro.runtime.plan_io import PlanCache
@@ -58,6 +61,12 @@ class DynamicStats:
     plan_reuses: int = 0
     transfers: int = 0  # nearest-plan reuses across different sizes
     transfer_rejections: int = 0  # transferred plans predicted infeasible
+    #: drift-triggered re-profile + re-plan events (at most one per size)
+    replans: int = 0
+    #: in-place retries of transiently faulted DMA transfers
+    transfer_retries: int = 0
+    #: degradation steps taken along the fallback chain
+    fallbacks: int = 0
     iteration_times: list[float] = field(default_factory=list)
 
     @property
@@ -79,6 +88,19 @@ class DynamicPoocH:
             directory path) — plans and simulation outcomes then persist
             across streams *and* across processes, so a restarted training
             run skips the searches entirely.
+        faults: optional :class:`~repro.faults.FaultInjector` (or a
+            :class:`~repro.faults.FaultSpec` / CLI spec string built with
+            ``fault_seed``) — iterations then execute resiliently under the
+            injected faults, and a drift-triggered re-plan re-profiles under
+            the faulted ground truth.
+        fault_seed: seed for an injector built from a spec/string.
+        replan_tolerance: relative deviation of measured iteration time from
+            the predicted makespan that triggers one re-profile + re-plan per
+            size (``None`` disables drift tracking).
+        retry: bounds on transfer retries / plan attempts when executing
+            resiliently.
+        cost_model: ground-truth cost model shared by profiling and
+            execution.
     """
 
     def __init__(
@@ -88,9 +110,17 @@ class DynamicPoocH:
         config: PoochConfig | None = None,
         strategy: str = "exact",
         plan_cache: PlanCache | str | pathlib.Path | None = None,
+        faults: FaultInjector | FaultSpec | str | None = None,
+        fault_seed: int = 0,
+        replan_tolerance: float | None = 0.25,
+        retry: RetryPolicy | None = None,
+        cost_model: CostModel | None = None,
     ) -> None:
         if strategy not in ("exact", "nearest"):
             raise ScheduleError(f"unknown strategy {strategy!r}")
+        if replan_tolerance is not None and replan_tolerance <= 0:
+            raise ScheduleError(
+                f"replan_tolerance must be positive, got {replan_tolerance!r}")
         self.machine = machine
         self.build_graph = build_graph
         self.config = config or PoochConfig()
@@ -98,6 +128,13 @@ class DynamicPoocH:
         if plan_cache is not None and not isinstance(plan_cache, PlanCache):
             plan_cache = PlanCache(plan_cache)
         self.plan_cache = plan_cache
+        if faults is not None and not isinstance(faults, FaultInjector):
+            faults = FaultInjector(faults, seed=fault_seed)
+        self.faults = faults
+        self.replan_tolerance = replan_tolerance
+        self.retry = retry or RetryPolicy()
+        self.cost_model = cost_model
+        self._replanned: set[Size] = set()
         self._plans: dict[Size, Classification] = {}
         self._graphs: dict[Size, NNGraph] = {}
         self._profiles: dict[Size, Profile] = {}
@@ -125,15 +162,36 @@ class DynamicPoocH:
             self._graphs[size] = graph
         return self._graphs[size]
 
-    def _profile(self, size: Size) -> Profile:
+    def _profile(self, size: Size, faulted: bool = False) -> Profile:
         """Exactly one profiling run per distinct size, shared by
-        optimization, donor feasibility checks and transfer verification."""
+        optimization, donor feasibility checks and transfer verification.
+
+        The initial profile models the paper's short clean measurement
+        window: fault-free ground truth, then ``profile_noise`` perturbation.
+        A drift-triggered re-profile (``faulted=True``) instead measures
+        *through* the injector's duration faults — the very conditions that
+        caused the drift — so the new plan fits what execution actually
+        sees."""
         if size not in self._profiles:
-            self._profiles[size] = run_profiling(
-                self._graph(size), self.machine,
+            graph = self._graph(size)
+            durations = None
+            if faulted and self.faults is not None:
+                durations = FaultyDurations(
+                    CostModelDurations(
+                        graph, self.cost_model or CostModel(self.machine)),
+                    self.faults,
+                )
+            profile = run_profiling(
+                graph, self.machine,
+                cost_model=self.cost_model,
                 policy=self.config.policy,
                 forward_refetch_gap=self.config.forward_refetch_gap,
+                durations=durations,
             )
+            if not faulted and self.faults is not None:
+                profile = self.faults.perturb_profile(
+                    profile, graph, self.machine, options=self._options)
+            self._profiles[size] = profile
             self.stats.profilings += 1
         return self._profiles[size]
 
@@ -149,7 +207,7 @@ class DynamicPoocH:
             )
         return self._predictors[size]
 
-    def _optimize(self, size: Size) -> Classification:
+    def _optimize(self, size: Size, use_plan_cache: bool = True) -> Classification:
         graph = self._graph(size)
         profile = self._profile(size)
         predictor = self._predictor(size)
@@ -159,7 +217,8 @@ class DynamicPoocH:
                 cache.load_outcomes(graph, self.machine,
                                     predictor.sim_signature())
             )
-            hit = cache.load_plan(graph, self.machine, self.config.signature())
+            hit = (cache.load_plan(graph, self.machine, self.config.signature())
+                   if use_plan_cache else None)
             if hit is not None:
                 classification, _meta = hit
                 if predictor.predict(classification).feasible:
@@ -215,13 +274,55 @@ class DynamicPoocH:
         self._plans[size] = plan
         return plan
 
+    def _replan(self, size: Size) -> None:
+        """Drift response: throw away the stale profile, measure again under
+        the faulted ground truth, search again.  Bounded to once per size —
+        drift past that means the environment itself is unstable, and
+        re-planning every iteration would cost more than it saves."""
+        self._replanned.add(size)
+        self._profiles.pop(size, None)
+        self._predictors.pop(size, None)
+        self._plans.pop(size, None)
+        self._profile(size, faulted=True)
+        # bypass the plan cache: it would hand back the very plan that
+        # drifted (cache keys ignore the profile)
+        self._plans[size] = self._optimize(size, use_plan_cache=False)
+        self.stats.replans += 1
+
     def run_iteration(self, size: Size) -> RunResult:
-        """Execute one iteration of the given size under its plan."""
+        """Execute one iteration of the given size under its plan.
+
+        With a fault injector installed the iteration runs resiliently —
+        transfer retries and fallback-chain steps land in :attr:`stats` —
+        and a measured makespan drifting beyond ``replan_tolerance`` from
+        the predicted one triggers one re-profile + re-plan for this size
+        (the paper's profile-predicts-the-future premise, re-armed)."""
         plan = self.plan_for(size)
         graph = self._graph(size)
-        result = execute(graph, plan, self.machine, options=self._options)
+        if self.faults is not None:
+            robust = execute_resilient(
+                graph, plan, self.machine,
+                faults=self.faults,
+                retry=self.retry,
+                options=self._options,
+                cost_model=self.cost_model,
+            )
+            result = robust.result
+            self.stats.transfer_retries += robust.transfer_retries
+            self.stats.fallbacks += len(robust.fallbacks)
+            degraded = robust.degraded
+        else:
+            result = execute(graph, plan, self.machine, options=self._options,
+                             cost_model=self.cost_model)
+            degraded = False
         self.stats.iterations += 1
         self.stats.iteration_times.append(result.makespan)
+        if (self.replan_tolerance is not None
+                and size not in self._replanned
+                and (degraded
+                     or self._predictor(size).drift(plan, result.makespan)
+                     > self.replan_tolerance)):
+            self._replan(size)
         return result
 
     def run_stream(self, sizes: list[Size]) -> DynamicStats:

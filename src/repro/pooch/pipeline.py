@@ -5,6 +5,7 @@ from __future__ import annotations
 import pathlib
 from dataclasses import dataclass, field
 
+from repro.faults import FaultInjector, FaultSpec, RetryPolicy, RobustResult
 from repro.graph import NNGraph
 from repro.gpusim import RunResult
 from repro.hw import CostModel, MachineSpec
@@ -33,6 +34,7 @@ class PoochResult:
     stats: SearchStats
     predicted: PredictedOutcome
     config: PoochConfig = field(default_factory=PoochConfig)
+    faults: FaultInjector | None = None
 
     def execute(
         self,
@@ -46,6 +48,35 @@ class PoochResult:
             self.graph,
             self.classification,
             machine or self.machine,
+            cost_model=cost_model,
+            options=ScheduleOptions(
+                policy=self.config.policy,
+                forward_refetch_gap=self.config.forward_refetch_gap,
+            ),
+        )
+
+    def execute_resilient(
+        self,
+        machine: MachineSpec | None = None,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        cost_model: CostModel | None = None,
+    ) -> RobustResult:
+        """Fault-tolerant ground-truth execution of the chosen plan.
+
+        Runs under the injector the optimization was configured with (or an
+        explicit ``faults`` override) and degrades along the
+        chosen-plan → swap-all → recompute-all chain instead of raising on an
+        execution-time failure."""
+        from repro.faults.resilient import execute_resilient as _resilient
+        from repro.runtime.schedule import ScheduleOptions
+
+        return _resilient(
+            self.graph,
+            self.classification,
+            machine or self.machine,
+            faults=faults if faults is not None else self.faults,
+            retry=retry,
             cost_model=cost_model,
             options=ScheduleOptions(
                 policy=self.config.policy,
@@ -121,6 +152,12 @@ class PoocH:
             when one exists for this (graph, machine, config) — after
             re-verifying it by simulation against the current profile — and
             stores fresh results back for the next run.
+        faults: a :class:`~repro.faults.FaultInjector` (or a
+            :class:`~repro.faults.FaultSpec` / CLI spec string built with
+            ``fault_seed``).  ``profile_noise`` then perturbs the measured
+            profile before classification, and
+        :meth:`PoochResult.execute_resilient` runs under the same injector.
+        fault_seed: seed for an injector built from a spec/string.
     """
 
     def __init__(
@@ -130,6 +167,8 @@ class PoocH:
         cost_model: CostModel | None = None,
         profile_iterations: int = 1,
         plan_cache: PlanCache | str | pathlib.Path | None = None,
+        faults: FaultInjector | FaultSpec | str | None = None,
+        fault_seed: int = 0,
     ) -> None:
         self.machine = machine
         self.config = config or PoochConfig()
@@ -138,6 +177,9 @@ class PoocH:
         if plan_cache is not None and not isinstance(plan_cache, PlanCache):
             plan_cache = PlanCache(plan_cache)
         self.plan_cache = plan_cache
+        if faults is not None and not isinstance(faults, FaultInjector):
+            faults = FaultInjector(faults, seed=fault_seed)
+        self.faults = faults
 
     def optimize(self, graph: NNGraph, profile: Profile | None = None) -> PoochResult:
         """Run profiling (unless a profile is supplied) and classification."""
@@ -149,6 +191,18 @@ class PoocH:
                 iterations=self.profile_iterations,
                 policy=self.config.policy,
                 forward_refetch_gap=self.config.forward_refetch_gap,
+            )
+        if self.faults is not None:
+            # the classifier plans from what it *measured* — under profile
+            # noise that is a perturbed copy of the truth
+            from repro.runtime.schedule import ScheduleOptions
+
+            profile = self.faults.perturb_profile(
+                profile, graph, self.machine,
+                options=ScheduleOptions(
+                    policy=self.config.policy,
+                    forward_refetch_gap=self.config.forward_refetch_gap,
+                ),
             )
         predictor = TimelinePredictor(
             graph, profile, self.machine, policy=self.config.policy,
@@ -178,6 +232,7 @@ class PoocH:
                         stats=stats,
                         predicted=outcome,
                         config=self.config,
+                        faults=self.faults,
                     )
         classifier = PoochClassifier(
             graph, profile, self.machine, self.config, predictor
@@ -200,4 +255,5 @@ class PoocH:
             stats=stats,
             predicted=predicted,
             config=self.config,
+            faults=self.faults,
         )

@@ -92,6 +92,15 @@ class TimelinePredictor:
         """Cache lookup without simulating (and without counting a miss)."""
         return self._cache.get(classification.key())
 
+    def drift(self, classification: Classification, measured: float) -> float:
+        """Relative deviation of a *measured* makespan from this predictor's
+        prediction for the plan — the signal :class:`~repro.pooch.dynamic.
+        DynamicPoocH` watches to decide the profile has gone stale."""
+        predicted = self.predict(classification).time
+        if predicted <= 0.0:
+            return 0.0
+        return abs(measured - predicted) / predicted
+
     def absorb(self, key: tuple, outcome: PredictedOutcome) -> None:
         """Install an outcome computed elsewhere (a worker process) under
         ``key``, with the same miss accounting as a local simulation."""

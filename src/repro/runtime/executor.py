@@ -24,12 +24,16 @@ def execute(
     durations: DurationProvider | None = None,
     options: ScheduleOptions | None = None,
     fragmentation: bool = False,
+    device_pool=None,
+    host_pool=None,
 ) -> RunResult:
     """Simulate one training iteration (ground truth).
 
     Raises :class:`~repro.common.errors.OutOfMemoryError` when the plan does
     not fit the machine — the simulated analogue of the "execution fails"
-    outcomes in the paper's Figs. 17–22.
+    outcomes in the paper's Figs. 17–22.  ``device_pool`` / ``host_pool``
+    inject pre-built memory pools (the fault layer passes pools whose
+    allocations can spuriously fail).
     """
     if durations is None:
         durations = CostModelDurations(graph, cost_model or CostModel(machine))
@@ -40,6 +44,8 @@ def execute(
         device_capacity=machine.usable_gpu_memory,
         host_capacity=machine.cpu_mem_capacity,
         fragmentation=fragmentation,
+        device_pool=device_pool,
+        host_pool=host_pool,
     )
     return engine.run()
 

@@ -359,11 +359,16 @@ def run_numeric(
     policy: SwapInPolicy = SwapInPolicy.EAGER,
     seed: int = 0,
     executor: NumericExecutor | None = None,
+    durations=None,
 ) -> tuple[RunResult, NumericExecutor]:
     """Simulate one iteration with numeric payloads; returns the timeline and
-    the executor holding the resulting weight gradients."""
+    the executor holding the resulting weight gradients.
+
+    ``durations`` substitutes the duration source (e.g. a fault-injected one)
+    — the invariant under test is that timing never changes the numerics."""
     ex = executor or NumericExecutor(graph, seed)
-    durations = CostModelDurations(graph, CostModel(machine))
+    if durations is None:
+        durations = CostModelDurations(graph, CostModel(machine))
     schedule = build_schedule(graph, classification, durations,
                               ScheduleOptions(policy=policy))
     ex.attach(schedule)
@@ -386,13 +391,17 @@ def verify_against_incore(
     seed: int = 0,
     rtol: float = 0.0,
     atol: float = 0.0,
+    durations=None,
 ) -> None:
     """Assert the plan's weight gradients equal the in-core run's, exactly by
-    default.  Raises :class:`NumericError` on any mismatch."""
+    default.  Raises :class:`NumericError` on any mismatch.
+
+    ``durations`` applies only to the out-of-core run — injected duration
+    noise must never change data, so the comparison stays exact."""
     _, ref = run_numeric(graph, Classification.all_keep(graph), machine,
                          seed=seed)
     _, got = run_numeric(graph, classification, machine, policy=policy,
-                         seed=seed)
+                         seed=seed, durations=durations)
     for layer_idx, grads in ref.weight_grads.items():
         other = got.weight_grads.get(layer_idx)
         if other is None:

@@ -96,6 +96,7 @@ def run_profiling(
     iterations: int = 1,
     policy: SwapInPolicy = SwapInPolicy.EAGER,
     forward_refetch_gap: int | None = None,
+    durations: DurationProvider | None = None,
 ) -> Profile:
     """Execute the profiling phase and return the averaged :class:`Profile`.
 
@@ -103,11 +104,16 @@ def run_profiling(
     classification (the paper's default profiling plan), averages every
     task's duration, and replays one deterministic baseline timeline from
     the averages.
+
+    ``durations`` overrides the ground-truth duration source entirely (the
+    fault layer profiles through it to model a machine that misbehaves while
+    being measured); the default is the analytic cost model.
     """
     if iterations < 1:
         raise ScheduleError("profiling needs at least one iteration")
-    cost_model = cost_model or CostModel(machine)
-    durations = CostModelDurations(graph, cost_model)
+    if durations is None:
+        cost_model = cost_model or CostModel(machine)
+        durations = CostModelDurations(graph, cost_model)
     all_swap = Classification.all_swap(graph)
     options = ScheduleOptions(policy=policy,
                               forward_refetch_gap=forward_refetch_gap)

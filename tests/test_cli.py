@@ -111,3 +111,74 @@ class TestReport:
     def test_empty_dir_fails(self, tmp_path, capsys):
         assert main(["report", "--results-dir", str(tmp_path)]) == 1
         assert "no results" in capsys.readouterr().err
+
+
+class TestArgValidation:
+    """--workers and --budget must be rejected cleanly when non-positive."""
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--workers", "0"), ("--workers", "-2"),
+        ("--budget", "0"), ("--budget", "-5"), ("--budget", "abc"),
+    ])
+    @pytest.mark.parametrize("command", ["optimize", "run"])
+    def test_non_positive_rejected(self, command, flag, value, capsys):
+        with pytest.raises(SystemExit) as e:
+            main([command, "mlp", flag, value])
+        assert e.value.code == 2  # argparse's usage-error exit
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_positive_values_accepted(self, capsys):
+        assert main(["run", "mlp", "--batch", "8", "--method", "in-core",
+                     "--workers", "1", "--budget", "10"]) == 0
+
+
+class TestFaultFlags:
+    def test_run_with_faults(self, capsys):
+        assert main(["run", "small_cnn", "--batch", "8",
+                     "--method", "swap-all",
+                     "--faults", "duration_noise=0.1,stall_prob=0.2",
+                     "--fault-seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "executed plan:" in out
+        assert "img/s" in out
+
+    def test_faulted_run_reproducible(self, capsys):
+        argv = ["run", "small_cnn", "--batch", "8", "--method", "swap-all",
+                "--faults", "duration_noise=0.1,stall_prob=0.2",
+                "--fault-seed", "4"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_bad_fault_spec_fails_cleanly(self, capsys):
+        assert main(["run", "mlp", "--faults", "bogus=1"]) == 1
+        assert "unknown fault spec key" in capsys.readouterr().err
+
+    def test_inert_faults_equal_no_faults(self, capsys):
+        argv = ["run", "small_cnn", "--batch", "8", "--method", "swap-all"]
+        assert main(argv) == 0
+        clean = capsys.readouterr().out
+        assert main([*argv, "--faults", "none"]) == 0
+        assert capsys.readouterr().out == clean
+
+    def test_pooch_run_with_faults(self, capsys):
+        assert main(["run", "mlp", "--batch", "8", "--method", "pooch",
+                     "--faults", "profile_noise=0.1", "--fault-seed", "2"]) == 0
+        assert "executed plan:" in capsys.readouterr().out
+
+
+class TestRobustnessCommand:
+    def test_sweep_renders_table(self, capsys):
+        assert main(["robustness", "small_cnn", "--batch", "8",
+                     "--noise-levels", "0.05", "0.1",
+                     "--fault-seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "robustness" in out
+        assert "degradation" in out and "fallbacks" in out
+
+    def test_explicit_spec_overrides_ladder(self, capsys):
+        assert main(["robustness", "small_cnn", "--batch", "8",
+                     "--faults", "stall_prob=0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "stall_prob=0.2" in out

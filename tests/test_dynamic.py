@@ -149,3 +149,89 @@ class TestValidation:
         d.run_iteration(4)
         with pytest.raises(ScheduleError, match="structure"):
             d.run_iteration(6)
+
+
+class TestFaultsAndReplan:
+    """Resilient execution + drift-triggered re-planning (ISSUE 2)."""
+
+    def _scripted(self, fail_transfers):
+        from repro.faults import FaultInjector, FaultSpec
+
+        class Scripted(FaultInjector):
+            def transfer_failures(self, tid, cap, epoch=0):
+                return fail_transfers.get((epoch, tid), 0)
+
+        return Scripted(FaultSpec(stall_time=1e-3), seed=0)
+
+    def _first_transfer_tid(self, machine, batch):
+        from repro.hw import CostModel
+        from repro.runtime import Classification
+        from repro.runtime.durations import CostModelDurations
+        from repro.runtime.schedule import ScheduleOptions, build_schedule
+
+        g = build(batch)
+        sched = build_schedule(
+            g, Classification.all_swap(g),
+            CostModelDurations(g, CostModel(machine)), ScheduleOptions())
+        return next(t.tid for t in sched.tasks.values()
+                    if t.stream.value != "compute")
+
+    def test_faulted_transfer_retried_then_succeeds(self, machine):
+        tid = self._first_transfer_tid(machine, 16)
+        inj = self._scripted({(1, tid): 2})  # two transient stalls, then ok
+        d = DynamicPoocH(machine, build, CFG, faults=inj,
+                         replan_tolerance=None)
+        clean = DynamicPoocH(machine, build, CFG)
+        r = d.run_iteration(16)
+        r_clean = clean.run_iteration(16)
+        assert d.stats.transfer_retries == 2
+        assert d.stats.fallbacks == 0
+        # the retries honestly cost time on the timeline
+        assert r.makespan > r_clean.makespan
+
+    def test_retry_budget_exhausted_engages_fallback(self, machine):
+        from repro.faults import RetryPolicy
+
+        tid = self._first_transfer_tid(machine, 16)
+        # the transfer is dead during the first (chosen-plan) epoch only —
+        # the fallback entry draws under a later epoch and succeeds
+        inj = self._scripted({(1, tid): 99})
+        d = DynamicPoocH(machine, build, CFG, faults=inj,
+                         retry=RetryPolicy(max_transfer_retries=3),
+                         replan_tolerance=None)
+        r = d.run_iteration(16)
+        assert r.makespan > 0
+        assert d.stats.fallbacks >= 1
+
+    def test_drift_replans_exactly_once(self, machine):
+        # the link delivers a third of the bandwidth the profile assumed:
+        # every iteration measures far above prediction
+        d = DynamicPoocH(machine, build, CFG, faults="bandwidth_factor=0.33",
+                         fault_seed=5, replan_tolerance=0.1)
+        d.run_stream([16, 16, 16])
+        assert d.stats.replans == 1  # once, not once per iteration
+        assert d.stats.profilings == 2  # initial + drift re-profile
+        d.run_iteration(16)
+        assert d.stats.replans == 1
+
+    def test_no_replan_within_tolerance(self, machine):
+        d = DynamicPoocH(machine, build, CFG, replan_tolerance=0.25)
+        d.run_stream([16, 16])
+        assert d.stats.replans == 0
+        assert d.stats.transfer_retries == 0
+        assert d.stats.fallbacks == 0
+
+    def test_replan_tolerance_validated(self, machine):
+        with pytest.raises(ScheduleError):
+            DynamicPoocH(machine, build, CFG, replan_tolerance=0.0)
+
+    def test_faulted_stream_is_reproducible(self, machine):
+        spec = "duration_noise=0.1,stall_prob=0.1"
+
+        def once():
+            d = DynamicPoocH(machine, build, CFG, faults=spec, fault_seed=9)
+            d.run_stream([16, 32, 16])
+            return (tuple(d.stats.iteration_times), d.stats.transfer_retries,
+                    d.stats.replans, d.stats.fallbacks)
+
+        assert once() == once()

@@ -8,21 +8,28 @@ same OOM attribution for infeasible plans.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
 from repro.common.errors import OutOfMemoryError
 from repro.common.units import MiB
+from repro.faults import FaultInjector, FaultSpec, FaultyDurations
 from repro.gpusim import Engine
 from repro.gpusim.fastengine import FastEngine
-from repro.hw import X86_V100
+from repro.hw import CostModel, X86_V100, scaled_machine
 from repro.models import linear_chain, poster_example, small_cnn
+from repro.models.zoo import MODEL_ZOO
 from repro.pooch.predictor import TimelinePredictor
+from repro.runtime.durations import CostModelDurations
 from repro.runtime.plan import Classification, MapClass, SwapInPolicy
 from repro.runtime.profiler import run_profiling
 from repro.runtime.schedule import ScheduleBuilder, ScheduleOptions, build_schedule
 from tests.conftest import tiny_machine
+
+#: CI pins a seed matrix through this env var; locally it defaults to 0
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
 
 
 def _engines(graph, cls, machine, *, policy=SwapInPolicy.EAGER, gap=None,
@@ -118,6 +125,60 @@ class TestEquivalence:
         rng = random.Random(11)
         for _ in range(12):
             assert_equivalent(g, _random_classification(g, rng), machine)
+
+
+def assert_equivalent_durations(graph, cls, machine, durations,
+                                policy=SwapInPolicy.EAGER):
+    """Equivalence check on a caller-supplied duration source (the zoo sweep
+    injects noisy durations without paying for a profiling run)."""
+    options = ScheduleOptions(policy=policy)
+    capacity = machine.usable_gpu_memory
+    tasks, queues, buffers = ScheduleBuilder(
+        graph, cls, durations, options, validate=False
+    ).build_raw()
+    fast = FastEngine(tasks, queues, buffers, device_capacity=capacity,
+                      host_capacity=machine.cpu_mem_capacity)
+    full = Engine(
+        build_schedule(graph, cls, durations, options),
+        device_capacity=capacity,
+        host_capacity=machine.cpu_mem_capacity,
+        validate=False,
+    )
+    try:
+        want = full.run()
+    except OutOfMemoryError as e:
+        with pytest.raises(OutOfMemoryError) as caught:
+            fast.run()
+        assert caught.value.context == e.context
+        return
+    makespan, device_peak, host_peak = fast.run()
+    assert makespan == want.makespan  # exact, not approx
+    assert device_peak == want.device_peak
+    assert host_peak == want.host_peak
+
+
+class TestZooEquivalenceUnderNoise:
+    """Differential sweep: FastEngine == Engine for *every* zoo model, at two
+    batch sizes, with seeded duration noise on every task.  The noise shifts
+    all the interleavings — equivalence must survive arbitrary timings, and
+    infeasible plans must OOM with identical attribution."""
+
+    #: quarter-memory V100: big zoo models genuinely out-of-core, toys fit
+    MACHINE = scaled_machine(X86_V100, mem_scale=0.25, name="x86_quarter")
+
+    @pytest.mark.parametrize("batch", [2, 8])
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_zoo_model_equivalence(self, name, batch):
+        graph = MODEL_ZOO[name](batch=batch)
+        injector = FaultInjector(FaultSpec(duration_noise=0.1),
+                                 seed=FAULT_SEED + batch)
+        durations = FaultyDurations(
+            CostModelDurations(graph, CostModel(self.MACHINE)), injector
+        )
+        for cls in (Classification.all_swap(graph),
+                    Classification.all_recompute(graph),
+                    Classification.all_keep(graph)):
+            assert_equivalent_durations(graph, cls, self.MACHINE, durations)
 
 
 class TestPredictorIntegration:
