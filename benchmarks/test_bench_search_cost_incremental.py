@@ -1,0 +1,105 @@
+"""Search-cost extension, round 2: pruning + incremental prefix sharing.
+
+The previous round (``test_bench_search_cost_parallel``) made each candidate
+simulation cheap; this one makes most of them *shared*.  Two knobs:
+
+* ``PoochConfig.incremental`` — candidate drafts are produced by patching
+  the all-swap base schedule (cost proportional to the flipped maps, not
+  schedule length) and their replays resume from checkpoints of sibling
+  candidates wherever the schedules provably agree;
+* ``PoochConfig.prune`` — step-1 subtrees whose admissible lower bound
+  cannot beat the incumbent are skipped without simulating.
+
+Both are exactly plan-preserving, which this benchmark re-asserts end-to-end
+on the headline ResNet-50 (batch=256, x86) search before asserting the cost
+claims: >=3x fewer full-leaf (from-t=0) simulations and a measurable wall
+reduction versus the exhaustive ``--no-prune --no-incremental`` arm.
+
+Machine-readable numbers go to ``benchmarks/results/BENCH_search.json``
+(uploaded by the CI bench job's artifact step).
+"""
+
+import json
+import time
+from dataclasses import replace
+
+from repro.hw import X86_V100
+from repro.models import resnet50
+from repro.pooch import PoocH, PoochConfig
+
+from benchmarks.conftest import run_once
+
+#: ample budget: neither arm truncates, so exhaustive and optimized searches
+#: visit the same candidate set and equivalence is provable, not incidental
+_CONFIG = PoochConfig(max_exact_li=8, step1_sim_budget=100_000)
+
+
+def test_bench_search_cost_incremental(benchmark, report, results_dir):
+    def run():
+        t0 = time.perf_counter()
+        off = PoocH(
+            X86_V100, replace(_CONFIG, prune=False, incremental=False)
+        ).optimize(resnet50(256))
+        t_off = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        opt = PoocH(X86_V100, _CONFIG).optimize(resnet50(256))
+        t_opt = time.perf_counter() - t0
+        return off, t_off, opt, t_opt
+
+    off, t_off, opt, t_opt = run_once(benchmark, run)
+
+    # exact equivalence first: same plan, prediction, and simulation budget
+    assert opt.classification.key() == off.classification.key()
+    assert opt.predicted.time == off.predicted.time
+    assert opt.predicted.peak_memory == off.predicted.peak_memory
+    assert (opt.stats.sims_step1 + opt.stats.sims_step2
+            == off.stats.sims_step1 + off.stats.sims_step2
+            + opt.stats.leaves_pruned)  # pruned leaves are never simulated
+
+    sims_off = off.stats.sims_full + off.stats.sims_resumed
+    sims_opt = opt.stats.sims_full + opt.stats.sims_resumed
+    full_ratio = off.stats.sims_full / max(opt.stats.sims_full, 1)
+
+    payload = {
+        "model": "resnet50",
+        "batch": 256,
+        "machine": X86_V100.name,
+        "exhaustive": {
+            "wall_s": round(t_off, 3),
+            "simulations": sims_off,
+            "full": off.stats.sims_full,
+            "resumed": off.stats.sims_resumed,
+            "subtrees_pruned": off.stats.subtrees_pruned,
+        },
+        "optimized": {
+            "wall_s": round(t_opt, 3),
+            "simulations": sims_opt,
+            "full": opt.stats.sims_full,
+            "resumed": opt.stats.sims_resumed,
+            "subtrees_pruned": opt.stats.subtrees_pruned,
+            "leaves_pruned": opt.stats.leaves_pruned,
+        },
+        "full_simulation_ratio": round(full_ratio, 2),
+        "wall_speedup": round(t_off / t_opt, 2),
+        "plan_identical": True,
+    }
+    (results_dir / "BENCH_search.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    report(
+        "extension_search_cost_incremental",
+        "PoocH search cost with pruning + incremental replay, "
+        "ResNet-50 (batch=256, x86):\n"
+        f"  exhaustive (--no-prune --no-incremental): {t_off:.1f} s wall, "
+        f"{off.stats.sims_full} full-leaf simulations\n"
+        f"  pruned + incremental: {t_opt:.1f} s wall, "
+        f"{opt.stats.sims_full} full + {opt.stats.sims_resumed} resumed "
+        f"simulations, {opt.stats.subtrees_pruned} subtrees pruned\n"
+        f"  full-simulation reduction: {full_ratio:.1f}x, wall "
+        f"{t_off / t_opt:.2f}x, plan bit-identical",
+    )
+
+    # headline claims: >=3x fewer from-scratch replays, measurable wall win
+    assert off.stats.sims_full == sims_off  # off arm never resumes
+    assert full_ratio >= 3.0
+    assert t_opt < t_off

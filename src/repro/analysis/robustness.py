@@ -41,6 +41,12 @@ class RobustnessRow:
     attempts: int = 1
     fallbacks: int = 0
     fallback_path: str = ""
+    #: search cost of this row's (re-)optimization: simulations executed,
+    #: split into full replays and prefix-shared resumes, plus wall time
+    search_sims: int = 0
+    search_sims_full: int = 0
+    search_sims_resumed: int = 0
+    search_wall_s: float = 0.0
 
 
 @dataclass
@@ -61,7 +67,8 @@ class RobustnessReport:
             f"(clean: {self.clean_makespan * 1e3:.3f} ms, "
             f"{self.clean_throughput:.1f} img/s, fault seed {self.seed})",
             ["faults", "plan used", "makespan (ms)", "degradation",
-             "img/s", "retries", "attempts", "fallbacks"],
+             "img/s", "retries", "attempts", "fallbacks",
+             "search sims (resumed)", "search s"],
         )
         for r in self.rows:
             t.add(
@@ -73,6 +80,8 @@ class RobustnessReport:
                 r.transfer_retries,
                 r.attempts,
                 r.fallbacks,
+                f"{r.search_sims} ({r.search_sims_resumed})",
+                f"{r.search_wall_s:.2f}",
             )
         return t.render()
 
@@ -139,5 +148,9 @@ def robustness_report(
             fallbacks=len(robust.fallbacks),
             fallback_path=" -> ".join(
                 s.to_plan for s in robust.fallbacks),
+            search_sims=result.stats.sims_full + result.stats.sims_resumed,
+            search_sims_full=result.stats.sims_full,
+            search_sims_resumed=result.stats.sims_resumed,
+            search_wall_s=result.stats.wall_time_s,
         ))
     return report

@@ -132,7 +132,9 @@ def _cmd_optimize(args) -> int:
 
     graph = _build(args)
     machine = _MACHINES[args.machine]
-    config = PoochConfig(step1_sim_budget=args.budget, workers=args.workers)
+    config = PoochConfig(step1_sim_budget=args.budget, workers=args.workers,
+                         prune=not args.no_prune,
+                         incremental=not args.no_incremental)
     result = PoocH(machine, config, plan_cache=args.plan_cache).optimize(graph)
     print(result.summary())
     if result.stats.plan_cache_hit:
@@ -178,7 +180,9 @@ def _cmd_run(args) -> int:
         return 0
     if args.method == "pooch":
         config = PoochConfig(step1_sim_budget=args.budget,
-                             workers=args.workers)
+                             workers=args.workers,
+                             prune=not args.no_prune,
+                             incremental=not args.no_incremental)
         result = PoocH(machine, config, plan_cache=args.plan_cache,
                        faults=injector).optimize(graph)
         if injector is None:
@@ -290,6 +294,14 @@ def make_parser() -> argparse.ArgumentParser:
                         "a previously chosen plan for the same graph, "
                         "machine and config (after re-verifying it by "
                         "simulation) and warm-starts the search otherwise")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable branch-and-bound pruning of the step-1 "
+                        "keep-vs-swap tree (exhaustive scan; the chosen plan "
+                        "is identical, only search cost changes)")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable incremental prefix-shared simulation "
+                        "(every candidate replays from t=0; bit-identical "
+                        "plans, higher search wall time)")
     p.add_argument("--verbose", action="store_true",
                    help="print the per-map classification")
     p.add_argument("--save", metavar="PLAN.json",
@@ -307,6 +319,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="persistent plan cache directory for --method pooch")
     p.add_argument("--plan", metavar="PLAN.json",
                    help="execute a saved plan instead of --method")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable search-tree pruning for --method pooch")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable incremental simulation for --method pooch")
     _add_fault_args(p)
     p.set_defaults(fn=_cmd_run)
 

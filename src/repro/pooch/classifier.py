@@ -29,6 +29,7 @@ caps the search while keeping the best plan found.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -36,6 +37,7 @@ from dataclasses import dataclass, field, replace
 from repro.common.errors import OutOfMemoryError
 from repro.graph import NNGraph
 from repro.gpusim.allocator import round_size
+from repro.gpusim.engine import StreamName
 from repro.hw import MachineSpec
 from repro.pooch.overlap import OverlapAnalysis, analyze_overlap
 from repro.pooch.predictor import PredictedOutcome, TimelinePredictor
@@ -74,17 +76,31 @@ class PoochConfig:
     #: SearchStats times and simulation counts — are bit-identical to
     #: ``workers=1``; see DESIGN.md §5 for the replay argument.
     workers: int = 1
+    #: branch-and-bound pruning of the step-1 exact tree: subtrees whose
+    #: admissible lower bound (remaining undecided swaps assumed free)
+    #: cannot strictly beat the incumbent are skipped without simulating.
+    #: The chosen plan is provably identical to the exhaustive scan as long
+    #: as the simulation budget is not exhausted; under an exhausted budget
+    #: pruning lets the search reach deeper into the leaf list, so the knob
+    #: is part of :meth:`signature`.
+    prune: bool = True
+    #: incremental prefix-shared replay: candidate simulations resume from
+    #: checkpoints of recent candidates wherever their schedules provably
+    #: agree (see EngineCheckpoint).  Bit-identical outcomes and simulation
+    #: counts — only wall-clock changes, so like ``workers`` it is excluded
+    #: from :meth:`signature`.
+    incremental: bool = True
 
     def signature(self) -> str:
         """Stable identity of every knob that affects the *chosen plan*
-        (``workers`` excluded: it changes wall-clock, never results).
-        Plan caches key on this."""
+        (``workers`` and ``incremental`` excluded: they change wall-clock,
+        never results).  Plan caches key on this."""
         return (
             f"policy={self.policy.value};abs={self.abs_tolerance!r};"
             f"rel={self.rel_tolerance!r};li={self.max_exact_li};"
             f"budget={self.step1_sim_budget};eps={self.time_epsilon!r};"
             f"verify={self.verify_flips};margin={self.capacity_margin};"
-            f"gap={self.forward_refetch_gap}"
+            f"gap={self.forward_refetch_gap};prune={self.prune}"
         )
 
 
@@ -108,6 +124,20 @@ class SearchStats:
     #: True when the plan came from a PlanCache (verified by simulation)
     #: instead of a fresh search — search fields above are then empty
     plan_cache_hit: bool = False
+    #: step-1 exact-tree accounting: leaves enumerated after the byte
+    #: prune, leaves actually evaluated, and what branch-and-bound skipped
+    leaves_total: int = 0
+    leaves_evaluated: int = 0
+    subtrees_pruned: int = 0
+    leaves_pruned: int = 0
+    #: of this process's simulations, how many replayed from time zero vs.
+    #: resumed from a shared-prefix checkpoint (with ``workers>1`` the
+    #: worker-side split is not collected; the sum then undercounts
+    #: ``sims_step1+sims_step2``, which remain the authoritative counts)
+    sims_full: int = 0
+    sims_resumed: int = 0
+    #: wall-clock seconds spent inside classify()
+    wall_time_s: float = 0.0
 
 
 # -- worker-process side of the parallel search ----------------------------------
@@ -129,6 +159,7 @@ def _init_search_worker(graph: NNGraph, profile: Profile,
         graph, profile, machine, policy=config.policy,
         capacity_margin=config.capacity_margin,
         forward_refetch_gap=config.forward_refetch_gap,
+        incremental=config.incremental,
     )
     _worker_all_swap = Classification.all_swap(graph)
     _worker_epsilon = config.time_epsilon
@@ -168,6 +199,195 @@ def _predict_one(classification: Classification) -> PredictedOutcome:
     return _worker_predictor.predict(classification)
 
 
+# -- step-1 branch-and-bound -----------------------------------------------------
+
+
+class _StepOneBounds:
+    """Admissible lower bounds on the simulated makespan of any step-1
+    candidate, as a function of which exact-tree maps are committed SWAP.
+
+    Everything derives from the *all-swap* draft once.  Step-1 candidates
+    share its compute queue exactly (keep/swap never adds or removes compute
+    tasks), transfer queues of a candidate are order-preserving subsets of
+    the all-swap ones, and a committed-swap map keeps its ``SO``/``SI``
+    tasks in every leaf of the subtree.  Four relaxations, each ignoring
+    memory gating and every undecided transfer (both only delay):
+
+    * the serial compute queue itself;
+    * per committed map, the dependency chain
+      F → SO → SI → first backward reader → remaining compute queue;
+    * the FIFO D2H queue packed with the committed swap-outs only;
+    * the FIFO H2D queue packed with the committed swap-ins only.
+
+    Float discipline: the engine's event arithmetic is a left fold of
+    ``max(...) + duration`` steps, and IEEE ``max``/``+`` are monotone, so
+    any bound computed as a left fold over a *subset* of those steps, in
+    queue order, never exceeds the engine's float result.  The one sum that
+    cannot be order-matched (the chain bound's compute-queue tail, which
+    the engine folds forward but we precompute backward) is scaled down by
+    the standard ``2n·ulp`` summation-error envelope.  Pruning on these
+    bounds with a strict-< incumbent is therefore *exactly* plan-preserving.
+    """
+
+    def __init__(self, predictor: TimelinePredictor, all_swap: Classification,
+                 candidates: set[int]) -> None:
+        tasks, queues, buffers = predictor.draft(all_swap)
+        compute = queues.get(StreamName.COMPUTE, [])
+        pos_c = {tid: p for p, tid in enumerate(compute)}
+        durs = [tasks[tid].duration for tid in compute]
+        n = len(durs)
+        t0 = 0.0
+        if compute:
+            first = tasks[compute[0]]
+            t0 = max((tasks[d].duration for d in first.deps), default=0.0)
+        # left-fold completion-time floor per compute position, engine order
+        prefix = [0.0] * n
+        acc = t0
+        for p, d in enumerate(durs):
+            acc += d
+            prefix[p] = acc
+        self.compute_lb = acc if n else 0.0
+        # backward suffix sums, deflated to stay under any forward fold
+        deflate = 1.0 - 2.0 * n * 2.0 ** -52
+        suffix = [0.0] * (n + 1)
+        for p in range(n - 1, -1, -1):
+            suffix[p] = suffix[p + 1] + durs[p]
+
+        pos_d = {tid: p for p, tid in enumerate(queues.get(StreamName.D2H, []))}
+        pos_h = {tid: p for p, tid in enumerate(queues.get(StreamName.H2D, []))}
+        self._ready: dict[int, float] = {}
+        self._d_so: dict[int, float] = {}
+        self._d_si: dict[int, float] = {}
+        self._chain: dict[int, float] = {}
+        order_d: list[tuple[int, int]] = []
+        order_h: list[tuple[int, int]] = []
+        for m in all_swap.maps_of(MapClass.SWAP):
+            so = tasks.get(f"SO{m}")
+            if so is None:
+                continue
+            fp = max((pos_c[d] for d in so.deps if d in pos_c), default=None)
+            ready = prefix[fp] if fp is not None else t0
+            self._ready[m] = ready
+            self._d_so[m] = so.duration
+            order_d.append((pos_d[f"SO{m}"], m))
+            si = tasks.get(f"SI{m}")
+            if si is None:
+                continue
+            self._d_si[m] = si.duration
+            order_h.append((pos_h[f"SI{m}"], m))
+            buf = buffers.get(f"fm{m}@b")
+            rp = min(
+                (pos_c[r] for r in buf.readers if r in pos_c), default=None
+            ) if buf is not None else None
+            if rp is not None:
+                self._chain[m] = (
+                    ready + so.duration + si.duration + suffix[rp] * deflate
+                )
+        order_d.sort()
+        order_h.sort()
+        self._order_d = [m for _, m in order_d]
+        self._order_h = [m for _, m in order_h]
+        #: maps outside the step-1 candidate set stay SWAP in every leaf
+        self._base = frozenset(self._ready) - candidates
+
+    def lower_bound(self, committed: frozenset[int] | set[int]) -> float:
+        """Best-case makespan when ``base ∪ committed`` maps swap and every
+        other transfer is free."""
+        base = self._base
+        lb = self.compute_lb
+        chain = self._chain
+        ready = self._ready
+        # FIFO pack of the committed swap-outs (left fold, queue order)
+        v = 0.0
+        d_so = self._d_so
+        for m in self._order_d:
+            if m in base or m in committed:
+                r = ready[m]
+                v = (v if v > r else r) + d_so[m]
+                c = chain.get(m, 0.0)
+                if c > lb:
+                    lb = c
+        if v > lb:
+            lb = v
+        # FIFO pack of the committed swap-ins; each waits for its swap-out
+        v = 0.0
+        d_si = self._d_si
+        for m in self._order_h:
+            if m in base or m in committed:
+                r = ready[m] + d_so[m]
+                v = (v if v > r else r) + d_si[m]
+        if v > lb:
+            lb = v
+        return lb
+
+
+class _LeafCursor:
+    """Walks the enumerated step-1 leaves in DFS order, skipping subtrees
+    whose lower bound cannot strictly beat the incumbent.
+
+    Equivalent to branch-and-bound woven into the recursive enumeration:
+    a tree node (= decision prefix over ``exact_li``) is bounded exactly
+    once, at the moment the first surviving leaf underneath it comes up —
+    the same moment, with the same incumbent, as a recursive DFS would
+    enter it.  With ``bounds=None`` the cursor degrades to plain iteration
+    (the ``--no-prune`` escape hatch).
+    """
+
+    def __init__(self, leaves: list[tuple[int, ...]], exact_li: list[int],
+                 bounds: _StepOneBounds | None, stats: SearchStats) -> None:
+        self._leaves = leaves
+        self._exact = exact_li
+        self._k = len(exact_li)
+        self._bounds = bounds
+        self._stats = stats
+        self._pos = 0
+        self._prev: tuple[bool, ...] | None = None
+
+    def _decisions(self, keeps: tuple[int, ...]) -> tuple[bool, ...]:
+        ks = set(keeps)
+        return tuple(m in ks for m in self._exact)
+
+    def next(self, best_time: float) -> tuple[int, tuple[int, ...]] | None:
+        """Index and keep-set of the next leaf to evaluate, or None."""
+        leaves = self._leaves
+        if self._bounds is None:
+            if self._pos >= len(leaves):
+                return None
+            self._pos += 1
+            return self._pos - 1, leaves[self._pos - 1]
+        while self._pos < len(leaves):
+            keeps = leaves[self._pos]
+            dec = self._decisions(keeps)
+            prev = self._prev
+            if prev is None:
+                entered = 0  # first leaf enters the root and every node below
+            else:
+                entered = 0
+                while entered < self._k and dec[entered] == prev[entered]:
+                    entered += 1
+                entered += 1  # nodes at depths <= common prefix were bounded
+            pruned_depth = -1
+            for depth in range(entered, self._k + 1):
+                committed = frozenset(
+                    self._exact[j] for j in range(depth) if not dec[j]
+                )
+                if self._bounds.lower_bound(committed) >= best_time:
+                    pruned_depth = depth
+                    break
+            self._prev = dec
+            if pruned_depth < 0:
+                self._pos += 1
+                return self._pos - 1, keeps
+            self._stats.subtrees_pruned += 1
+            prefix = dec[:pruned_depth]
+            while (self._pos < len(leaves)
+                   and self._decisions(leaves[self._pos])[:pruned_depth]
+                   == prefix):
+                self._pos += 1
+                self._stats.leaves_pruned += 1
+        return None
+
+
 class PoochClassifier:
     """Runs the two-step search; one instance per (graph, profile, machine)."""
 
@@ -187,6 +407,7 @@ class PoochClassifier:
             graph, profile, machine, policy=self.config.policy,
             capacity_margin=self.config.capacity_margin,
             forward_refetch_gap=self.config.forward_refetch_gap,
+            incremental=self.config.incremental,
         )
         self.stats = SearchStats()
 
@@ -201,6 +422,9 @@ class PoochClassifier:
         if steps not in (1, 2):
             raise ValueError(f"steps must be 1 or 2, got {steps}")
         executor = self._make_executor()
+        start = time.perf_counter()
+        full_at_start = self.predictor.full_simulations
+        resumed_at_start = self.predictor.resumed_simulations
         try:
             step1 = self._step1_keep_vs_swap(executor)
             if steps == 1:
@@ -209,6 +433,13 @@ class PoochClassifier:
             step2 = self._step2_swap_vs_recompute(step1, executor)
             return step2, self.stats
         finally:
+            self.stats.wall_time_s = time.perf_counter() - start
+            self.stats.sims_full = (
+                self.predictor.full_simulations - full_at_start
+            )
+            self.stats.sims_resumed = (
+                self.predictor.resumed_simulations - resumed_at_start
+            )
             if executor is not None:
                 executor.shutdown(wait=False, cancel_futures=True)
 
@@ -338,35 +569,66 @@ class PoochClassifier:
             enumerate_leaves(idx + 1, keeps, kept_bytes)
 
         enumerate_leaves(0, [], 0)
+        self.stats.leaves_total = len(leaves)
+
+        # Branch-and-bound over the same leaf list: subtrees whose admissible
+        # lower bound cannot strictly beat the incumbent are skipped without
+        # simulating.  Bounds never read simulation results, and the best
+        # plan only ever improves on strict <, so the surviving evaluations
+        # — and the chosen plan — match the exhaustive scan exactly (as long
+        # as neither run exhausts the simulation budget; see PoochConfig).
+        bounds = (
+            _StepOneBounds(self.predictor, all_swap, candidates)
+            if cfg.prune else None
+        )
+        cursor = _LeafCursor(leaves, exact_li, bounds, self.stats)
 
         if executor is None:
-            for keeps in leaves:
-                if not budget_left() or not consume_leaf(keeps, None):
+            while True:
+                nxt = cursor.next(best_time)
+                if nxt is None or not budget_left():
+                    break
+                self.stats.leaves_evaluated += 1
+                if not consume_leaf(nxt[1], None):
                     break
         else:
-            # keep a small window of leaves in flight; results are consumed
-            # strictly in leaf order, and the window bounds wasted work when
-            # the budget truncates the search
+            # keep a small window of leaves in flight; submission is
+            # speculative (pruning decisions arrive later, stale futures
+            # are discarded), but results are consumed strictly in the
+            # pruned-serial order, so accounting matches workers=1 exactly
             window = 2 * self.config.workers
             pending: deque = deque()
-            leaf_iter = iter(leaves)
+            submit_idx = 0
 
             def top_up() -> None:
-                while len(pending) < window:
-                    keeps = next(leaf_iter, None)
-                    if keeps is None:
-                        return
+                nonlocal submit_idx
+                while len(pending) < window and submit_idx < len(leaves):
+                    keeps = leaves[submit_idx]
                     args = (keeps, scan, map_bytes, keep_budget)
-                    pending.append((keeps, executor.submit(_eval_leaf, args)))
+                    pending.append(
+                        (submit_idx, executor.submit(_eval_leaf, args))
+                    )
+                    submit_idx += 1
 
             top_up()
-            while pending:
-                if not budget_left():
+            while True:
+                nxt = cursor.next(best_time)
+                if nxt is None or not budget_left():
                     break
-                keeps, future = pending.popleft()
-                if not consume_leaf(keeps, future.result()):
-                    break
+                idx, keeps = nxt
+                while pending and pending[0][0] < idx:
+                    pending.popleft()[1].cancel()
+                if not pending:
+                    submit_idx = max(submit_idx, idx)
+                    top_up()
+                pre = None
+                if pending and pending[0][0] == idx:
+                    pre = pending.popleft()[1].result()
+                self.stats.leaves_evaluated += 1
+                ok = consume_leaf(keeps, pre)
                 top_up()
+                if not ok:
+                    break
 
         self.stats.sims_step1 = self.predictor.simulations - sims_at_start
         self.stats.time_after_step1 = best_time

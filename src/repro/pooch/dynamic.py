@@ -204,6 +204,7 @@ class DynamicPoocH:
                 policy=self.config.policy,
                 capacity_margin=self.config.capacity_margin,
                 forward_refetch_gap=self.config.forward_refetch_gap,
+                incremental=self.config.incremental,
             )
         return self._predictors[size]
 

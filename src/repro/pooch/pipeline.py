@@ -130,7 +130,12 @@ class PoochResult:
                if self.stats.plan_cache_hit else
                f"(all-swap baseline {self.stats.time_all_swap * 1e3:.3f} ms)"),
             f"  search simulations: step1={self.stats.sims_step1} "
-            f"step2={self.stats.sims_step2}",
+            f"step2={self.stats.sims_step2} "
+            f"(full={self.stats.sims_full} resumed={self.stats.sims_resumed})",
+            f"  search tree: {self.stats.leaves_evaluated}/"
+            f"{self.stats.leaves_total} leaves evaluated, "
+            f"{self.stats.subtrees_pruned} subtrees pruned",
+            f"  search wall time: {self.stats.wall_time_s:.2f} s",
         ]
         return "\n".join(lines)
 
@@ -208,6 +213,7 @@ class PoocH:
             graph, profile, self.machine, policy=self.config.policy,
             capacity_margin=self.config.capacity_margin,
             forward_refetch_gap=self.config.forward_refetch_gap,
+            incremental=self.config.incremental,
         )
         cache = self.plan_cache
         if cache is not None:

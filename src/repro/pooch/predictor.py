@@ -19,16 +19,81 @@ the full engine on demand when records or memory traces are actually needed.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass
 
 from repro.common.errors import OutOfMemoryError
 from repro.graph import NNGraph
 from repro.gpusim import Engine, RunResult
-from repro.gpusim.fastengine import FastEngine
+from repro.gpusim.fastengine import _STREAM_ORDER, EngineCheckpoint, FastEngine
 from repro.hw import MachineSpec
-from repro.runtime.plan import Classification, SwapInPolicy
+from repro.runtime.plan import Classification, MapClass, SwapInPolicy
 from repro.runtime.profiler import Profile
-from repro.runtime.schedule import ScheduleBuilder, ScheduleOptions, build_schedule
+from repro.runtime.schedule import (
+    ScheduleBuilder,
+    ScheduleOptions,
+    apply_keep_delta,
+    build_schedule,
+)
+
+
+def _buffers_equal(a, b) -> bool:
+    """Engine-visible equality of two buffer drafts (identity, placement,
+    and the writers|readers union that drives the free countdown).  Test
+    validator: ``tests/test_search_pruning.py`` uses it to assert delta
+    drafts equal freshly built ones."""
+    return (
+        a.bid == b.bid and a.nbytes == b.nbytes and a.host == b.host
+        and a.alloc_by == b.alloc_by and a.writers == b.writers
+        and a.readers == b.readers
+    )
+
+
+def _tasks_equal(a, b, allocs_a, allocs_b) -> bool:
+    """Engine-visible equality of two task drafts at the same queue position
+    (kind/layer/io are ignored: the replay engine never reads them).  Test
+    validator, like :func:`_buffers_equal`."""
+    if (
+        a.duration != b.duration
+        or a.scratch_bytes != b.scratch_bytes
+        or a.memory_gated != b.memory_gated
+        or a.headroom != b.headroom
+        or a.alloc_on_ready != b.alloc_on_ready
+        or a.deps != b.deps
+        or a.start_deps != b.start_deps
+        or len(allocs_a) != len(allocs_b)
+    ):
+        return False
+    for x, y in zip(allocs_a, allocs_b):
+        if not _buffers_equal(x, y):
+            return False
+    return True
+
+
+class _Reference:
+    """One previously simulated keep/swap candidate plus the checkpoints its
+    replay recorded — the prefix future candidates try to resume from.
+
+    Only the keep-set and the base-coordinate removal positions are stored:
+    divergence against a new candidate is derived from the shared all-swap
+    base draft in O(flipped maps), never by comparing schedules."""
+
+    __slots__ = ("keeps", "rm_d", "rm_h", "checkpoints")
+
+    def __init__(self, keeps: frozenset, rm_d: list[int], rm_h: list[int],
+                 checkpoints: list[EngineCheckpoint]) -> None:
+        self.keeps = keeps
+        #: sorted base-draft positions of the removed SO / SI tasks — the
+        #: offsets that translate base D2H/H2D positions into this
+        #: reference's own queue coordinates
+        self.rm_d = rm_d
+        self.rm_h = rm_h
+        self.checkpoints = checkpoints
+
+
+_EMPTY: list = []
+_NO_DIVERGENCE = 1 << 60  # sentinel: streams agree on the whole queue
 
 
 @dataclass(frozen=True)
@@ -56,6 +121,7 @@ class TimelinePredictor:
         policy: SwapInPolicy = SwapInPolicy.EAGER,
         capacity_margin: int = 0,
         forward_refetch_gap: int | None = None,
+        incremental: bool = True,
     ) -> None:
         self.graph = graph
         self.profile = profile
@@ -75,7 +141,25 @@ class TimelinePredictor:
         #: simulations actually executed (cache misses) — the classifier's
         #: search-cost metric.  Outcomes absorbed from worker processes via
         #: :meth:`absorb` count too: the simulation ran, just elsewhere.
+        #: Resumed replays count exactly like full ones, so this number —
+        #: and therefore budget truncation and the chosen plan — is
+        #: independent of ``incremental``.
         self.simulations = 0
+        #: share the simulated prefix between candidates whose schedules
+        #: agree on it (checkpoint/resume through FastEngine); results stay
+        #: bit-identical, only wall-clock changes
+        self.incremental = incremental
+        #: of the local (non-absorbed) simulations, how many replayed from
+        #: time zero vs. resumed from a shared-prefix checkpoint
+        self.full_simulations = 0
+        self.resumed_simulations = 0
+        #: references are a frozenset + two int lists each, and matching is
+        #: O(flipped maps), so a deeper window costs almost nothing
+        self._refs: deque[_Reference] = deque(maxlen=16)
+        #: all-swap base draft and per-map divergence positions, built
+        #: lazily on the first delta-eligible simulation
+        self._base: tuple | None = None
+        self._div: dict[int, tuple[int, int, int]] = {}
 
     def predict(self, classification: Classification) -> PredictedOutcome:
         """Predicted iteration time and feasibility for a candidate plan."""
@@ -177,26 +261,207 @@ class TimelinePredictor:
         self._full_cache[key] = result
         return result
 
-    def _simulate(self, classification: Classification) -> PredictedOutcome:
-        """One uncached simulation through the fast draft-replay path."""
+    def draft(self, classification: Classification) -> tuple[dict, dict, dict]:
+        """Raw (tasks, queues, buffers) draft for a candidate — the
+        classifier's lower-bound precomputation reads queue orders,
+        durations and dependencies from it."""
         builder = ScheduleBuilder(
             self.graph, classification, self._durations, self.options,
-            validate=False,  # the search only proposes structurally valid
-            # classifications; skip the O(maps) re-check per candidate
+            validate=False,
         )
-        tasks, queues, buffers = builder.build_raw()
+        return builder.build_raw()
+
+    # -- incremental replay -------------------------------------------------------
+    #
+    # Candidates in the classifier's searches differ from one another only
+    # in which maps they keep, so both the *draft* and the *replay* of a
+    # candidate are mostly shared work:
+    #
+    # * drafts are produced by patching the all-swap base draft
+    #   (:func:`apply_keep_delta`) in O(flipped maps) instead of rebuilding
+    #   the whole schedule;
+    # * replays resume from a checkpoint of a recent reference run.  Where
+    #   the two schedules first diverge is *derived*, not discovered: each
+    #   map's flip perturbs the base queues at precomputed positions
+    #   (``_ensure_base``), so the divergence front of any candidate/
+    #   reference pair is the minimum of those positions over the symmetric
+    #   difference of their keep-sets — O(|difference|) per reference, no
+    #   queue comparison at all.
+    #
+    # Budget accounting is untouched — a resumed replay is still one
+    # simulation — so plans are bit-identical with incremental on or off.
+
+    def _ensure_base(self) -> None:
+        """Build the all-swap base draft once, plus the per-map divergence
+        positions ``_div[m] = (compute, d2h, h2d)``: the earliest queue
+        position on each stream at which a schedule that keeps ``m``
+        becomes distinguishable from one that swaps it (task removed,
+        dependency rewired, or a buffer's free time moved)."""
+        if self._base is not None:
+            return
+        base = ScheduleBuilder(
+            self.graph, Classification.all_swap(self.graph),
+            self._durations, self.options, validate=False,
+        ).build_raw()
+        tasks, queues, buffers = base
+        pos_c, pos_d, pos_h = (
+            {tid: i for i, tid in enumerate(queues.get(s, _EMPTY))}
+            for s in _STREAM_ORDER
+        )
+        div: dict[int, tuple[int, int, int]] = {}
+        for m in self.graph.classifiable_maps():
+            so, si = f"SO{m}", f"SI{m}"
+            d_pos = pos_d[so]
+            if si in tasks:
+                # keeping m rewires the backward readers of fm{m}@b onto
+                # the forward instance: first such reader is the compute
+                # divergence
+                c_pos = min(pos_c[r] for r in buffers[f"fm{m}@b"].readers)
+                h_pos = pos_h[si]
+            else:  # no backward consumer: the flip only moves the *free*
+                # of fm{m}@f, observable after its last forward accessor
+                ids = [f"F{m}"] + [f"F{k}" for k in self.graph.consumers[m]]
+                c_pos = max((pos_c[t] for t in ids if t in pos_c), default=0)
+                h_pos = _NO_DIVERGENCE
+            div[m] = (c_pos, d_pos, h_pos)
+        self._base = base
+        self._div = div
+
+    def _sim_draft(self, classification: Classification):
+        """(tasks, queues, buffers, keeps) draft for one simulation.
+
+        Pure keep/swap candidates (the entire step-1 tree and most of
+        step 2) go through the delta path: ``keeps`` is their frozen
+        keep-set and the draft is the patched base.  Everything else —
+        recompute classes, forward re-fetch, incremental off — falls back
+        to a full build with ``keeps`` None, which also opts the replay
+        out of checkpoint/resume (recompute flips are not prefix-local)."""
+        if self.incremental and self.forward_refetch_gap is None:
+            keeps: list[int] = []
+            pure = True
+            for m, cls in classification.classes.items():
+                if cls is MapClass.KEEP:
+                    keeps.append(m)
+                elif cls is not MapClass.SWAP:
+                    pure = False
+                    break
+            if pure:
+                self._ensure_base()
+                tasks, queues, buffers = apply_keep_delta(
+                    self._base[0], self._base[1], self._base[2], keeps
+                )
+                return tasks, queues, buffers, frozenset(keeps)
+        tasks, queues, buffers = self.draft(classification)
+        return tasks, queues, buffers, None
+
+    def _divergence(self, ref: _Reference, keeps: frozenset):
+        """First-divergence position per stream between a candidate keep-set
+        and ``ref``, in the *reference's* queue coordinates (compute queues
+        are shared with the base; D2H/H2D positions shift down by the
+        reference's own removals before them)."""
+        div = self._div
+        pc = pd = ph = _NO_DIVERGENCE
+        for m in keeps ^ ref.keeps:
+            c, d, h = div[m]
+            if c < pc:
+                pc = c
+            if d < pd:
+                pd = d
+            if h < ph:
+                ph = h
+        if pd < _NO_DIVERGENCE:
+            pd -= bisect_left(ref.rm_d, pd)
+        if ph < _NO_DIVERGENCE:
+            ph -= bisect_left(ref.rm_h, ph)
+        return pc, pd, ph
+
+    @staticmethod
+    def _checkpoint_valid(cp: EngineCheckpoint, front, tasks,
+                          cand_queues) -> bool:
+        """Whether ``cp`` is a state the candidate's own run would also have
+        reached: every cursor inside the shared prefix, and a cursor parked
+        exactly at the divergence only if the candidate's task there was
+        genuinely blocked at the checkpoint (else the candidate would have
+        issued it earlier)."""
+        for s, c in enumerate(cp.cursors):
+            if c < front[s]:
+                continue
+            if c > front[s]:
+                return False
+            q = cand_queues[s]
+            if c >= len(q):
+                continue  # candidate stream exhausted at the divergence
+            head = tasks[q[c]]
+            if head.deps <= cp.completed_set() and (
+                not head.start_deps or head.start_deps <= cp.started_set()
+            ):
+                return False  # head could have issued before the checkpoint
+        return True
+
+    def _best_resume(self, keeps: frozenset, tasks, cand_queues):
+        """Deepest valid checkpoint across recent references, plus every
+        shallower valid checkpoint of the same reference (those are genuine
+        states of *this* candidate's run, so the new reference inherits
+        them).  Matching is O(|keep-set difference|) per reference, so all
+        retained references are tried."""
+        best: list[EngineCheckpoint] = []
+        for ref in self._refs:
+            if not ref.checkpoints:
+                continue
+            front = self._divergence(ref, keeps)
+            valid = [cp for cp in ref.checkpoints
+                     if self._checkpoint_valid(cp, front, tasks, cand_queues)]
+            if valid and (not best
+                          or valid[-1].progress > best[-1].progress):
+                best = valid
+        return best
+
+    def _record_ref(self, keeps: frozenset,
+                    checkpoints: list[EngineCheckpoint]) -> None:
+        if not checkpoints:
+            return
+        div = self._div
+        rm_d = sorted(div[m][1] for m in keeps)
+        rm_h = sorted(h for m in keeps if (h := div[m][2]) < _NO_DIVERGENCE)
+        self._refs.appendleft(_Reference(keeps, rm_d, rm_h, checkpoints))
+
+    def _simulate(self, classification: Classification) -> PredictedOutcome:
+        """One uncached simulation through the fast draft-replay path,
+        resuming from a shared-prefix checkpoint when one is valid."""
+        tasks, queues, buffers, keeps = self._sim_draft(classification)
         engine = FastEngine(
             tasks, queues, buffers,
             device_capacity=self.machine.usable_gpu_memory - self.capacity_margin,
             host_capacity=self.machine.cpu_mem_capacity,
         )
+        resume: EngineCheckpoint | None = None
+        inherited: list[EngineCheckpoint] = []
+        checkpoint_every = 0
+        if keeps is not None and engine.checkpointable:
+            # fine grid: capture is O(in-flight), so dense marks are cheap
+            # and let siblings resume right at their divergence front
+            checkpoint_every = max(8, len(tasks) // 24)
+            cand_queues = [queues.get(s, _EMPTY) for s in _STREAM_ORDER]
+            inherited = self._best_resume(keeps, tasks, cand_queues)
+            if inherited:
+                resume = inherited[-1]
+        if resume is not None:
+            self.resumed_simulations += 1
+        else:
+            self.full_simulations += 1
         try:
-            makespan, device_peak, _host_peak = engine.run()
+            makespan, device_peak, _host_peak = engine.run(
+                checkpoint_every=checkpoint_every, resume_from=resume
+            )
         except OutOfMemoryError as e:
+            if checkpoint_every:
+                self._record_ref(keeps, inherited + engine.checkpoints)
             return PredictedOutcome(
                 feasible=False, time=float("inf"), peak_memory=0,
                 oom_context=e.context,
             )
+        if checkpoint_every:
+            self._record_ref(keeps, inherited + engine.checkpoints)
         return PredictedOutcome(
             feasible=True, time=makespan, peak_memory=device_peak
         )

@@ -627,3 +627,100 @@ def build_schedule(
 ) -> Schedule:
     """Convenience wrapper around :class:`ScheduleBuilder`."""
     return ScheduleBuilder(graph, classification, durations, options).build()
+
+
+def _copy_task(t: _TaskDraft) -> _TaskDraft:
+    """Shallow task copy with private ``deps``/``reads`` sets (the fields a
+    keep-flip rewires); everything else is shared with the base draft."""
+    nt = _TaskDraft(
+        tid=t.tid, kind=t.kind, stream=t.stream, duration=t.duration,
+        layer=t.layer, scratch_bytes=t.scratch_bytes,
+        memory_gated=t.memory_gated, headroom=t.headroom,
+        alloc_on_ready=t.alloc_on_ready,
+    )
+    nt.deps = set(t.deps)
+    nt.start_deps = t.start_deps
+    nt.reads = set(t.reads)
+    nt.io = t.io
+    return nt
+
+
+def apply_keep_delta(
+    base_tasks: dict[str, _TaskDraft],
+    base_queues: dict[StreamName, list[str]],
+    base_buffers: dict[str, _BufferDraft],
+    keeps,
+) -> tuple[dict[str, _TaskDraft], dict[StreamName, list[str]],
+           dict[str, _BufferDraft]]:
+    """Draft for ``all-swap + {m: KEEP for m in keeps}`` by *patching* the
+    all-swap base draft instead of rebuilding it — the classifier's search
+    hot path, where candidates differ from the base by a handful of flips.
+
+    A keep↔swap flip is local under the builder's semantics (with forward
+    re-fetch disabled, which the caller must guarantee):
+
+    * the compute queue never changes — keeping a map removes only its
+      ``SO{m}``/``SI{m}`` transfer tasks and rewires the backward readers
+      of ``fm{m}@b`` onto the surviving forward instance ``fm{m}@f``;
+    * the H2D queue order is by first-need *compute position*, which a
+      removal leaves intact (Python's sort is stable and no other swap-in's
+      first reader moves), and the D2H queue is in forward producer order —
+      both reduce to "base order minus the removed tasks";
+    * the EAGER auto-headroom reads only backward *compute* allocations
+      (gradients, recompute outputs, scratch), none of which a keep/swap
+      flip touches, so every surviving swap-in keeps its headroom.
+
+    The result is task-for-task identical to a fresh
+    ``ScheduleBuilder(...).build_raw()`` for the same classification —
+    ``tests/test_search_pruning.py`` asserts exact draft equality across
+    the model zoo.  The base draft is never mutated: patched tasks/buffers
+    are copies, untouched ones are shared (callers must treat drafts as
+    immutable, which the engines do).  Stale ``io`` annotations of patched
+    tasks still reference the removed instances; only the draft-replay
+    engines consume delta drafts and they never read ``io``.
+    """
+    tasks = dict(base_tasks)
+    buffers = dict(base_buffers)
+    removed: set[str] = set()
+    patched_tasks: dict[str, _TaskDraft] = {}
+    for m in keeps:
+        so, si = f"SO{m}", f"SI{m}"
+        fwd_bid, host_bid, back_bid = f"fm{m}@f", f"fm{m}@host", f"fm{m}@b"
+        if so not in tasks:
+            raise ScheduleError(
+                f"apply_keep_delta: map {m} is not swapped in the base draft"
+            )
+        del tasks[so]
+        del buffers[host_bid]
+        removed.add(so)
+        fb = buffers[fwd_bid]
+        if fb is base_buffers[fwd_bid]:
+            nb = _BufferDraft(fb.bid, fb.nbytes, alloc_by=fb.alloc_by,
+                              host=fb.host)
+            nb.writers = set(fb.writers)
+            nb.readers = set(fb.readers)
+            buffers[fwd_bid] = fb = nb
+        fb.readers.discard(so)
+        if si not in tasks:
+            continue  # no backward consumer: nothing reads the kept instance
+        del tasks[si]
+        removed.add(si)
+        bb = buffers.pop(back_bid)
+        for rid in bb.readers:
+            rt = patched_tasks.get(rid)
+            if rt is None:
+                rt = patched_tasks[rid] = _copy_task(tasks[rid])
+                tasks[rid] = rt
+            rt.deps.discard(si)
+            rt.deps.add(f"F{m}")
+            rt.reads.discard(back_bid)
+            rt.reads.add(fwd_bid)
+            fb.readers.add(rid)
+    queues = {
+        StreamName.COMPUTE: base_queues[StreamName.COMPUTE],
+        StreamName.H2D: [t for t in base_queues[StreamName.H2D]
+                         if t not in removed],
+        StreamName.D2H: [t for t in base_queues[StreamName.D2H]
+                         if t not in removed],
+    }
+    return tasks, queues, buffers

@@ -1,0 +1,266 @@
+"""Search-cost machinery: delta drafts, checkpoint/resume, branch-and-bound.
+
+The contract under test is *exact equivalence*: pruning and incremental
+replay may only change how much work the search does, never what it returns.
+
+* delta drafts (``apply_keep_delta``) must be task-for-task identical to a
+  fresh ``ScheduleBuilder`` build for the same classification;
+* a ``FastEngine`` replay resumed from any of its own checkpoints must
+  reproduce the full run bit-for-bit;
+* the pruned + incremental search must return the identical plan, predicted
+  time and peak memory as the exhaustive scan, across the model zoo
+  (``FAULT_SEED`` shifts the profiled machine/model mix like the fault
+  property harness);
+* the ``prune`` knob must be part of the plan-cache signature, the
+  ``incremental`` knob must not be.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.gpusim.fastengine import _STREAM_ORDER, FastEngine
+from repro.hw import X86_V100
+from repro.models import build_model, poster_example, small_cnn
+from repro.pooch.classifier import (
+    PoochClassifier,
+    PoochConfig,
+    SearchStats,
+    _LeafCursor,
+)
+from repro.pooch.predictor import (
+    TimelinePredictor,
+    _buffers_equal,
+    _tasks_equal,
+)
+from repro.runtime.plan import Classification, MapClass
+from repro.runtime.profiler import run_profiling
+from repro.runtime.schedule import ScheduleBuilder, apply_keep_delta
+from tests.conftest import tiny_machine
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+_MACHINE = tiny_machine(mem_mib=224, link_gbps=3.0)
+
+#: small zoo slice: the shapes that exercise branches (skip connections,
+#: dense fan-in, plain chains) without slow profiling
+_ZOO = [
+    ("small_cnn", 8),
+    ("poster_example", 2),
+    ("resnet18", 4),
+    ("mobilenet_v1", 2),
+]
+
+
+def _graph(name: str, batch: int):
+    return build_model(name, batch=batch)
+
+
+def _alloc_lists(buffers):
+    out: dict[str, list] = {}
+    for b in buffers.values():
+        if b.alloc_by is not None:
+            out.setdefault(b.alloc_by, []).append(b)
+    return out
+
+
+def _assert_drafts_equal(a, b):
+    """Engine-visible equality of two (tasks, queues, buffers) drafts."""
+    ta, qa, ba = a
+    tb, qb, bb = b
+    for s in _STREAM_ORDER:
+        assert qa.get(s, []) == qb.get(s, []), f"queue order differs on {s}"
+    assert set(ta) == set(tb)
+    la, lb = _alloc_lists(ba), _alloc_lists(bb)
+    for tid in ta:
+        assert _tasks_equal(ta[tid], tb[tid],
+                            la.get(tid, []), lb.get(tid, [])), (
+            f"task {tid} differs between delta and fresh draft"
+        )
+    assert set(ba) == set(bb)
+    for bid in ba:
+        assert _buffers_equal(ba[bid], bb[bid]), f"buffer {bid} differs"
+
+
+@pytest.mark.parametrize("name,batch", _ZOO)
+def test_delta_draft_equals_fresh_build(name, batch):
+    """apply_keep_delta(all_swap base, keeps) == ScheduleBuilder for the
+    same keep-set, for random keep-sets across the zoo."""
+    g = _graph(name, batch)
+    prof = run_profiling(g, _MACHINE)
+    durs = prof.durations()
+    pred = TimelinePredictor(g, prof, _MACHINE)
+    base = ScheduleBuilder(g, Classification.all_swap(g), durs,
+                           pred.options, validate=False).build_raw()
+    maps = g.classifiable_maps()
+    rng = random.Random(FAULT_SEED * 1021 + len(maps))
+    keep_sets = [set(), set(maps)]
+    keep_sets += [set(rng.sample(maps, rng.randint(1, len(maps))))
+                  for _ in range(6)]
+    for keeps in keep_sets:
+        cls = Classification.all_swap(g).with_classes(
+            {m: MapClass.KEEP for m in keeps}
+        )
+        fresh = ScheduleBuilder(g, cls, durs, pred.options,
+                                validate=False).build_raw()
+        delta = apply_keep_delta(base[0], base[1], base[2], keeps)
+        _assert_drafts_equal(delta, fresh)
+
+
+def test_delta_draft_leaves_base_unmodified():
+    g = _graph("small_cnn", 8)
+    prof = run_profiling(g, _MACHINE)
+    pred = TimelinePredictor(g, prof, _MACHINE)
+    durs = prof.durations()
+    base = ScheduleBuilder(g, Classification.all_swap(g), durs,
+                           pred.options, validate=False).build_raw()
+    ref = ScheduleBuilder(g, Classification.all_swap(g), durs,
+                          pred.options, validate=False).build_raw()
+    maps = g.classifiable_maps()
+    apply_keep_delta(base[0], base[1], base[2], set(maps[::2]))
+    _assert_drafts_equal(base, ref)
+
+
+@pytest.mark.parametrize("name,batch", _ZOO)
+def test_engine_resume_is_bit_identical(name, batch):
+    """Resuming a replay from any of its own checkpoints reproduces the
+    full run's makespan and peaks exactly."""
+    g = _graph(name, batch)
+    prof = run_profiling(g, _MACHINE)
+    pred = TimelinePredictor(g, prof, _MACHINE)
+    maps = g.classifiable_maps()
+    cls = Classification.all_swap(g).with_classes(
+        {m: MapClass.KEEP for m in maps[: len(maps) // 2]}
+    )
+    tasks, queues, buffers = pred.draft(cls)
+    cap = _MACHINE.usable_gpu_memory
+    host = _MACHINE.cpu_mem_capacity
+    eng = FastEngine(tasks, queues, buffers, device_capacity=cap,
+                     host_capacity=host)
+    assert eng.checkpointable
+    full = eng.run(checkpoint_every=8)
+    assert eng.checkpoints, "expected checkpoints to be recorded"
+    for cp in eng.checkpoints:
+        again = FastEngine(tasks, queues, buffers, device_capacity=cap,
+                           host_capacity=host)
+        assert again.run(resume_from=cp) == full
+
+
+@pytest.mark.parametrize("name,batch", _ZOO)
+def test_search_equivalence_across_zoo(name, batch):
+    """Pruned + incremental search chooses the identical plan (key,
+    predicted time, peak memory) as the exhaustive from-scratch scan."""
+    g = _graph(name, batch)
+    prof = run_profiling(g, _MACHINE)
+    results = {}
+    for label, prune, inc in (("exhaustive", False, False),
+                              ("optimized", True, True)):
+        cfg = PoochConfig(prune=prune, incremental=inc)
+        clf = PoochClassifier(g, prof, _MACHINE, config=cfg)
+        cls, stats = clf.classify()
+        out = clf.predictor.predict(cls)
+        results[label] = (cls.key(), out.time, out.peak_memory,
+                          clf.predictor.simulations)
+    ex, opt = results["exhaustive"], results["optimized"]
+    assert opt[:3] == ex[:3], f"plans differ: {ex} vs {opt}"
+
+
+def test_incremental_resumes_and_stats_populated():
+    g = _graph("resnet18", 4)
+    prof = run_profiling(g, _MACHINE)
+    clf = PoochClassifier(g, prof, _MACHINE, config=PoochConfig())
+    _cls, stats = clf.classify()
+    assert stats.wall_time_s > 0.0
+    assert stats.leaves_total >= stats.leaves_evaluated > 0
+    assert stats.sims_full + stats.sims_resumed == clf.predictor.simulations
+    # prefix sharing must actually fire: sibling candidates differ in a
+    # handful of maps, so most replays resume
+    assert stats.sims_resumed > stats.sims_full
+
+
+def test_incremental_counters_do_not_change_budget():
+    """`simulations` (the budget meter) counts resumed replays exactly like
+    full ones, so budget truncation is incremental-independent."""
+    g = _graph("small_cnn", 8)
+    prof = run_profiling(g, _MACHINE)
+    counts = {}
+    for inc in (False, True):
+        cfg = PoochConfig(incremental=inc, step1_sim_budget=40)
+        clf = PoochClassifier(g, prof, _MACHINE, config=cfg)
+        cls, stats = clf.classify()
+        counts[inc] = (clf.predictor.simulations, cls.key())
+    assert counts[False] == counts[True]
+
+
+class _FakeBounds:
+    """Synthetic bounds: subtrees committing map 0 to SWAP are unbeatable."""
+
+    def __init__(self, poison: int, incumbent: float) -> None:
+        self.poison = poison
+        self.incumbent = incumbent
+
+    def lower_bound(self, committed) -> float:
+        return self.incumbent + 1.0 if self.poison in committed else 0.0
+
+
+def test_leaf_cursor_prunes_poisoned_subtree():
+    exact = [0, 1, 2]
+    # keep-first DFS enumeration over {0,1,2}
+    leaves = []
+    for d0 in (True, False):
+        for d1 in (True, False):
+            for d2 in (True, False):
+                leaves.append(tuple(
+                    m for m, dec in zip(exact, (d0, d1, d2)) if dec
+                ))
+    stats = SearchStats()
+    cursor = _LeafCursor(leaves, exact, _FakeBounds(0, 1.0), stats)
+    seen = []
+    while True:
+        nxt = cursor.next(best_time=1.0)
+        if nxt is None:
+            break
+        seen.append(nxt[1])
+    # every surviving leaf keeps map 0; the swap-0 half of the tree is one
+    # pruned subtree of four leaves
+    assert all(0 in leaf for leaf in seen)
+    assert len(seen) == 4
+    assert stats.subtrees_pruned == 1
+    assert stats.leaves_pruned == 4
+
+
+def test_no_prune_cursor_visits_everything():
+    exact = [0, 1]
+    leaves = [(0, 1), (0,), (1,), ()]
+    stats = SearchStats()
+    cursor = _LeafCursor(leaves, exact, None, stats)
+    seen = []
+    while True:
+        nxt = cursor.next(best_time=-1.0)  # incumbent beats every bound
+        if nxt is None:
+            break
+        seen.append(nxt[1])
+    assert seen == leaves
+    assert stats.subtrees_pruned == 0
+
+
+def test_prune_knob_is_in_plan_signature_incremental_is_not():
+    base = PoochConfig()
+    assert PoochConfig(prune=False).signature() != base.signature()
+    assert PoochConfig(incremental=False).signature() == base.signature()
+    assert PoochConfig(workers=4).signature() == base.signature()
+
+
+def test_plan_cache_misses_across_prune_setting(tmp_path):
+    from repro.runtime.plan_io import PlanCache
+
+    g = small_cnn(4)
+    cache = PlanCache(tmp_path)
+    cls = Classification.all_swap(g)
+    on, off = PoochConfig(prune=True), PoochConfig(prune=False)
+    cache.store_plan(g, X86_V100, on.signature(), cls, predicted_time=1.0)
+    assert cache.load_plan(g, X86_V100, on.signature()) is not None
+    assert cache.load_plan(g, X86_V100, off.signature()) is None
