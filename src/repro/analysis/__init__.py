@@ -12,7 +12,11 @@ from repro.analysis.timeline import (
     total_idle,
 )
 from repro.analysis.bottleneck import BottleneckReport, Stall, analyze_bottlenecks
-from repro.analysis.chrometrace import to_chrome_trace, write_chrome_trace
+from repro.analysis.chrometrace import (
+    ChromeTraceBuilder,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from repro.analysis.plots import bar_chart, memory_curve_plot
 from repro.analysis.report import Table, format_table
 from repro.analysis.robustness import (
@@ -30,6 +34,7 @@ __all__ = [
     "analyze_bottlenecks",
     "BottleneckReport",
     "Stall",
+    "ChromeTraceBuilder",
     "to_chrome_trace",
     "write_chrome_trace",
     "interval_overlap",

@@ -1,26 +1,27 @@
 """Chrome trace-event export: open simulated timelines in a real profiler.
 
-:func:`to_chrome_trace` converts a :class:`~repro.gpusim.RunResult` into the
-Trace Event JSON format that ``chrome://tracing`` and https://ui.perfetto.dev
-render — one row per stream, one slice per task, plus a memory counter track
-from the allocator trace.  This gives the simulated runs the same tooling a
-real GPU profile would get from nsys.
+:class:`ChromeTraceBuilder` accumulates any mix of simulated runs
+(:class:`~repro.gpusim.RunResult` — one row per stream, one slice per task,
+plus a memory counter track from the allocator trace) and observability spans
+(:class:`~repro.obs.Span` — the phases of the PoocH search itself) into one
+Trace Event JSON document that ``chrome://tracing`` and
+https://ui.perfetto.dev render.  Thread ids are allocated monotonically, so
+several runs coexist in one trace without their rows colliding.
+
+:func:`to_chrome_trace` / :func:`write_chrome_trace` remain the one-result
+shorthand (tids 0/1/2, rows named after the streams).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any
+from typing import Any, Iterable
 
 from repro.gpusim import RunResult, StreamName, TaskKind
 
-#: stable thread ids per stream row
-_STREAM_TID = {
-    StreamName.COMPUTE: 0,
-    StreamName.D2H: 1,
-    StreamName.H2D: 2,
-}
+#: stream row order within one run (also fixes the legacy 0/1/2 tids)
+_STREAM_ORDER = (StreamName.COMPUTE, StreamName.D2H, StreamName.H2D)
 
 #: trace-viewer colour names per task kind
 _KIND_COLOR = {
@@ -32,39 +33,102 @@ _KIND_COLOR = {
     TaskKind.UPDATE: "grey",
 }
 
+#: colour per span category
+_CATEGORY_COLOR = {
+    "profile": "thread_state_iowait",
+    "search": "thread_state_running",
+    "phase": "grey",
+}
+
+
+class ChromeTraceBuilder:
+    """Accumulate runs and spans into one multi-row Chrome trace.
+
+    Each :meth:`add_run` claims three fresh thread ids (one per stream) so a
+    second run lands on its own rows instead of overwriting the first — the
+    bug the fixed-tid exporter had.  :meth:`add_spans` lays observability
+    spans out one row per nesting depth.
+    """
+
+    def __init__(self, name: str = "repro") -> None:
+        self.events: list[dict[str, Any]] = [
+            {"ph": "M", "pid": 0, "name": "process_name",
+             "args": {"name": name}},
+        ]
+        self._next_tid = 0
+
+    def _claim_tid(self, label: str) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        self.events.append({
+            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+            "args": {"name": label},
+        })
+        return tid
+
+    def add_run(self, result: RunResult, name: str | None = None) -> None:
+        """Append one simulated run: three stream rows + a memory counter."""
+        prefix = f"{name}/" if name else ""
+        tids = {stream: self._claim_tid(f"{prefix}{stream.value}")
+                for stream in _STREAM_ORDER}
+        for rec in result.records:
+            self.events.append({
+                "ph": "X",
+                "pid": 0,
+                "tid": tids[rec.stream],
+                "name": rec.tid,
+                "cat": rec.kind.value,
+                "ts": rec.start * 1e6,  # trace units are microseconds
+                "dur": rec.duration * 1e6,
+                "cname": _KIND_COLOR.get(rec.kind, "grey"),
+                "args": {"layer": rec.layer, "kind": rec.kind.value},
+            })
+        counter = f"{prefix}gpu memory" if name else "gpu memory"
+        for ev in result.device_trace:
+            self.events.append({
+                "ph": "C",
+                "pid": 0,
+                "name": counter,
+                "ts": ev.time * 1e6,
+                "args": {"bytes_in_use": ev.in_use_after},
+            })
+
+    def add_spans(self, spans: Iterable[Any], name: str = "phases") -> None:
+        """Append observability spans, one thread row per nesting depth.
+
+        Accepts any objects with ``name``/``category``/``start_s``/``end_s``/
+        ``depth``/``meta`` attributes (:class:`repro.obs.Span`)."""
+        depth_tids: dict[int, int] = {}
+        for span in spans:
+            tid = depth_tids.get(span.depth)
+            if tid is None:
+                label = name if span.depth == 0 else f"{name} (d{span.depth})"
+                tid = self._claim_tid(label)
+                depth_tids[span.depth] = tid
+            self.events.append({
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start_s * 1e6,
+                "dur": (span.end_s - span.start_s) * 1e6,
+                "cname": _CATEGORY_COLOR.get(span.category, "grey"),
+                "args": dict(span.meta),
+            })
+
+    def build(self) -> dict[str, Any]:
+        return {"traceEvents": self.events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str | pathlib.Path) -> None:
+        pathlib.Path(path).write_text(json.dumps(self.build()))
+
 
 def to_chrome_trace(result: RunResult, name: str = "repro") -> dict[str, Any]:
-    """Build the trace dict (``traceEvents`` + metadata)."""
-    events: list[dict[str, Any]] = [
-        {"ph": "M", "pid": 0, "name": "process_name",
-         "args": {"name": name}},
-    ]
-    for stream, tid in _STREAM_TID.items():
-        events.append({
-            "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
-            "args": {"name": stream.value},
-        })
-    for rec in result.records:
-        events.append({
-            "ph": "X",
-            "pid": 0,
-            "tid": _STREAM_TID[rec.stream],
-            "name": rec.tid,
-            "cat": rec.kind.value,
-            "ts": rec.start * 1e6,  # trace units are microseconds
-            "dur": rec.duration * 1e6,
-            "cname": _KIND_COLOR.get(rec.kind, "grey"),
-            "args": {"layer": rec.layer, "kind": rec.kind.value},
-        })
-    for ev in result.device_trace:
-        events.append({
-            "ph": "C",
-            "pid": 0,
-            "name": "gpu memory",
-            "ts": ev.time * 1e6,
-            "args": {"bytes_in_use": ev.in_use_after},
-        })
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    """Build the trace dict (``traceEvents`` + metadata) for one run."""
+    builder = ChromeTraceBuilder(name)
+    builder.add_run(result)
+    return builder.build()
 
 
 def write_chrome_trace(result: RunResult, path: str | pathlib.Path,

@@ -18,12 +18,19 @@ Commands:
 ``run`` additionally accepts ``--faults SPEC --fault-seed N`` to execute
 under deterministic injected faults (see ``repro.faults``).
 
+Every subcommand accepts the observability flags ``--log-level``,
+``--log-json`` and ``--metrics OUT.json`` (see ``repro.obs``); ``optimize``
+and ``run`` additionally accept ``--trace TRACE.json`` for a Chrome trace of
+the search phases plus the ground-truth timeline.
+
 All commands are offline simulations; nothing touches real hardware.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import Sequence
 
@@ -42,6 +49,7 @@ from repro.common.units import GiB, format_bytes
 from repro.faults import FaultInjector, FaultSpec
 from repro.hw import MachineSpec, POWER9_V100, X86_V100
 from repro.models import MODEL_ZOO, build_model
+from repro.obs import LEVELS, MetricsRegistry, configure_logging, metrics
 from repro.pooch import PoocH, PoochConfig
 from repro.runtime import Classification, SwapInPolicy, execute, images_per_second
 
@@ -91,6 +99,38 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the fault injector; a fixed seed makes a "
                         "faulted run bit-reproducible")
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, attached to every subcommand."""
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("observability")
+    g.add_argument("--log-level", choices=LEVELS,
+                   help="enable structured logging at this level "
+                        "(silent by default)")
+    g.add_argument("--log-json", action="store_true",
+                   help="emit log records as JSON lines (implies logging on)")
+    g.add_argument("--metrics", metavar="OUT.json",
+                   help="write a RunMetrics JSON document (counters, gauges, "
+                        "timers, spans) when the command finishes")
+    return p
+
+
+def _write_trace(args, result, label: str) -> None:
+    """Write the unified Chrome trace: search-phase spans + the run."""
+    if not getattr(args, "trace", None):
+        return
+    from repro.analysis import ChromeTraceBuilder
+
+    builder = ChromeTraceBuilder(label)
+    registry = metrics.active()
+    if registry is not None and registry.spans:
+        builder.add_spans(registry.spans, name="pipeline phases")
+    if result is not None:
+        builder.add_run(result, name="ground truth")
+    builder.write(args.trace)
+    print(f"chrome trace written to {args.trace} "
+          "(open at https://ui.perfetto.dev)")
 
 
 def _build(args) -> "NNGraph":  # noqa: F821 - doc reference
@@ -146,6 +186,7 @@ def _cmd_optimize(args) -> int:
     print(f"ground-truth iteration: {timeline.makespan * 1e3:.2f} ms "
           f"({images_per_second(timeline, args.batch):.1f} img/s), "
           f"peak GPU memory {timeline.device_peak / GiB:.2f} GiB")
+    _write_trace(args, timeline, f"{args.model} pooch")
     if args.save:
         save_plan(args.save, result.classification, graph,
                   machine=machine.name, predicted_time=result.predicted.time)
@@ -177,6 +218,7 @@ def _cmd_run(args) -> int:
               f"per iteration = "
               f"{images_per_second(timeline, args.batch):.1f} img/s "
               f"(peak {timeline.device_peak / GiB:.2f} GiB)")
+        _write_trace(args, timeline, f"{args.model} saved-plan")
         return 0
     if args.method == "pooch":
         config = PoochConfig(step1_sim_budget=args.budget,
@@ -204,6 +246,7 @@ def _cmd_run(args) -> int:
     print(f"{args.method} on {machine.name}: {timeline.makespan * 1e3:.2f} ms "
           f"per iteration = {images_per_second(timeline, args.batch):.1f} img/s "
           f"(peak {timeline.device_peak / GiB:.2f} GiB)")
+    _write_trace(args, timeline, f"{args.model} {args.method}")
     return 0
 
 
@@ -272,17 +315,19 @@ def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="PoocH reproduction command line"
     )
+    obs = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("models", help="list available models").set_defaults(
-        fn=_cmd_models
-    )
+    sub.add_parser("models", help="list available models",
+                   parents=[obs]).set_defaults(fn=_cmd_models)
 
-    p = sub.add_parser("summary", help="graph statistics + memory estimate")
+    p = sub.add_parser("summary", help="graph statistics + memory estimate",
+                       parents=[obs])
     _add_model_args(p)
     p.set_defaults(fn=_cmd_summary)
 
-    p = sub.add_parser("optimize", help="run PoocH and print the plan")
+    p = sub.add_parser("optimize", help="run PoocH and print the plan",
+                       parents=[obs])
     _add_model_args(p)
     p.add_argument("--budget", type=_positive_int, default=600,
                    help="step-1 simulation budget (positive integer)")
@@ -306,9 +351,13 @@ def make_parser() -> argparse.ArgumentParser:
                    help="print the per-map classification")
     p.add_argument("--save", metavar="PLAN.json",
                    help="write the chosen plan to a JSON file")
+    p.add_argument("--trace", metavar="TRACE.json",
+                   help="write a chrome://tracing / Perfetto trace of the "
+                        "search phases plus the ground-truth timeline")
     p.set_defaults(fn=_cmd_optimize)
 
-    p = sub.add_parser("run", help="simulate one iteration of a method")
+    p = sub.add_parser("run", help="simulate one iteration of a method",
+                       parents=[obs])
     _add_model_args(p)
     p.add_argument("--method", default="pooch",
                    choices=["pooch", "swap-opt", *sorted(_SIMPLE_PLANNERS)])
@@ -323,12 +372,16 @@ def make_parser() -> argparse.ArgumentParser:
                    help="disable search-tree pruning for --method pooch")
     p.add_argument("--no-incremental", action="store_true",
                    help="disable incremental simulation for --method pooch")
+    p.add_argument("--trace", metavar="TRACE.json",
+                   help="write a chrome://tracing / Perfetto trace of the "
+                        "pipeline phases plus the executed timeline")
     _add_fault_args(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
         "robustness",
-        help="sweep fault levels and report degradation/retries/fallbacks")
+        help="sweep fault levels and report degradation/retries/fallbacks",
+        parents=[obs])
     _add_model_args(p)
     p.add_argument("--noise-levels", type=float, nargs="+",
                    default=[0.02, 0.05, 0.10], metavar="STDDEV",
@@ -336,11 +389,13 @@ def make_parser() -> argparse.ArgumentParser:
     _add_fault_args(p)
     p.set_defaults(fn=_cmd_robustness)
 
-    p = sub.add_parser("report", help="collate benchmark result tables")
+    p = sub.add_parser("report", help="collate benchmark result tables",
+                       parents=[obs])
     p.add_argument("--results-dir", default="benchmarks/results")
     p.set_defaults(fn=_cmd_report)
 
-    p = sub.add_parser("timeline", help="render an execution timeline")
+    p = sub.add_parser("timeline", help="render an execution timeline",
+                       parents=[obs])
     _add_model_args(p)
     p.add_argument("--plan", choices=["keep", "swap", "recompute"],
                    default="swap")
@@ -355,6 +410,18 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+    if getattr(args, "log_level", None) or getattr(args, "log_json", False):
+        configure_logging(level=args.log_level or "info",
+                          json_output=bool(getattr(args, "log_json", False)))
+    registry = previous = None
+    if getattr(args, "metrics", None) or getattr(args, "trace", None):
+        registry = MetricsRegistry()
+        # seed the resilience counters so the section reads as an explicit
+        # all-clear (zeros) on clean runs, not as missing data
+        for name in ("resilience.transfer_retries", "resilience.fallbacks",
+                     "resilience.replans", "resilience.spurious_ooms"):
+            registry.count(name, 0)
+        previous = metrics.set_active(registry)
     try:
         return args.fn(args)
     except OutOfMemoryError as e:
@@ -363,6 +430,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
+    finally:
+        if registry is not None:
+            metrics.set_active(previous)
+            if getattr(args, "metrics", None):
+                meta = {
+                    "command": args.command,
+                    "model": getattr(args, "model", None),
+                    "machine": getattr(args, "machine", None),
+                    "argv": list(argv) if argv is not None else sys.argv[1:],
+                }
+                pathlib.Path(args.metrics).write_text(
+                    json.dumps(registry.snapshot(meta=meta), indent=2))
+                print(f"run metrics written to {args.metrics}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -56,6 +56,56 @@ class OutOfMemoryError(ReproError):
         self.context = context
 
 
+def nearest_keys(key, known, limit: int = 5) -> tuple:
+    """The ``limit`` known keys closest to a missed lookup key — numeric
+    distance for numbers, fuzzy string matching otherwise.  Diagnostic
+    messages attach these so a profile/schedule mismatch names what *was*
+    available instead of just what was not."""
+    known = list(known)
+    if not known:
+        return ()
+    if isinstance(key, (int, float)) and not isinstance(key, bool) and all(
+        isinstance(k, (int, float)) and not isinstance(k, bool) for k in known
+    ):
+        return tuple(sorted(known, key=lambda k: (abs(k - key), k))[:limit])
+    import difflib
+
+    by_text = {str(k): k for k in known}
+    matches = difflib.get_close_matches(str(key), list(by_text), n=limit, cutoff=0.0)
+    return tuple(by_text[m] for m in matches)
+
+
+class MissingKeyError(ReproError, KeyError):
+    """A lookup into a named table missed.
+
+    Subclasses ``KeyError`` so existing ``except KeyError`` callers keep
+    working, but carries the context a bare ``KeyError(key)`` loses:
+
+    Attributes:
+        key: the key that missed.
+        table: name of the table/run that was probed.
+        nearest: closest known keys (see :func:`nearest_keys`).
+    """
+
+    def __init__(self, message: str, *, key=None, table: str = "",
+                 nearest: tuple = ()) -> None:
+        super().__init__(message)
+        self.key = key
+        self.table = table
+        self.nearest = tuple(nearest)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument, which would wrap the whole
+        # diagnostic message in quotes; show it verbatim instead
+        return str(self.args[0]) if self.args else ""
+
+
+class ProfileLookupError(MissingKeyError, ScheduleError):
+    """A duration lookup against a recorded profile missed — the schedule
+    references a layer/map the profiling phase never measured.  Subclasses
+    :class:`ScheduleError` (its historical type) and :class:`KeyError`."""
+
+
 class NumericError(ReproError):
     """The numeric validation backend detected incorrect data movement
     (use-after-free, missing tensor, gradient mismatch)."""

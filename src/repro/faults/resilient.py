@@ -33,9 +33,12 @@ from repro.faults.injector import FaultInjector, FaultyDurations, FaultyMemoryPo
 from repro.graph import NNGraph
 from repro.gpusim import Engine, RunResult, Schedule, StreamName
 from repro.hw import CostModel, MachineSpec
+from repro.obs import get_logger, metrics
 from repro.runtime.durations import CostModelDurations, DurationProvider
 from repro.runtime.plan import Classification
 from repro.runtime.schedule import ScheduleOptions, build_schedule
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -224,6 +227,11 @@ def execute_resilient(
                     device_pool=device_pool,
                     host_pool=host_pool,
                 ).run()
+                metrics.count("resilience.executions")
+                metrics.count("resilience.plan_attempts", epoch)
+                if total_retries:
+                    metrics.count("resilience.transfer_retries",
+                                  total_retries)
                 return RobustResult(
                     result=result,
                     plan_used=name,
@@ -234,6 +242,9 @@ def execute_resilient(
                 )
             except SpuriousOOMError as e:
                 # transient: retry the same plan, fresh draws under a new epoch
+                metrics.count("resilience.spurious_ooms")
+                log.debug("spurious allocation failure under plan %s "
+                          "(attempt %d): %s", name, epoch, e)
                 plan_failed = e
                 continue
             except TransferFaultError as e:
@@ -244,10 +255,15 @@ def execute_resilient(
                 break  # the plan genuinely does not fit; degrade
         last_error = plan_failed
         if chain_pos + 1 < len(chain):
+            metrics.count("resilience.fallbacks")
+            log.warning("plan %s failed (%s); degrading to %s",
+                        name, plan_failed, chain[chain_pos + 1][0])
             fallbacks.append(FallbackStep(
                 from_plan=name,
                 to_plan=chain[chain_pos + 1][0],
                 reason=str(plan_failed),
             ))
     assert last_error is not None
+    metrics.count("resilience.chain_exhausted")
+    log.error("fallback chain exhausted; last error: %s", last_error)
     raise last_error

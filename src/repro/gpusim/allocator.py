@@ -140,6 +140,16 @@ class MemoryPool:
         """(time, bytes-in-use) steps derived from the trace."""
         return [(ev.time, ev.in_use_after) for ev in self.trace]
 
+    def stats(self) -> dict[str, float]:
+        """Numeric state summary for telemetry (all values are gauges:
+        capacity, current/peak occupancy, trace length)."""
+        return {
+            "capacity_bytes": self.capacity,
+            "in_use_bytes": self.in_use,
+            "peak_bytes": self.peak,
+            "trace_events": len(self.trace),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MemoryPool({self.name}: {format_bytes(self.in_use)} / "
@@ -179,6 +189,13 @@ class BlockMemoryPool(MemoryPool):
     def can_fit(self, nbytes: int) -> bool:
         size = round_size(nbytes)
         return any(s >= size for _, s in self._free_blocks)
+
+    def stats(self) -> dict[str, float]:
+        """Counting-pool stats plus the fragmentation the block model adds."""
+        base = super().stats()
+        base["largest_free_block_bytes"] = self.largest_free_block()
+        base["fragmentation"] = self.fragmentation()
+        return base
 
     def can_fit_all(self, sizes: list[int]) -> bool:
         """Whether all requests could be placed simultaneously (best-fit,

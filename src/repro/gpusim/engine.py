@@ -40,9 +40,18 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.common.errors import OutOfMemoryError, ScheduleError, SimulationError
+from repro.common.errors import (
+    MissingKeyError,
+    OutOfMemoryError,
+    ScheduleError,
+    SimulationError,
+    nearest_keys,
+)
 from repro.common.units import format_bytes
 from repro.gpusim.allocator import BlockMemoryPool, MemoryPool, round_size
+from repro.obs import get_logger, metrics
+
+log = get_logger(__name__)
 
 
 class TaskKind(enum.Enum):
@@ -176,15 +185,32 @@ class RunResult:
     host_peak: int
     device_trace: list  # list[AllocEvent]
     meta: dict = field(default_factory=dict)
+    #: lazy tid → record index; ``record_of`` is called from overlap
+    #: analysis and r(X) scoring loops, where a per-call linear scan over
+    #: the records turned every lookup into O(tasks)
+    _tid_index: dict[str, TaskRecord] | None = field(
+        default=None, repr=False, compare=False)
 
     def records_by_kind(self, kind: TaskKind) -> list[TaskRecord]:
         return [r for r in self.records if r.kind is kind]
 
     def record_of(self, tid: str) -> TaskRecord:
-        for r in self.records:
-            if r.tid == tid:
-                return r
-        raise KeyError(tid)
+        index = self._tid_index
+        if index is None:
+            index = self._tid_index = {r.tid: r for r in self.records}
+        try:
+            return index[tid]
+        except KeyError:
+            near = nearest_keys(tid, index)
+            raise MissingKeyError(
+                f"run has no record of task {tid!r} "
+                f"({len(self.records)} records"
+                + (f"; nearest task ids: {list(near)}" if near else "")
+                + ")",
+                key=tid,
+                table="RunResult.records",
+                nearest=near,
+            ) from None
 
     def busy_intervals(self, stream: StreamName) -> list[tuple[float, float]]:
         """Merged [start, end) busy intervals of one stream."""
@@ -428,6 +454,12 @@ class Engine:
         if memory_blocked:
             t = memory_blocked[0]
             need = self._device_need(t)
+            metrics.count("engine.stalls_memory")
+            log.warning(
+                "memory deadlock at t=%.6f: task %r needs %s, free %s",
+                self._now, t.tid, format_bytes(need),
+                format_bytes(self.device.free_bytes),
+            )
             raise OutOfMemoryError(
                 f"memory deadlock at t={self._now:.6f}: task {t.tid!r} needs "
                 f"{format_bytes(need)} (+{format_bytes(t.headroom)} headroom), "
@@ -439,6 +471,9 @@ class Engine:
                 context=t.tid,
             )
         heads = [t.tid for t in dep_blocked]
+        metrics.count("engine.stalls_dependency")
+        log.warning("dependency deadlock at t=%.6f: stream heads %s",
+                    self._now, heads)
         raise ScheduleError(
             f"dependency deadlock at t={self._now:.6f}: stream heads {heads} "
             "can never issue (cyclic or unsatisfiable deps)"
@@ -470,6 +505,19 @@ class Engine:
         if len(self._completed) != len(self.schedule.tasks):
             self._diagnose_stall()
         self._records.sort(key=lambda r: (r.start, r.tid))
+        registry = metrics.active()
+        if registry is not None:
+            registry.count("engine.runs")
+            registry.count("engine.tasks", len(self._records))
+            by_kind: dict[str, int] = {}
+            for rec in self._records:
+                by_kind[rec.kind.value] = by_kind.get(rec.kind.value, 0) + 1
+            for kind, n in by_kind.items():
+                registry.count(f"engine.tasks_{kind}", n)
+            registry.gauge("engine.makespan", self._now)
+            for pool, side in ((self.device, "device"), (self.host, "host")):
+                for name, value in pool.stats().items():
+                    registry.gauge_max(f"allocator.{side}_{name}", value)
         return RunResult(
             makespan=self._now,
             records=self._records,

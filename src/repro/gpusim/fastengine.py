@@ -30,6 +30,7 @@ from repro.common.errors import OutOfMemoryError, ScheduleError
 from repro.common.units import format_bytes
 from repro.gpusim.allocator import MemoryPool, round_size
 from repro.gpusim.engine import StreamName
+from repro.obs import metrics
 
 #: same deterministic scan priority as the full engine
 _STREAM_ORDER = (StreamName.COMPUTE, StreamName.D2H, StreamName.H2D)
@@ -507,6 +508,11 @@ class FastEngine:
         checkpoint taken on a prefix-identical schedule instead of starting
         at t=0 — results are then exactly those of a from-scratch run.
         """
+        registry = metrics.active()
+        if registry is not None:
+            registry.count("engine.fast_runs")
+            if resume_from is not None:
+                registry.count("engine.fast_resumed")
         if resume_from is None:
             for b in self._prealloc_buffers:
                 pool = self.host if b.host else self.device

@@ -1,0 +1,93 @@
+"""Structured, levelled logging for the ``repro`` namespace.
+
+Design constraints (see the package docstring):
+
+* **silent by default** — importing the library must never print.  The
+  ``repro`` root logger gets a :class:`logging.NullHandler` and
+  ``propagate=False`` at import time, so even Python's last-resort stderr
+  handler stays quiet until :func:`configure_logging` opts in.
+* **off the hot path** — instrumentation sites log at module level through
+  plain ``logging`` calls; when logging is unconfigured those calls bottom
+  out in the usual level check.  Sites inside tight loops guard with
+  ``log.isEnabledFor``.
+* **machine-readable** — ``json_output=True`` swaps the formatter for
+  :class:`JsonFormatter`, one JSON object per line, for log shippers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+#: every library logger hangs under this name
+ROOT = "repro"
+
+#: accepted ``--log-level`` spellings
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message, plus
+    any dict passed as ``extra={"data": {...}}`` and exception text."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        data = getattr(record, "data", None)
+        if data:
+            payload["data"] = data
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("pooch")`` and
+    ``get_logger("repro.pooch")`` are the same logger)."""
+    if name != ROOT and not name.startswith(ROOT + "."):
+        name = f"{ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: str = "info",
+    json_output: bool = False,
+    stream: IO | None = None,
+) -> logging.Logger:
+    """Enable library logging: install one stream handler on the ``repro``
+    root logger, replacing any handler a previous call installed.
+
+    Args:
+        level: one of :data:`LEVELS` (case-insensitive).
+        json_output: emit :class:`JsonFormatter` lines instead of text.
+        stream: destination, default ``sys.stderr``.
+    """
+    if level.lower() not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LEVELS}")
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        JsonFormatter() if json_output else logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+        )
+    )
+    root.addHandler(handler)
+    root.setLevel(level.upper())
+    root.propagate = False
+    return root
+
+
+# silent-by-default: a NullHandler swallows records and propagate=False keeps
+# them away from the root logger's last-resort stderr handler
+_root = logging.getLogger(ROOT)
+if not _root.handlers:
+    _root.addHandler(logging.NullHandler())
+    _root.propagate = False

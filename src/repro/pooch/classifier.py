@@ -39,10 +39,13 @@ from repro.graph import NNGraph
 from repro.gpusim.allocator import round_size
 from repro.gpusim.engine import StreamName
 from repro.hw import MachineSpec
+from repro.obs import get_logger, metrics
 from repro.pooch.overlap import OverlapAnalysis, analyze_overlap
 from repro.pooch.predictor import PredictedOutcome, TimelinePredictor
 from repro.runtime.plan import Classification, MapClass, SwapInPolicy
 from repro.runtime.profiler import Profile
+
+log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -426,11 +429,15 @@ class PoochClassifier:
         full_at_start = self.predictor.full_simulations
         resumed_at_start = self.predictor.resumed_simulations
         try:
-            step1 = self._step1_keep_vs_swap(executor)
+            with metrics.span("search.step1", category="search",
+                              graph=self.graph.name):
+                step1 = self._step1_keep_vs_swap(executor)
             if steps == 1:
                 self.stats.time_after_step2 = self.stats.time_after_step1
                 return step1, self.stats
-            step2 = self._step2_swap_vs_recompute(step1, executor)
+            with metrics.span("search.step2", category="search",
+                              graph=self.graph.name):
+                step2 = self._step2_swap_vs_recompute(step1, executor)
             return step2, self.stats
         finally:
             self.stats.wall_time_s = time.perf_counter() - start
@@ -442,6 +449,42 @@ class PoochClassifier:
             )
             if executor is not None:
                 executor.shutdown(wait=False, cancel_futures=True)
+            self._publish_stats()
+
+    def _publish_stats(self) -> None:
+        """Mirror :class:`SearchStats` into the active metrics registry.
+
+        Called once per search, after the fact — the search loops
+        themselves never touch telemetry, so the chosen plan cannot depend
+        on whether a registry is installed."""
+        registry = metrics.active()
+        s = self.stats
+        log.info(
+            "search on %r: step1 %d sims (%d/%d leaves, %d subtrees pruned), "
+            "step2 %d sims, %d recompute flips, %.2f s wall",
+            self.graph.name, s.sims_step1, s.leaves_evaluated,
+            s.leaves_total, s.subtrees_pruned, s.sims_step2,
+            len(s.flips_to_recompute), s.wall_time_s,
+        )
+        if registry is None:
+            return
+        registry.count("search.searches")
+        registry.count("search.sims_step1", s.sims_step1)
+        registry.count("search.sims_step2", s.sims_step2)
+        registry.count("search.sims_full", s.sims_full)
+        registry.count("search.sims_resumed", s.sims_resumed)
+        registry.count("search.leaves_total", s.leaves_total)
+        registry.count("search.leaves_evaluated", s.leaves_evaluated)
+        registry.count("search.subtrees_pruned", s.subtrees_pruned)
+        registry.count("search.leaves_pruned", s.leaves_pruned)
+        registry.count("search.budget_exhausted", int(s.budget_exhausted))
+        registry.count("search.flips_to_recompute", len(s.flips_to_recompute))
+        registry.count("search.predictor_cache_hits",
+                       self.predictor.cache_hits)
+        registry.gauge("search.wall_s", s.wall_time_s)
+        registry.gauge("search.time_all_swap", s.time_all_swap)
+        registry.gauge("search.time_after_step1", s.time_after_step1)
+        registry.gauge("search.time_after_step2", s.time_after_step2)
 
     def _make_executor(self) -> ProcessPoolExecutor | None:
         if self.config.workers <= 1:

@@ -35,6 +35,7 @@ from repro.faults.resilient import execute_resilient
 from repro.graph import NNGraph
 from repro.gpusim import RunResult
 from repro.hw import CostModel, MachineSpec
+from repro.obs import get_logger, metrics
 from repro.pooch.classifier import PoochClassifier, PoochConfig
 from repro.pooch.predictor import TimelinePredictor
 from repro.runtime.durations import CostModelDurations
@@ -43,6 +44,8 @@ from repro.runtime.plan import Classification
 from repro.runtime.plan_io import PlanCache
 from repro.runtime.profiler import Profile, run_profiling
 from repro.runtime.schedule import ScheduleOptions
+
+log = get_logger(__name__)
 
 #: a problem size is any hashable key with a total order (batch int,
 #: (T, H, W) tuple, ...)
@@ -289,6 +292,8 @@ class DynamicPoocH:
         # drifted (cache keys ignore the profile)
         self._plans[size] = self._optimize(size, use_plan_cache=False)
         self.stats.replans += 1
+        metrics.count("resilience.replans")
+        log.info("re-planned size %r after drift beyond tolerance", size)
 
     def run_iteration(self, size: Size) -> RunResult:
         """Execute one iteration of the given size under its plan.

@@ -9,12 +9,15 @@ from repro.faults import FaultInjector, FaultSpec, RetryPolicy, RobustResult
 from repro.graph import NNGraph
 from repro.gpusim import RunResult
 from repro.hw import CostModel, MachineSpec
+from repro.obs import get_logger, metrics
 from repro.pooch.classifier import PoochClassifier, PoochConfig, SearchStats
 from repro.pooch.predictor import PredictedOutcome, TimelinePredictor
 from repro.runtime.executor import execute
 from repro.runtime.plan import Classification
 from repro.runtime.plan_io import PlanCache
 from repro.runtime.profiler import Profile, run_profiling
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -188,6 +191,11 @@ class PoocH:
 
     def optimize(self, graph: NNGraph, profile: Profile | None = None) -> PoochResult:
         """Run profiling (unless a profile is supplied) and classification."""
+        with metrics.span("optimize", category="search", graph=graph.name,
+                          machine=self.machine.name):
+            return self._optimize(graph, profile)
+
+    def _optimize(self, graph: NNGraph, profile: Profile | None) -> PoochResult:
         if profile is None:
             profile = run_profiling(
                 graph,
@@ -228,6 +236,10 @@ class PoocH:
                 # is still feasible under the *current* profile
                 outcome = predictor.predict(classification)
                 if outcome.feasible:
+                    metrics.count("search.plan_cache_hits")
+                    log.info("plan cache hit for %r on %s (re-verified: "
+                             "%.3f ms predicted)", graph.name,
+                             self.machine.name, outcome.time * 1e3)
                     stats = SearchStats(plan_cache_hit=True)
                     stats.time_after_step2 = outcome.time
                     return PoochResult(
@@ -240,11 +252,19 @@ class PoocH:
                         config=self.config,
                         faults=self.faults,
                     )
+                metrics.count("search.plan_cache_rejections")
         classifier = PoochClassifier(
             graph, profile, self.machine, self.config, predictor
         )
         classification, stats = classifier.classify()
         predicted = predictor.predict(classification)
+        log.info(
+            "chosen plan for %r on %s: %s, predicted %.3f ms",
+            graph.name, self.machine.name,
+            " ".join(f"{k.value}={v}"
+                     for k, v in classification.counts().items()),
+            predicted.time * 1e3,
+        )
         if cache is not None:
             cache.store_plan(
                 graph, self.machine, self.config.signature(), classification,

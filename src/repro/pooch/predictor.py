@@ -153,6 +153,9 @@ class TimelinePredictor:
         #: time zero vs. resumed from a shared-prefix checkpoint
         self.full_simulations = 0
         self.resumed_simulations = 0
+        #: memo-cache hits inside :meth:`predict` — with the search's
+        #: revisit-heavy candidate streams this dwarfs ``simulations``
+        self.cache_hits = 0
         #: references are a frozenset + two int lists each, and matching is
         #: O(flipped maps), so a deeper window costs almost nothing
         self._refs: deque[_Reference] = deque(maxlen=16)
@@ -166,6 +169,7 @@ class TimelinePredictor:
         key = classification.key()
         hit = self._cache.get(key)
         if hit is not None:
+            self.cache_hits += 1
             return hit
         self.simulations += 1
         outcome = self._simulate(classification)

@@ -13,13 +13,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import ScheduleError
+from repro.common.errors import ProfileLookupError, ScheduleError, nearest_keys
 from repro.graph import NNGraph
 from repro.gpusim import Engine, RunResult, TaskKind
 from repro.hw import CostModel, MachineSpec
+from repro.obs import get_logger, metrics
 from repro.runtime.durations import CostModelDurations, DurationProvider
 from repro.runtime.plan import Classification, SwapInPolicy
 from repro.runtime.schedule import ScheduleOptions, build_schedule
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -65,9 +68,16 @@ class ProfileDurations:
         try:
             return table[layer]
         except KeyError:
-            raise ScheduleError(
-                f"profile of {self.profile.graph_name!r} has no {what} time "
-                f"for layer {layer} (was it classifiable during profiling?)"
+            near = nearest_keys(layer, table)
+            raise ProfileLookupError(
+                f"profile of {self.profile.graph_name!r} "
+                f"(machine {self.profile.machine_name!r}) has no {what} time "
+                f"for layer {layer} (was it classifiable during profiling?); "
+                f"table {what!r} holds {len(table)} layers"
+                + (f", nearest: {list(near)}" if near else ""),
+                key=layer,
+                table=what,
+                nearest=near,
             ) from None
 
     def fwd(self, layer: int) -> float:
@@ -120,21 +130,26 @@ def run_profiling(
 
     sums: dict[tuple[TaskKind, int], float] = {}
     counts: dict[tuple[TaskKind, int], int] = {}
-    for _ in range(iterations):
-        schedule = build_schedule(graph, all_swap, durations, options)
-        result = Engine(
-            schedule,
-            device_capacity=machine.usable_gpu_memory,
-            host_capacity=machine.cpu_mem_capacity,
-        ).run()
-        for rec in result.records:
-            key = (rec.kind, rec.layer)
-            # read the task's exact duration rather than the record span:
-            # (start + d) - start can differ from d by one ulp, and at a
-            # knife-edge schedule that is enough to flip task interleavings
-            # between the predictor's replay and the ground truth
-            sums[key] = sums.get(key, 0.0) + schedule.tasks[rec.tid].duration
-            counts[key] = counts.get(key, 0) + 1
+    with metrics.span("profile", category="profile", graph=graph.name,
+                      machine=machine.name, iterations=iterations):
+        metrics.count("profile.iterations", iterations)
+        for _ in range(iterations):
+            schedule = build_schedule(graph, all_swap, durations, options)
+            result = Engine(
+                schedule,
+                device_capacity=machine.usable_gpu_memory,
+                host_capacity=machine.cpu_mem_capacity,
+            ).run()
+            for rec in result.records:
+                key = (rec.kind, rec.layer)
+                # read the task's exact duration rather than the record
+                # span: (start + d) - start can differ from d by one ulp,
+                # and at a knife-edge schedule that is enough to flip task
+                # interleavings between the predictor's replay and the
+                # ground truth
+                sums[key] = (sums.get(key, 0.0)
+                             + schedule.tasks[rec.tid].duration)
+                counts[key] = counts.get(key, 0) + 1
 
     # average per occurrence, not per iteration: with forward re-fetch a map
     # can have several swap-in records in one iteration
@@ -158,10 +173,18 @@ def run_profiling(
     )
     # deterministic replay of the all-swap plan from the averaged profile —
     # the canonical baseline timeline for the classifier's overlap analysis
-    baseline_schedule = build_schedule(graph, all_swap, profile.durations(), options)
-    profile.baseline = Engine(
-        baseline_schedule,
-        device_capacity=machine.usable_gpu_memory,
-        host_capacity=machine.cpu_mem_capacity,
-    ).run()
+    with metrics.span("profile.baseline", category="profile"):
+        baseline_schedule = build_schedule(graph, all_swap,
+                                           profile.durations(), options)
+        profile.baseline = Engine(
+            baseline_schedule,
+            device_capacity=machine.usable_gpu_memory,
+            host_capacity=machine.cpu_mem_capacity,
+        ).run()
+    log.debug(
+        "profiled %r on %s: %d iterations, %d layers, update %.3g s, "
+        "baseline makespan %.6f s",
+        graph.name, machine.name, iterations, len(fwd), update_time,
+        profile.baseline.makespan,
+    )
     return profile

@@ -143,3 +143,30 @@ class TestCalibrationIntegration:
         ips = images_per_second(gt, 256)
         # out-of-core throughput bounded by the calibrated in-core anchor
         assert 0.4 * 316 < ips <= 316 * 1.35
+
+
+class TestMissingKeyDiagnostics:
+    def test_nearest_keys_numeric_distance(self):
+        from repro.common.errors import nearest_keys
+
+        near = nearest_keys(7, {1: "a", 6: "b", 8: "c", 100: "d"}, limit=2)
+        assert set(near) == {6, 8}
+
+    def test_nearest_keys_string_similarity(self):
+        from repro.common.errors import nearest_keys
+
+        near = nearest_keys("fwd_3", ["fwd_1", "bwd_9", "update"])
+        assert "fwd_1" in near
+
+    def test_nearest_keys_empty_table(self):
+        from repro.common.errors import nearest_keys
+
+        assert nearest_keys(5, {}) == ()
+
+    def test_missing_key_error_message_not_requoted(self):
+        from repro.common.errors import MissingKeyError
+
+        err = MissingKeyError("table has no key 3", key=3, table="t",
+                              nearest=(2, 4))
+        assert str(err) == "table has no key 3"
+        assert isinstance(err, KeyError)

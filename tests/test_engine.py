@@ -273,6 +273,27 @@ class TestRunResult:
         with pytest.raises(KeyError):
             r.record_of("nope")
 
+    def test_record_of_matches_linear_scan(self):
+        tids = [f"t{i}" for i in range(40)]
+        r = Engine(make_schedule([task(t, dur=0.5) for t in tids]),
+                   1024).run()
+        # the lazy index must agree with a full scan for every tid
+        for tid in tids:
+            expected = next(rec for rec in r.records if rec.tid == tid)
+            assert r.record_of(tid) is expected
+
+    def test_record_of_miss_is_diagnosable(self):
+        from repro.common.errors import MissingKeyError
+
+        r = Engine(make_schedule([task("fwd_1"), task("fwd_2")]), 1024).run()
+        with pytest.raises(MissingKeyError) as exc:
+            r.record_of("fwd_3")
+        err = exc.value
+        assert err.key == "fwd_3"
+        assert err.table == "RunResult.records"
+        assert "fwd_1" in err.nearest or "fwd_2" in err.nearest
+        assert "fwd_3" in str(err)  # message, not KeyError's repr-quoting
+
     def test_payload_executes(self):
         hits = []
         t = task("a")

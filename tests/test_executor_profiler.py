@@ -120,6 +120,21 @@ class TestProfiler:
         with pytest.raises(ScheduleError, match="no forward"):
             dur.fwd(9999)
 
+    def test_profile_lookup_error_carries_diagnostics(self, poster, x86):
+        from repro.common.errors import ProfileLookupError
+
+        dur = run_profiling(poster, x86).durations()
+        with pytest.raises(ProfileLookupError) as exc:
+            dur.swap_in(9999)
+        err = exc.value
+        assert err.key == 9999
+        assert err.table == "swap-in"
+        assert err.nearest  # names the closest profiled map ids
+        assert all(isinstance(k, int) for k in err.nearest)
+        # still catchable as the legacy types
+        assert isinstance(err, ScheduleError)
+        assert isinstance(err, KeyError)
+
     def test_update_time_profiled(self, poster, x86):
         prof = run_profiling(poster, x86)
         assert prof.update_time > 0
