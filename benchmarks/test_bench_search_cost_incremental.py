@@ -1,22 +1,28 @@
 """Search-cost extension, round 2: pruning + incremental prefix sharing.
 
 The previous round (``test_bench_search_cost_parallel``) made each candidate
-simulation cheap; this one makes most of them *shared*.  Two knobs:
+simulation cheap; this one makes most of them *shared*.  Three knobs:
 
 * ``PoochConfig.incremental`` — candidate drafts are produced by patching
   the all-swap base schedule (cost proportional to the flipped maps, not
   schedule length) and their replays resume from checkpoints of sibling
   candidates wherever the schedules provably agree;
 * ``PoochConfig.prune`` — step-1 subtrees whose admissible lower bound
-  cannot beat the incumbent are skipped without simulating.
+  cannot beat the incumbent are skipped without simulating;
+* ``PoochConfig.incremental_step2`` — step-2 r(X) probes are recompute-delta
+  drafts resumed from sibling checkpoints, r-values survive across rounds
+  unless the accepted flip's perturbation window overlaps theirs, and keep
+  probes whose draft liveness floor already exceeds capacity are answered
+  "infeasible" without simulating at all.
 
-Both are exactly plan-preserving, which this benchmark re-asserts end-to-end
+All are exactly plan-preserving, which this benchmark re-asserts end-to-end
 on the headline ResNet-50 (batch=256, x86) search before asserting the cost
-claims: >=3x fewer full-leaf (from-t=0) simulations and a measurable wall
-reduction versus the exhaustive ``--no-prune --no-incremental`` arm.
+claims: >=3x fewer full-leaf (from-t=0) simulations in step 1 AND in step 2,
+plus a measurable wall reduction versus the fully exhaustive arm.
 
 Machine-readable numbers go to ``benchmarks/results/BENCH_search.json``
-(uploaded by the CI bench job's artifact step).
+(uploaded by the CI bench job's artifact step; the bench job prints the
+step-1 vs step-2 breakdown in the run log).
 """
 
 import json
@@ -38,7 +44,9 @@ def test_bench_search_cost_incremental(benchmark, report, results_dir):
     def run():
         t0 = time.perf_counter()
         off = PoocH(
-            X86_V100, replace(_CONFIG, prune=False, incremental=False)
+            X86_V100,
+            replace(_CONFIG, prune=False, incremental=False,
+                    incremental_step2=False),
         ).optimize(resnet50(256))
         t_off = time.perf_counter() - t0
         t0 = time.perf_counter()
@@ -48,38 +56,59 @@ def test_bench_search_cost_incremental(benchmark, report, results_dir):
 
     off, t_off, opt, t_opt = run_once(benchmark, run)
 
-    # exact equivalence first: same plan, prediction, and simulation budget
+    # exact equivalence first: same plan, prediction, and the same search
+    # trajectory (flip sequence, rounds, first-round r-values)
     assert opt.classification.key() == off.classification.key()
     assert opt.predicted.time == off.predicted.time
     assert opt.predicted.peak_memory == off.predicted.peak_memory
-    assert (opt.stats.sims_step1 + opt.stats.sims_step2
-            == off.stats.sims_step1 + off.stats.sims_step2
-            + opt.stats.leaves_pruned)  # pruned leaves are never simulated
+    assert opt.stats.flips_to_recompute == off.stats.flips_to_recompute
+    assert opt.stats.step2_rounds == off.stats.step2_rounds
+    assert opt.stats.r_values == off.stats.r_values
+    # step 1: pruned leaves are never simulated, nothing else changes
+    assert (opt.stats.sims_step1 + opt.stats.leaves_pruned
+            == off.stats.sims_step1)
+    # step 2: the exhaustive arm recomputes every r(X) every round and
+    # simulates every probe; the incremental arm answers exactly that work
+    # from fresh probes + reuse + liveness-floor elision
+    assert off.stats.r_reused == 0
+    assert off.stats.keep_probes_elided == 0
+    assert (opt.stats.r_recomputed + opt.stats.r_reused
+            == off.stats.r_recomputed)
 
     sims_off = off.stats.sims_full + off.stats.sims_resumed
     sims_opt = opt.stats.sims_full + opt.stats.sims_resumed
     full_ratio = off.stats.sims_full / max(opt.stats.sims_full, 1)
+    step2_ratio = (off.stats.sims_step2_full
+                   / max(opt.stats.sims_step2_full, 1))
+
+    def arm(result, wall):
+        s = result.stats
+        return {
+            "wall_s": round(wall, 3),
+            "simulations": s.sims_full + s.sims_resumed,
+            "full": s.sims_full,
+            "resumed": s.sims_resumed,
+            "subtrees_pruned": s.subtrees_pruned,
+            "step2": {
+                "sims": s.sims_step2,
+                "full": s.sims_step2_full,
+                "resumed": s.sims_step2_resumed,
+                "rounds": s.step2_rounds,
+                "r_recomputed": s.r_recomputed,
+                "r_reused": s.r_reused,
+                "keep_elided": s.keep_probes_elided,
+            },
+        }
 
     payload = {
         "model": "resnet50",
         "batch": 256,
         "machine": X86_V100.name,
-        "exhaustive": {
-            "wall_s": round(t_off, 3),
-            "simulations": sims_off,
-            "full": off.stats.sims_full,
-            "resumed": off.stats.sims_resumed,
-            "subtrees_pruned": off.stats.subtrees_pruned,
-        },
-        "optimized": {
-            "wall_s": round(t_opt, 3),
-            "simulations": sims_opt,
-            "full": opt.stats.sims_full,
-            "resumed": opt.stats.sims_resumed,
-            "subtrees_pruned": opt.stats.subtrees_pruned,
-            "leaves_pruned": opt.stats.leaves_pruned,
-        },
+        "exhaustive": arm(off, t_off),
+        "optimized": {**arm(opt, t_opt),
+                      "leaves_pruned": opt.stats.leaves_pruned},
         "full_simulation_ratio": round(full_ratio, 2),
+        "step2_full_simulation_ratio": round(step2_ratio, 2),
         "wall_speedup": round(t_off / t_opt, 2),
         "plan_identical": True,
     }
@@ -90,16 +119,26 @@ def test_bench_search_cost_incremental(benchmark, report, results_dir):
         "extension_search_cost_incremental",
         "PoocH search cost with pruning + incremental replay, "
         "ResNet-50 (batch=256, x86):\n"
-        f"  exhaustive (--no-prune --no-incremental): {t_off:.1f} s wall, "
-        f"{off.stats.sims_full} full-leaf simulations\n"
+        f"  exhaustive (all knobs off): {t_off:.1f} s wall, "
+        f"{off.stats.sims_full} full-leaf simulations "
+        f"({off.stats.sims_step2_full} in step 2)\n"
         f"  pruned + incremental: {t_opt:.1f} s wall, "
         f"{opt.stats.sims_full} full + {opt.stats.sims_resumed} resumed "
         f"simulations, {opt.stats.subtrees_pruned} subtrees pruned\n"
-        f"  full-simulation reduction: {full_ratio:.1f}x, wall "
+        f"  step 2: {opt.stats.step2_rounds} rounds, "
+        f"{opt.stats.sims_step2_full} full + "
+        f"{opt.stats.sims_step2_resumed} resumed sims, "
+        f"{opt.stats.keep_probes_elided} keep probes elided, "
+        f"r-values {opt.stats.r_recomputed} recomputed / "
+        f"{opt.stats.r_reused} reused\n"
+        f"  full-simulation reduction: {full_ratio:.1f}x overall, "
+        f"{step2_ratio:.1f}x in step 2, wall "
         f"{t_off / t_opt:.2f}x, plan bit-identical",
     )
 
-    # headline claims: >=3x fewer from-scratch replays, measurable wall win
+    # headline claims: >=3x fewer from-scratch replays — overall and within
+    # step 2 — plus a measurable wall win
     assert off.stats.sims_full == sims_off  # off arm never resumes
     assert full_ratio >= 3.0
+    assert step2_ratio >= 3.0
     assert t_opt < t_off

@@ -174,7 +174,8 @@ def _cmd_optimize(args) -> int:
     machine = _MACHINES[args.machine]
     config = PoochConfig(step1_sim_budget=args.budget, workers=args.workers,
                          prune=not args.no_prune,
-                         incremental=not args.no_incremental)
+                         incremental=not args.no_incremental,
+                         incremental_step2=not args.no_incremental_step2)
     result = PoocH(machine, config, plan_cache=args.plan_cache).optimize(graph)
     print(result.summary())
     if result.stats.plan_cache_hit:
@@ -224,7 +225,8 @@ def _cmd_run(args) -> int:
         config = PoochConfig(step1_sim_budget=args.budget,
                              workers=args.workers,
                              prune=not args.no_prune,
-                             incremental=not args.no_incremental)
+                             incremental=not args.no_incremental,
+                             incremental_step2=not args.no_incremental_step2)
         result = PoocH(machine, config, plan_cache=args.plan_cache,
                        faults=injector).optimize(graph)
         if injector is None:
@@ -344,9 +346,14 @@ def make_parser() -> argparse.ArgumentParser:
                         "keep-vs-swap tree (exhaustive scan; the chosen plan "
                         "is identical, only search cost changes)")
     p.add_argument("--no-incremental", action="store_true",
-                   help="disable incremental prefix-shared simulation "
-                        "(every candidate replays from t=0; bit-identical "
-                        "plans, higher search wall time)")
+                   help="disable incremental prefix-shared simulation for "
+                        "both search steps (every candidate replays from "
+                        "t=0; bit-identical plans, higher search wall time)")
+    p.add_argument("--no-incremental-step2", action="store_true",
+                   help="disable only the step-2 extension: recompute "
+                        "candidates rebuild and replay in full, and r(X) "
+                        "values are re-evaluated every round instead of "
+                        "reused under dirty-set invalidation")
     p.add_argument("--verbose", action="store_true",
                    help="print the per-map classification")
     p.add_argument("--save", metavar="PLAN.json",
@@ -371,7 +378,12 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-prune", action="store_true",
                    help="disable search-tree pruning for --method pooch")
     p.add_argument("--no-incremental", action="store_true",
-                   help="disable incremental simulation for --method pooch")
+                   help="disable incremental simulation (both search steps) "
+                        "for --method pooch")
+    p.add_argument("--no-incremental-step2", action="store_true",
+                   help="disable only step-2 incremental search (recompute "
+                        "delta drafts, resumable replay, r(X) reuse) for "
+                        "--method pooch")
     p.add_argument("--trace", metavar="TRACE.json",
                    help="write a chrome://tracing / Perfetto trace of the "
                         "pipeline phases plus the executed timeline")

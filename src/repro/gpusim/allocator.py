@@ -15,6 +15,7 @@ keeps ground truth and PoocH's predictor exactly consistent.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 from repro.common.errors import OutOfMemoryError, SimulationError
@@ -173,11 +174,36 @@ class BlockMemoryPool(MemoryPool):
         #: sorted list of free (offset, size) blocks
         self._free_blocks: list[tuple[int, int]] = [(0, self.capacity)]
         self._offsets: dict[str, tuple[int, int]] = {}
+        #: size-bucketed index over the same free blocks: the sorted distinct
+        #: block sizes plus, per size, the sorted offsets of blocks with that
+        #: size.  ``malloc``'s best-fit choice (smallest size >= request,
+        #: lowest offset among ties) becomes two bisects instead of a linear
+        #: scan of the free list; the block picked is identical.
+        self._size_keys: list[int] = [self.capacity]
+        self._buckets: dict[int, list[int]] = {self.capacity: [0]}
+
+    # -- size-bucket index -------------------------------------------------
+
+    def _bucket_add(self, off: int, size: int) -> None:
+        bucket = self._buckets.get(size)
+        if bucket is None:
+            bisect.insort(self._size_keys, size)
+            self._buckets[size] = [off]
+        else:
+            bisect.insort(bucket, off)
+
+    def _bucket_remove(self, off: int, size: int) -> None:
+        bucket = self._buckets[size]
+        if len(bucket) == 1:
+            del self._buckets[size]
+            del self._size_keys[bisect.bisect_left(self._size_keys, size)]
+        else:
+            del bucket[bisect.bisect_left(bucket, off)]
 
     # -- queries -----------------------------------------------------------
 
     def largest_free_block(self) -> int:
-        return max((s for _, s in self._free_blocks), default=0)
+        return self._size_keys[-1] if self._size_keys else 0
 
     def fragmentation(self) -> float:
         """1 - largest_free_block / free_bytes (0 = unfragmented)."""
@@ -188,13 +214,20 @@ class BlockMemoryPool(MemoryPool):
 
     def can_fit(self, nbytes: int) -> bool:
         size = round_size(nbytes)
-        return any(s >= size for _, s in self._free_blocks)
+        return bool(self._size_keys) and self._size_keys[-1] >= size
 
     def stats(self) -> dict[str, float]:
-        """Counting-pool stats plus the fragmentation the block model adds."""
+        """Counting-pool stats plus the fragmentation the block model adds
+        and the shape of the size-bucket index (free blocks, distinct
+        bucket sizes, deepest bucket)."""
         base = super().stats()
         base["largest_free_block_bytes"] = self.largest_free_block()
         base["fragmentation"] = self.fragmentation()
+        base["free_blocks"] = len(self._free_blocks)
+        base["size_buckets"] = len(self._size_keys)
+        base["largest_bucket_blocks"] = max(
+            (len(b) for b in self._buckets.values()), default=0
+        )
         return base
 
     def can_fit_all(self, sizes: list[int]) -> bool:
@@ -220,11 +253,12 @@ class BlockMemoryPool(MemoryPool):
         if buffer in self._sizes:
             raise SimulationError(f"{self.name}: double malloc of {buffer!r}")
         size = round_size(nbytes)
-        best = None
-        for i, (off, s) in enumerate(self._free_blocks):
-            if s >= size and (best is None or s < self._free_blocks[best][1]):
-                best = i
-        if best is None:
+        # best-fit via the bucket index: the first size key >= request is the
+        # smallest qualifying block size, and its bucket's first offset is the
+        # lowest-offset block of that size — exactly what a linear best-fit
+        # scan of the offset-sorted free list would pick.
+        k = bisect.bisect_left(self._size_keys, size)
+        if k == len(self._size_keys):
             total_free = self.free_bytes
             raise OutOfMemoryError(
                 f"{self.name} pool cannot place {buffer!r}: requested "
@@ -238,11 +272,19 @@ class BlockMemoryPool(MemoryPool):
                 capacity=self.capacity,
                 context=context,
             )
-        off, s = self._free_blocks[best]
-        if s == size:
-            del self._free_blocks[best]
-        else:
-            self._free_blocks[best] = (off + size, s - size)
+        s = self._size_keys[k]
+        off = self._buckets[s][0]
+        if size:
+            # zero-size requests reserve an address but no block: putting
+            # 0-byte blocks on the free list would create duplicate-offset
+            # entries that break the sorted invariant free() relies on.
+            self._bucket_remove(off, s)
+            idx = bisect.bisect_left(self._free_blocks, (off, 0))
+            if s == size:
+                del self._free_blocks[idx]
+            else:
+                self._free_blocks[idx] = (off + size, s - size)
+                self._bucket_add(off + size, s - size)
         self._offsets[buffer] = (off, size)
         self._sizes[buffer] = size
         self.in_use += size
@@ -260,21 +302,29 @@ class BlockMemoryPool(MemoryPool):
         self.in_use -= size
         if self._track:
             self.trace.append(AllocEvent(time, "free", buffer, size, self.in_use))
-        # insert and coalesce with neighbours
-        import bisect
-
+        if not size:
+            return  # zero-size buffers hold no block (see malloc)
+        # insert and coalesce with neighbours, keeping the bucket index in step
         idx = bisect.bisect_left(self._free_blocks, (off, 0))
         self._free_blocks.insert(idx, (off, size))
+        self._bucket_add(off, size)
         # merge right
         if idx + 1 < len(self._free_blocks):
             o2, s2 = self._free_blocks[idx + 1]
             if off + size == o2:
-                self._free_blocks[idx] = (off, size + s2)
+                self._bucket_remove(off, size)
+                self._bucket_remove(o2, s2)
+                size += s2
+                self._free_blocks[idx] = (off, size)
                 del self._free_blocks[idx + 1]
+                self._bucket_add(off, size)
         # merge left
         if idx > 0:
             o0, s0 = self._free_blocks[idx - 1]
             o1, s1 = self._free_blocks[idx]
             if o0 + s0 == o1:
+                self._bucket_remove(o0, s0)
+                self._bucket_remove(o1, s1)
                 self._free_blocks[idx - 1] = (o0, s0 + s1)
                 del self._free_blocks[idx]
+                self._bucket_add(o0, s0 + s1)

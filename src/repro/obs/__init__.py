@@ -29,6 +29,7 @@ simulated timeline.
 
 from repro.obs.logs import LEVELS, JsonFormatter, configure_logging, get_logger
 from repro.obs.metrics import (
+    ACCEPTED_SCHEMAS,
     RUN_METRICS_SCHEMA,
     SECTIONS,
     MetricsRegistry,
@@ -37,6 +38,7 @@ from repro.obs.metrics import (
     count,
     gauge,
     gauge_max,
+    record,
     set_active,
     span,
     use_registry,
@@ -48,6 +50,7 @@ __all__ = [
     "JsonFormatter",
     "configure_logging",
     "get_logger",
+    "ACCEPTED_SCHEMAS",
     "RUN_METRICS_SCHEMA",
     "SECTIONS",
     "MetricsRegistry",
@@ -56,6 +59,7 @@ __all__ = [
     "count",
     "gauge",
     "gauge_max",
+    "record",
     "set_active",
     "span",
     "use_registry",

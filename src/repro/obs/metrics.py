@@ -23,8 +23,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-#: schema identifier stamped into every RunMetrics document
-RUN_METRICS_SCHEMA = "repro.obs/run-metrics/v1"
+#: schema identifier stamped into every RunMetrics document.  v1.1 added
+#: the structured *records* instrument (e.g. ``search.step2_rounds``);
+#: documents remain readable by v1 consumers, and v1 documents remain
+#: acceptable to :func:`validate_run_metrics`.
+RUN_METRICS_SCHEMA = "repro.obs/run-metrics/v1.1"
+
+#: every schema revision a document may legitimately carry
+ACCEPTED_SCHEMAS = ("repro.obs/run-metrics/v1", RUN_METRICS_SCHEMA)
 
 #: sections every RunMetrics document carries, populated or not — consumers
 #: (the CI smoke test, the bench artifact reader) rely on their presence
@@ -53,9 +59,14 @@ class Span:
 
 def _json_safe(value):
     """JSON cannot carry inf/nan; map them to None rather than emitting
-    invalid output or crashing a run that produced a degenerate metric."""
+    invalid output or crashing a run that produced a degenerate metric.
+    Containers (structured records) are sanitized recursively."""
     if isinstance(value, float) and not math.isfinite(value):
         return None
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
     return value
 
 
@@ -73,6 +84,8 @@ class MetricsRegistry:
         self.gauges: dict[str, float] = {}
         #: name -> [count, total_seconds]
         self.timers: dict[str, list] = {}
+        #: structured (JSON-shaped) values; last write wins, like gauges
+        self.records: dict[str, object] = {}
         self.spans: list[Span] = []
         self._depth = 0
 
@@ -97,6 +110,13 @@ class MetricsRegistry:
         current = self.gauges.get(name)
         if current is None or value > current:
             self.gauges[name] = value
+
+    def record(self, name: str, value) -> None:
+        """Store a structured (JSON-shaped: dicts/lists/scalars) value under
+        ``name`` — e.g. the per-round r(X) history of a search.  Rendered
+        into the same ``sections`` tree as counters and gauges (schema
+        v1.1); last write wins."""
+        self.records[name] = value
 
     # -- time instruments -------------------------------------------------------
 
@@ -133,7 +153,7 @@ class MetricsRegistry:
         """Counters and gauges grouped by their first name component; the
         canonical :data:`SECTIONS` are always present."""
         grouped: dict[str, dict] = {name: {} for name in SECTIONS}
-        for source in (self.counters, self.gauges):
+        for source in (self.counters, self.gauges, self.records):
             for name, value in source.items():
                 head, _, rest = name.partition(".")
                 if rest:
@@ -151,6 +171,7 @@ class MetricsRegistry:
                 k: {"count": c, "total_wall_s": t}
                 for k, (c, t) in sorted(self.timers.items())
             },
+            "records": {k: _json_safe(v) for k, v in sorted(self.records.items())},
             "spans": [
                 {
                     "name": sp.name,
@@ -177,13 +198,18 @@ def validate_run_metrics(doc: dict) -> list[str]:
     problems: list[str] = []
     if not isinstance(doc, dict):
         return [f"document is {type(doc).__name__}, expected object"]
-    if doc.get("schema") != RUN_METRICS_SCHEMA:
+    if doc.get("schema") not in ACCEPTED_SCHEMAS:
         problems.append(
-            f"schema is {doc.get('schema')!r}, expected {RUN_METRICS_SCHEMA!r}")
+            f"schema is {doc.get('schema')!r}, expected one of "
+            f"{ACCEPTED_SCHEMAS!r}")
     for key, kind in (("meta", dict), ("counters", dict), ("gauges", dict),
                       ("timers", dict), ("spans", list), ("sections", dict)):
         if not isinstance(doc.get(key), kind):
             problems.append(f"{key!r} missing or not a {kind.__name__}")
+    # v1 documents predate structured records; when present (v1.1) the
+    # block must at least be an object
+    if "records" in doc and not isinstance(doc["records"], dict):
+        problems.append("'records' present but not an object")
     if isinstance(doc.get("sections"), dict):
         for name in SECTIONS:
             if not isinstance(doc["sections"].get(name), dict):
@@ -255,6 +281,12 @@ def gauge_max(name: str, value: float) -> None:
     registry = _ACTIVE
     if registry is not None:
         registry.gauge_max(name, value)
+
+
+def record(name: str, value) -> None:
+    registry = _ACTIVE
+    if registry is not None:
+        registry.record(name, value)
 
 
 @contextmanager

@@ -91,19 +91,37 @@ class PoochConfig:
     #: checkpoints of recent candidates wherever their schedules provably
     #: agree (see EngineCheckpoint).  Bit-identical outcomes and simulation
     #: counts — only wall-clock changes, so like ``workers`` it is excluded
-    #: from :meth:`signature`.
+    #: from :meth:`signature`.  In step 1 this covers every candidate; the
+    #: step-2 extension has its own knob below.
     incremental: bool = True
+    #: extend the incremental machinery to step 2 (swap vs recompute):
+    #: recompute candidates are drafted by delta-patching and resumed from
+    #: recompute-aware checkpoints, and r(X) values are carried across
+    #: rounds under conservative dirty-set invalidation (only maps whose
+    #: perturbation windows overlap an accepted flip's are re-evaluated;
+    #: acceptance itself always re-predicts, ``verify_flips`` semantics
+    #: unchanged).  Keep probes whose draft liveness floor already exceeds
+    #: capacity are answered "infeasible" without simulating (sound by
+    #: construction: the floor is an admissible peak bound, see
+    #: :func:`~repro.runtime.schedule.liveness_floor`).
+    #: Plans are bit-identical on/off across the model zoo
+    #: (tests enforce it), but unlike ``incremental`` the r-value reuse
+    #: changes *which candidates are simulated*, so the knob is part of
+    #: :meth:`signature`.
+    incremental_step2: bool = True
 
     def signature(self) -> str:
-        """Stable identity of every knob that affects the *chosen plan*
-        (``workers`` and ``incremental`` excluded: they change wall-clock,
-        never results).  Plan caches key on this."""
+        """Stable identity of every knob that affects the *chosen plan* or
+        the set of candidates simulated (``workers`` and ``incremental``
+        excluded: they change wall-clock, never results).  Plan caches key
+        on this."""
         return (
             f"policy={self.policy.value};abs={self.abs_tolerance!r};"
             f"rel={self.rel_tolerance!r};li={self.max_exact_li};"
             f"budget={self.step1_sim_budget};eps={self.time_epsilon!r};"
             f"verify={self.verify_flips};margin={self.capacity_margin};"
-            f"gap={self.forward_refetch_gap};prune={self.prune}"
+            f"gap={self.forward_refetch_gap};prune={self.prune};"
+            f"step2={self.incremental_step2}"
         )
 
 
@@ -124,6 +142,24 @@ class SearchStats:
     #: the paper's r(X) ratio per map, from the first step-2 round (the
     #: round where every step-1 swap map is evaluated)
     r_values: dict[int, float] = field(default_factory=dict)
+    #: per-round r(X) history — one dict per step-2 round, in round order,
+    #: capped at ``R_ROUNDS_LIMIT`` rounds (reused values included: this is
+    #: what the round's discard/argmin decisions actually read)
+    r_rounds: list[dict[int, float]] = field(default_factory=list)
+    #: step-2 dirty-set accounting: rounds run, r-values recomputed because
+    #: their window overlapped an accepted flip's (or the round was fresh),
+    #: and r-values reused from the previous round
+    step2_rounds: int = 0
+    r_recomputed: int = 0
+    r_reused: int = 0
+    #: step-2 share of the full/resumed replay split below (serial-side
+    #: only, same ``workers>1`` caveat)
+    sims_step2_full: int = 0
+    sims_step2_resumed: int = 0
+    #: keep probes answered from the draft's liveness floor instead of a
+    #: simulation — the floor already exceeded capacity, so the simulation
+    #: could only have returned "infeasible" (incremental_step2 only)
+    keep_probes_elided: int = 0
     #: True when the plan came from a PlanCache (verified by simulation)
     #: instead of a fresh search — search fields above are then empty
     plan_cache_hit: bool = False
@@ -141,6 +177,11 @@ class SearchStats:
     sims_resumed: int = 0
     #: wall-clock seconds spent inside classify()
     wall_time_s: float = 0.0
+
+
+#: bound on the retained per-round r-value history (each entry is one dict
+#: per pool map; dozens of rounds only occur on degenerate searches)
+R_ROUNDS_LIMIT = 32
 
 
 # -- worker-process side of the parallel search ----------------------------------
@@ -163,6 +204,7 @@ def _init_search_worker(graph: NNGraph, profile: Profile,
         capacity_margin=config.capacity_margin,
         forward_refetch_gap=config.forward_refetch_gap,
         incremental=config.incremental,
+        incremental_step2=config.incremental_step2,
     )
     _worker_all_swap = Classification.all_swap(graph)
     _worker_epsilon = config.time_epsilon
@@ -411,6 +453,7 @@ class PoochClassifier:
             capacity_margin=self.config.capacity_margin,
             forward_refetch_gap=self.config.forward_refetch_gap,
             incremental=self.config.incremental,
+            incremental_step2=self.config.incremental_step2,
         )
         self.stats = SearchStats()
 
@@ -473,6 +516,19 @@ class PoochClassifier:
         registry.count("search.sims_step2", s.sims_step2)
         registry.count("search.sims_full", s.sims_full)
         registry.count("search.sims_resumed", s.sims_resumed)
+        registry.count("search.sims_step2_full", s.sims_step2_full)
+        registry.count("search.sims_step2_resumed", s.sims_step2_resumed)
+        registry.count("search.keep_probes_elided", s.keep_probes_elided)
+        registry.count("search.step2_rounds_run", s.step2_rounds)
+        registry.count("search.r_recomputed", s.r_recomputed)
+        registry.count("search.r_reused", s.r_reused)
+        if s.r_rounds:
+            # structured per-round r(X) history (schema v1.1): what every
+            # round's discard/argmin decisions actually read
+            registry.record("search.step2_rounds", [
+                {str(m): r for m, r in round_.items()}
+                for round_ in s.r_rounds
+            ])
         registry.count("search.leaves_total", s.leaves_total)
         registry.count("search.leaves_evaluated", s.leaves_evaluated)
         registry.count("search.subtrees_pruned", s.subtrees_pruned)
@@ -692,8 +748,17 @@ class PoochClassifier:
         t_rec = self.predictor.predict(
             current.with_class(x, MapClass.RECOMPUTE)
         ).time
-        keep_outcome = self.predictor.predict(current.with_class(x, MapClass.KEEP))
-        t0 = keep_outcome.time if keep_outcome.feasible else min(t_swap, t_rec)
+        keep_candidate = current.with_class(x, MapClass.KEEP)
+        if (self.config.incremental_step2
+                and self.predictor.provably_infeasible(keep_candidate)):
+            # probe elision: the keep draft's liveness floor already exceeds
+            # capacity, so the simulation could only confirm infeasibility
+            self.stats.keep_probes_elided += 1
+            t0 = min(t_swap, t_rec)
+        else:
+            keep_outcome = self.predictor.predict(keep_candidate)
+            t0 = (keep_outcome.time if keep_outcome.feasible
+                  else min(t_swap, t_rec))
         rec_overhead = max(0.0, t_rec - t0)
         swap_overhead = max(0.0, t_swap - t0)
         if swap_overhead <= 0.0:
@@ -708,6 +773,8 @@ class PoochClassifier:
     ) -> Classification:
         cfg = self.config
         sims_at_start = self.predictor.simulations
+        full_at_start = self.predictor.full_simulations
+        resumed_at_start = self.predictor.resumed_simulations
         current = step1
         pool = [
             m for m in step1.maps_of(MapClass.SWAP)
@@ -715,23 +782,48 @@ class PoochClassifier:
         ]
         current_time = self.predictor.predict(current).time
 
+        # Cross-round r-value memoization (incremental_step2): a round only
+        # re-evaluates the maps whose perturbation window overlaps the last
+        # accepted flip's — everything else reads last round's value.  A
+        # rejected flip leaves `current` untouched, so *no* value is stale
+        # then (re-evaluating would hit the predictor's memo cache anyway).
+        # Acceptance still always re-predicts the trial plan end to end.
+        # The same knob also elides keep probes whose infeasibility the
+        # draft's liveness floor already proves (see _r_value) — on
+        # memory-tight configurations that is half the step-2 simulations.
+        memo = cfg.incremental_step2
+        windows = self.predictor.step2_windows(pool) if memo and pool else {}
+        r_cache: dict[int, float] = {}
+        dirty = set(pool)
         first_round = True
         while pool:
+            fresh = [x for x in pool if x in dirty]
             if executor is not None:
-                # Every r(X) of a round reads two candidates (X recompute /
-                # X kept) against the frozen `current` — embarrassingly
-                # parallel.  Fan out the uncached ones, then absorb in the
-                # serial evaluation order so cache contents and simulation
-                # counts match workers=1 exactly.
-                needed = [
-                    c for x in pool
-                    for c in (current.with_class(x, MapClass.RECOMPUTE),
-                              current.with_class(x, MapClass.KEEP))
-                    if self.predictor.cached(c) is None
-                ]
+                # Every stale r(X) of a round reads two candidates (X
+                # recompute / X kept) against the frozen `current` —
+                # embarrassingly parallel.  Fan out the uncached ones, then
+                # absorb in the serial evaluation order so cache contents
+                # and simulation counts match workers=1 exactly.
+                needed = []
+                for x in fresh:
+                    rec_c = current.with_class(x, MapClass.RECOMPUTE)
+                    if self.predictor.cached(rec_c) is None:
+                        needed.append(rec_c)
+                    keep_c = current.with_class(x, MapClass.KEEP)
+                    if memo and self.predictor.provably_infeasible(keep_c):
+                        continue  # _r_value elides this probe: don't fan out
+                    if self.predictor.cached(keep_c) is None:
+                        needed.append(keep_c)
                 for c, outcome in zip(needed, executor.map(_predict_one, needed)):
                     self.predictor.absorb(c.key(), outcome)
-            r_values = {x: self._r_value(current, x, current_time) for x in pool}
+            for x in fresh:
+                r_cache[x] = self._r_value(current, x, current_time)
+            self.stats.r_recomputed += len(fresh)
+            self.stats.r_reused += len(pool) - len(fresh)
+            self.stats.step2_rounds += 1
+            r_values = {x: r_cache[x] for x in pool}
+            if len(self.stats.r_rounds) < R_ROUNDS_LIMIT:
+                self.stats.r_rounds.append(dict(r_values))
             if first_round:
                 self.stats.r_values = dict(r_values)
                 first_round = False
@@ -749,7 +841,23 @@ class PoochClassifier:
                 current = trial
                 current_time = outcome.time
                 self.stats.flips_to_recompute.append(x)
+                if memo:
+                    ws, we = windows[x]
+                    dirty = {y for y in pool
+                             if windows[y][0] <= we and ws <= windows[y][1]}
+                else:
+                    dirty = set(pool)
+            elif memo:
+                dirty = set()
+            else:
+                dirty = set(pool)
 
         self.stats.sims_step2 = self.predictor.simulations - sims_at_start
+        self.stats.sims_step2_full = (
+            self.predictor.full_simulations - full_at_start
+        )
+        self.stats.sims_step2_resumed = (
+            self.predictor.resumed_simulations - resumed_at_start
+        )
         self.stats.time_after_step2 = current_time
         return current

@@ -208,6 +208,7 @@ class DynamicPoocH:
                 capacity_margin=self.config.capacity_margin,
                 forward_refetch_gap=self.config.forward_refetch_gap,
                 incremental=self.config.incremental,
+                incremental_step2=self.config.incremental_step2,
             )
         return self._predictors[size]
 

@@ -135,6 +135,12 @@ class PoochResult:
             f"  search simulations: step1={self.stats.sims_step1} "
             f"step2={self.stats.sims_step2} "
             f"(full={self.stats.sims_full} resumed={self.stats.sims_resumed})",
+            f"  step2 rounds: {self.stats.step2_rounds} "
+            f"(r-values recomputed={self.stats.r_recomputed} "
+            f"reused={self.stats.r_reused}, "
+            f"full={self.stats.sims_step2_full} "
+            f"resumed={self.stats.sims_step2_resumed}, "
+            f"keep probes elided={self.stats.keep_probes_elided})",
             f"  search tree: {self.stats.leaves_evaluated}/"
             f"{self.stats.leaves_total} leaves evaluated, "
             f"{self.stats.subtrees_pruned} subtrees pruned",
@@ -222,6 +228,7 @@ class PoocH:
             capacity_margin=self.config.capacity_margin,
             forward_refetch_gap=self.config.forward_refetch_gap,
             incremental=self.config.incremental,
+            incremental_step2=self.config.incremental_step2,
         )
         cache = self.plan_cache
         if cache is not None:

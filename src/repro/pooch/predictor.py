@@ -34,7 +34,9 @@ from repro.runtime.schedule import (
     ScheduleBuilder,
     ScheduleOptions,
     apply_keep_delta,
+    apply_recompute_delta,
     build_schedule,
+    liveness_floor,
 )
 
 
@@ -72,23 +74,36 @@ def _tasks_equal(a, b, allocs_a, allocs_b) -> bool:
 
 
 class _Reference:
-    """One previously simulated keep/swap candidate plus the checkpoints its
-    replay recorded — the prefix future candidates try to resume from.
+    """One previously simulated keep/swap/recompute candidate plus the
+    checkpoints its replay recorded — the prefix future candidates try to
+    resume from.
 
-    Only the keep-set and the base-coordinate removal positions are stored:
-    divergence against a new candidate is derived from the shared all-swap
-    base draft in O(flipped maps), never by comparing schedules."""
+    The compute divergence against a new candidate is derived from the
+    shared all-swap base draft in O(flipped maps); the transfer queues
+    (order-perturbed by recompute chains) are compared directly by longest
+    common prefix, which is exact because every same-id transfer task has
+    identical engine-visible effects in both schedules (swap-in headroom,
+    the one exception, is guarded by :attr:`hr`)."""
 
-    __slots__ = ("keeps", "rm_d", "rm_h", "checkpoints")
+    __slots__ = ("keeps", "recs", "hr", "ins_c", "queues", "checkpoints")
 
-    def __init__(self, keeps: frozenset, rm_d: list[int], rm_h: list[int],
+    def __init__(self, keeps: frozenset, recs: frozenset, hr: int,
+                 ins_c: list[int], queues: list[list[str]],
                  checkpoints: list[EngineCheckpoint]) -> None:
         self.keeps = keeps
-        #: sorted base-draft positions of the removed SO / SI tasks — the
-        #: offsets that translate base D2H/H2D positions into this
-        #: reference's own queue coordinates
-        self.rm_d = rm_d
-        self.rm_h = rm_h
+        self.recs = recs
+        #: the swap-in headroom this reference's draft carries (EAGER
+        #: auto-headroom grows when recompute tasks allocate more than any
+        #: backward task); candidates with a different value never share a
+        #: prefix because every swap-in's issue decision differs
+        self.hr = hr
+        #: sorted base-coordinate insertion points of the recompute tasks
+        #: this reference spliced into the compute queue — the offsets that
+        #: translate base compute positions into its own coordinates
+        self.ins_c = ins_c
+        #: the reference's own per-stream queues (shared with its draft,
+        #: treated immutable) in ``_STREAM_ORDER`` — the LCP operands
+        self.queues = queues
         self.checkpoints = checkpoints
 
 
@@ -122,6 +137,7 @@ class TimelinePredictor:
         capacity_margin: int = 0,
         forward_refetch_gap: int | None = None,
         incremental: bool = True,
+        incremental_step2: bool = True,
     ) -> None:
         self.graph = graph
         self.profile = profile
@@ -149,6 +165,12 @@ class TimelinePredictor:
         #: agree on it (checkpoint/resume through FastEngine); results stay
         #: bit-identical, only wall-clock changes
         self.incremental = incremental
+        #: extend the delta-draft/resume machinery to recompute candidates
+        #: (step 2 of the search): keep+recompute drafts are patched from
+        #: the base via :func:`apply_recompute_delta` and resumed from
+        #: recompute-aware divergence fronts.  Only effective together with
+        #: ``incremental``; like it, never changes results
+        self.incremental_step2 = incremental_step2
         #: of the local (non-absorbed) simulations, how many replayed from
         #: time zero vs. resumed from a shared-prefix checkpoint
         self.full_simulations = 0
@@ -156,13 +178,26 @@ class TimelinePredictor:
         #: memo-cache hits inside :meth:`predict` — with the search's
         #: revisit-heavy candidate streams this dwarfs ``simulations``
         self.cache_hits = 0
-        #: references are a frozenset + two int lists each, and matching is
-        #: O(flipped maps), so a deeper window costs almost nothing
+        #: references share their queue lists with the drafts they came
+        #: from, and compute-front matching is O(flipped maps), so a deeper
+        #: window costs almost nothing
         self._refs: deque[_Reference] = deque(maxlen=16)
         #: all-swap base draft and per-map divergence positions, built
         #: lazily on the first delta-eligible simulation
         self._base: tuple | None = None
         self._div: dict[int, tuple[int, int, int]] = {}
+        #: earliest compute position at which *recomputing* a map becomes
+        #: engine-visible (its forward buffer now dies mid-forward, and its
+        #: chain touches producer buffers), plus the reverse chain-closure
+        #: index used to detect when a flip elsewhere re-shapes the chain
+        #: of a recompute both schedules share
+        self._rdiv_c: dict[int, int] = {}
+        self._rev: dict[int, list[int]] = {}
+        #: conservative [start, end] compute-position window a map's
+        #: swap→recompute flip perturbs — the classifier's dirty-set test
+        self._rwin: dict[int, tuple[int, int]] = {}
+        #: memoized liveness-floor verdicts (see :meth:`provably_infeasible`)
+        self._floor_verdicts: dict[tuple, bool] = {}
 
     def predict(self, classification: Classification) -> PredictedOutcome:
         """Predicted iteration time and feasibility for a candidate plan."""
@@ -179,6 +214,24 @@ class TimelinePredictor:
     def cached(self, classification: Classification) -> PredictedOutcome | None:
         """Cache lookup without simulating (and without counting a miss)."""
         return self._cache.get(classification.key())
+
+    def provably_infeasible(self, classification: Classification) -> bool:
+        """True when the candidate's draft alone proves the plan cannot run:
+        its compute-stream liveness floor (:func:`liveness_floor`) exceeds
+        device capacity, so every simulation of it ends in OOM and
+        :meth:`predict` could only return an infeasible outcome.  Building
+        the draft costs a delta-patch, not a replay — step 2 uses this to
+        skip keep probes whose only possible answer is "infeasible"."""
+        key = classification.key()
+        verdict = self._floor_verdicts.get(key)
+        if verdict is None:
+            tasks, queues, buffers, _keeps, _recs = (
+                self._sim_draft(classification))
+            floor = liveness_floor(tasks, queues, buffers)
+            capacity = self.machine.usable_gpu_memory - self.capacity_margin
+            verdict = floor > capacity
+            self._floor_verdicts[key] = verdict
+        return verdict
 
     def drift(self, classification: Classification, measured: float) -> float:
         """Relative deviation of a *measured* makespan from this predictor's
@@ -265,6 +318,15 @@ class TimelinePredictor:
         self._full_cache[key] = result
         return result
 
+    def step2_windows(self, maps) -> dict[int, tuple[int, int]]:
+        """Conservative ``[start, end]`` compute-position window each map's
+        swap→recompute flip perturbs (its own forward-buffer lifetime plus
+        everything its recompute chain can touch, transitively).  The
+        classifier's dirty-set invalidation treats two maps as interacting
+        only when their windows overlap."""
+        self._ensure_base()
+        return {m: self._rwin[m] for m in maps}
+
     def draft(self, classification: Classification) -> tuple[dict, dict, dict]:
         """Raw (tasks, queues, buffers) draft for a candidate — the
         classifier's lower-bound precomputation reads queue orders,
@@ -278,19 +340,21 @@ class TimelinePredictor:
     # -- incremental replay -------------------------------------------------------
     #
     # Candidates in the classifier's searches differ from one another only
-    # in which maps they keep, so both the *draft* and the *replay* of a
-    # candidate are mostly shared work:
+    # in which maps they keep (step 1) or additionally recompute (step 2),
+    # so both the *draft* and the *replay* of a candidate are mostly shared
+    # work:
     #
     # * drafts are produced by patching the all-swap base draft
-    #   (:func:`apply_keep_delta`) in O(flipped maps) instead of rebuilding
-    #   the whole schedule;
+    #   (:func:`apply_keep_delta`, then :func:`apply_recompute_delta`) in
+    #   O(affected region) instead of rebuilding the whole schedule;
     # * replays resume from a checkpoint of a recent reference run.  Where
-    #   the two schedules first diverge is *derived*, not discovered: each
-    #   map's flip perturbs the base queues at precomputed positions
-    #   (``_ensure_base``), so the divergence front of any candidate/
-    #   reference pair is the minimum of those positions over the symmetric
-    #   difference of their keep-sets — O(|difference|) per reference, no
-    #   queue comparison at all.
+    #   the two schedules first diverge on the compute stream is *derived*,
+    #   not discovered: each map's flip perturbs the base queue at
+    #   precomputed positions (``_ensure_base``), so the front of any
+    #   candidate/reference pair is the minimum of those positions over the
+    #   flips distinguishing them — O(|difference|) per reference.  The
+    #   transfer queues, which recompute chains reorder, are compared by
+    #   exact longest common prefix instead.
     #
     # Budget accounting is untouched — a resumed replay is still one
     # simulation — so plans are bit-identical with incremental on or off.
@@ -324,60 +388,173 @@ class TimelinePredictor:
                 h_pos = pos_h[si]
             else:  # no backward consumer: the flip only moves the *free*
                 # of fm{m}@f, observable after its last forward accessor
-                ids = [f"F{m}"] + [f"F{k}" for k in self.graph.consumers[m]]
-                c_pos = max((pos_c[t] for t in ids if t in pos_c), default=0)
+                c_pos = self._max_fwd(pos_c, m)
                 h_pos = _NO_DIVERGENCE
             div[m] = (c_pos, d_pos, h_pos)
+        # -- recompute divergence fronts -------------------------------------
+        # Recomputing m perturbs the timeline much earlier than keeping it:
+        # fm{m}@f loses its swap-out reader and dies right after its last
+        # forward accessor, so the device-memory state diverges mid-forward.
+        # The chain R{m} splices also re-touch producer buffers — transitively
+        # through every recomputable producer the chain may re-run — moving
+        # their frees and swap-ins.  ``rdiv_c[m]`` is the conservative
+        # earliest compute position over all of that; ``rev[j]`` lists the
+        # recomputable maps whose chain *may* contain j, so a flip of j
+        # invalidates the shared region of any schedule pair that recomputes
+        # one of them on both sides (the chain shape depends on j's class).
+        def last_read(j: int) -> int:
+            buf = buffers.get(f"fm{j}@b")
+            if buf is None:
+                return self._max_fwd(pos_c, j)
+            return max((pos_c[r] for r in buf.readers if r in pos_c),
+                       default=0)
+
+        rdiv_c: dict[int, int] = {}
+        rev: dict[int, list[int]] = {}
+        rwin: dict[int, tuple[int, int]] = {}
+        for m in div:
+            if not self.graph[m].op.recomputable:
+                continue
+            front = min(self._max_fwd(pos_c, m), div[m][0])
+            end = last_read(m)
+            seen = {m}
+            stack = list(self.graph[m].preds)
+            while stack:
+                j = stack.pop()
+                if j in seen:
+                    continue
+                seen.add(j)
+                if j in div:  # classifiable producer: chain stops here, but
+                    # its buffer gains a reader (its free moves later)
+                    front = min(front, div[j][0])
+                    end = max(end, last_read(j))
+                    rev.setdefault(j, []).append(m)
+                    if self.graph[j].op.recomputable:
+                        # ...unless j is itself classified RECOMPUTE, in
+                        # which case the chain recurses through it
+                        stack.extend(self.graph[j].preds)
+                elif self.graph[j].op.recomputable:
+                    # unclassified regenerable producer: always re-run by
+                    # the chain, contributes only through its own inputs
+                    stack.extend(self.graph[j].preds)
+                else:  # unclassified, not regenerable: the chain extends
+                    # the lifetime of a forward buffer the base frees
+                    # mid-forward
+                    front = min(front, self._max_fwd(pos_c, j))
+            rdiv_c[m] = front
+            rwin[m] = (front, end)
         self._base = base
         self._div = div
+        self._rdiv_c = rdiv_c
+        self._rev = rev
+        self._rwin = rwin
+
+    def _max_fwd(self, pos_c: dict[str, int], m: int) -> int:
+        """Compute position of the last forward accessor of ``fm{m}`` — the
+        point at which the base frees the buffer when nothing later reads
+        it."""
+        ids = [f"F{m}"] + [f"F{k}" for k in self.graph.consumers[m]]
+        return max((pos_c[t] for t in ids if t in pos_c), default=0)
 
     def _sim_draft(self, classification: Classification):
-        """(tasks, queues, buffers, keeps) draft for one simulation.
+        """(tasks, queues, buffers, keeps, recs) draft for one simulation.
 
-        Pure keep/swap candidates (the entire step-1 tree and most of
-        step 2) go through the delta path: ``keeps`` is their frozen
-        keep-set and the draft is the patched base.  Everything else —
-        recompute classes, forward re-fetch, incremental off — falls back
-        to a full build with ``keeps`` None, which also opts the replay
-        out of checkpoint/resume (recompute flips are not prefix-local)."""
+        Pure keep/swap candidates (the entire step-1 tree) go through the
+        keep-delta path; keep/swap/recompute candidates (step 2's r(X)
+        probes) additionally run :func:`apply_recompute_delta` when
+        ``incremental_step2`` is on and the swap-in policy is EAGER (the
+        only policy whose swap-in issue logic is position-free, which the
+        recompute-aware resume fronts rely on — it is also the only
+        checkpointable one in practice).  Everything else — forward
+        re-fetch, incremental off, non-EAGER recompute — falls back to a
+        full build with ``keeps``/``recs`` None, which also opts the
+        replay out of checkpoint/resume."""
         if self.incremental and self.forward_refetch_gap is None:
             keeps: list[int] = []
+            recs: list[int] = []
             pure = True
             for m, cls in classification.classes.items():
                 if cls is MapClass.KEEP:
                     keeps.append(m)
+                elif cls is MapClass.RECOMPUTE:
+                    recs.append(m)
                 elif cls is not MapClass.SWAP:
                     pure = False
                     break
+            if pure and recs and not (
+                self.incremental_step2
+                and self.policy is SwapInPolicy.EAGER
+            ):
+                pure = False
             if pure:
                 self._ensure_base()
                 tasks, queues, buffers = apply_keep_delta(
                     self._base[0], self._base[1], self._base[2], keeps
                 )
-                return tasks, queues, buffers, frozenset(keeps)
+                if recs:
+                    tasks, queues, buffers = apply_recompute_delta(
+                        tasks, queues, buffers,
+                        self.graph, self._durations, self.options,
+                        keeps, recs,
+                    )
+                return (tasks, queues, buffers,
+                        frozenset(keeps), frozenset(recs))
         tasks, queues, buffers = self.draft(classification)
-        return tasks, queues, buffers, None
+        return tasks, queues, buffers, None, None
 
-    def _divergence(self, ref: _Reference, keeps: frozenset):
-        """First-divergence position per stream between a candidate keep-set
-        and ``ref``, in the *reference's* queue coordinates (compute queues
-        are shared with the base; D2H/H2D positions shift down by the
-        reference's own removals before them)."""
+    @staticmethod
+    def _lcp(a: list[str], b: list[str]) -> int:
+        """Longest-common-prefix front of two task-id queues: the first
+        position whose task differs (a missing tail counts as differing),
+        or the no-divergence sentinel when the queues are identical."""
+        n = min(len(a), len(b))
+        i = 0
+        while i < n and a[i] == b[i]:
+            i += 1
+        if i == len(a) == len(b):
+            return _NO_DIVERGENCE
+        return i
+
+    def _divergence(self, ref: _Reference, keeps: frozenset,
+                    recs: frozenset, cand_queues):
+        """First-divergence position per stream between a candidate and
+        ``ref``, in the *reference's* queue coordinates.
+
+        The compute front is derived from the precomputed per-map
+        positions: keep flips perturb at their first backward reader,
+        recompute flips at their (much earlier) ``_rdiv_c`` front, and a
+        recompute *shared* by both schedules still perturbs when some
+        flipped map sits inside its chain closure (the chain resolves that
+        map differently on each side).  Base positions translate into the
+        reference's coordinates by counting its recompute-task insertions.
+        The transfer-queue fronts are exact longest common prefixes —
+        recompute chains reorder swap-ins, so positional translation no
+        longer applies there."""
         div = self._div
-        pc = pd = ph = _NO_DIVERGENCE
-        for m in keeps ^ ref.keeps:
-            c, d, h = div[m]
-            if c < pc:
-                pc = c
-            if d < pd:
-                pd = d
-            if h < ph:
-                ph = h
-        if pd < _NO_DIVERGENCE:
-            pd -= bisect_left(ref.rm_d, pd)
-        if ph < _NO_DIVERGENCE:
-            ph -= bisect_left(ref.rm_h, ph)
-        return pc, pd, ph
+        rdiv = self._rdiv_c
+        f = _NO_DIVERGENCE
+        keep_flips = keeps ^ ref.keeps
+        rec_flips = recs ^ ref.recs
+        for m in keep_flips:
+            c = div[m][0]
+            if c < f:
+                f = c
+        for m in rec_flips:
+            c = rdiv[m]
+            if c < f:
+                f = c
+        shared = recs & ref.recs
+        if shared:
+            rev = self._rev
+            for j in keep_flips | rec_flips:
+                for x in rev.get(j, _EMPTY):
+                    if x in shared and rdiv[x] < f:
+                        f = rdiv[x]
+        if f < _NO_DIVERGENCE:
+            f += bisect_left(ref.ins_c, f)
+        pd = self._lcp(ref.queues[1], cand_queues[1])
+        ph = self._lcp(ref.queues[2], cand_queues[2])
+        return f, pd, ph
 
     @staticmethod
     def _checkpoint_valid(cp: EngineCheckpoint, front, tasks,
@@ -402,17 +579,18 @@ class TimelinePredictor:
                 return False  # head could have issued before the checkpoint
         return True
 
-    def _best_resume(self, keeps: frozenset, tasks, cand_queues):
+    def _best_resume(self, keeps: frozenset, recs: frozenset, hr: int,
+                     tasks, cand_queues):
         """Deepest valid checkpoint across recent references, plus every
         shallower valid checkpoint of the same reference (those are genuine
         states of *this* candidate's run, so the new reference inherits
-        them).  Matching is O(|keep-set difference|) per reference, so all
-        retained references are tried."""
+        them).  References whose swap-in headroom differs share no prefix
+        at all (every swap-in's issue decision changes) and are skipped."""
         best: list[EngineCheckpoint] = []
         for ref in self._refs:
-            if not ref.checkpoints:
+            if not ref.checkpoints or ref.hr != hr:
                 continue
-            front = self._divergence(ref, keeps)
+            front = self._divergence(ref, keeps, recs, cand_queues)
             valid = [cp for cp in ref.checkpoints
                      if self._checkpoint_valid(cp, front, tasks, cand_queues)]
             if valid and (not best
@@ -420,19 +598,31 @@ class TimelinePredictor:
                 best = valid
         return best
 
-    def _record_ref(self, keeps: frozenset,
+    def _record_ref(self, keeps: frozenset, recs: frozenset, hr: int,
+                    queues: list[list[str]],
                     checkpoints: list[EngineCheckpoint]) -> None:
         if not checkpoints:
             return
-        div = self._div
-        rm_d = sorted(div[m][1] for m in keeps)
-        rm_h = sorted(h for m in keeps if (h := div[m][2]) < _NO_DIVERGENCE)
-        self._refs.appendleft(_Reference(keeps, rm_d, rm_h, checkpoints))
+        # base-coordinate insertion points of the candidate's recompute
+        # tasks: a single pointer walk, since the delta only ever *inserts*
+        # into the base compute order, never removes or reorders
+        ins_c: list[int] = []
+        if recs:
+            base_c = self._base[1].get(_STREAM_ORDER[0], _EMPTY)
+            i = 0
+            for tid in queues[0]:
+                if i < len(base_c) and tid == base_c[i]:
+                    i += 1
+                else:
+                    ins_c.append(i)
+        self._refs.appendleft(
+            _Reference(keeps, recs, hr, ins_c, queues, checkpoints)
+        )
 
     def _simulate(self, classification: Classification) -> PredictedOutcome:
         """One uncached simulation through the fast draft-replay path,
         resuming from a shared-prefix checkpoint when one is valid."""
-        tasks, queues, buffers, keeps = self._sim_draft(classification)
+        tasks, queues, buffers, keeps, recs = self._sim_draft(classification)
         engine = FastEngine(
             tasks, queues, buffers,
             device_capacity=self.machine.usable_gpu_memory - self.capacity_margin,
@@ -441,12 +631,19 @@ class TimelinePredictor:
         resume: EngineCheckpoint | None = None
         inherited: list[EngineCheckpoint] = []
         checkpoint_every = 0
+        cand_queues: list[list[str]] = []
+        hr = 0
         if keeps is not None and engine.checkpointable:
             # fine grid: capture is O(in-flight), so dense marks are cheap
             # and let siblings resume right at their divergence front
             checkpoint_every = max(8, len(tasks) // 24)
             cand_queues = [queues.get(s, _EMPTY) for s in _STREAM_ORDER]
-            inherited = self._best_resume(keeps, tasks, cand_queues)
+            # the auto-headroom every swap-in carries (recompute scratch can
+            # raise it above the base's) — part of the resume-compatibility
+            # key, see _Reference.hr
+            hr = max((t.headroom for t in tasks.values() if t.headroom),
+                     default=0)
+            inherited = self._best_resume(keeps, recs, hr, tasks, cand_queues)
             if inherited:
                 resume = inherited[-1]
         if resume is not None:
@@ -459,13 +656,15 @@ class TimelinePredictor:
             )
         except OutOfMemoryError as e:
             if checkpoint_every:
-                self._record_ref(keeps, inherited + engine.checkpoints)
+                self._record_ref(keeps, recs, hr, cand_queues,
+                                 inherited + engine.checkpoints)
             return PredictedOutcome(
                 feasible=False, time=float("inf"), peak_memory=0,
                 oom_context=e.context,
             )
         if checkpoint_every:
-            self._record_ref(keeps, inherited + engine.checkpoints)
+            self._record_ref(keeps, recs, hr, cand_queues,
+                             inherited + engine.checkpoints)
         return PredictedOutcome(
             feasible=True, time=makespan, peak_memory=device_peak
         )

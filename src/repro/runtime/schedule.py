@@ -724,3 +724,298 @@ def apply_keep_delta(
                          if t not in removed],
     }
     return tasks, queues, buffers
+
+
+def apply_recompute_delta(
+    base_tasks: dict[str, _TaskDraft],
+    base_queues: dict[StreamName, list[str]],
+    base_buffers: dict[str, _BufferDraft],
+    graph: NNGraph,
+    durations: DurationProvider,
+    options: ScheduleOptions | None,
+    keeps,
+    recomputes,
+) -> tuple[dict[str, _TaskDraft], dict[StreamName, list[str]],
+           dict[str, _BufferDraft]]:
+    """Draft for ``all-swap + keeps + {m: RECOMPUTE for m in recomputes}`` by
+    patching the keep-delta draft — the step-2 search hot path, where every
+    r(X) probe differs from the step-1 plan by a handful of recompute flips.
+
+    ``base_*`` must be the output of ``apply_keep_delta(all_swap_base,
+    keeps)`` for the same ``keeps`` (the all-swap base itself when ``keeps``
+    is empty), built without forward re-fetch (``forward_refetch_gap`` must
+    be ``None`` — re-fetch segments splice extra forward swap-ins whose
+    interaction with recompute chains is not local).
+
+    A swap→recompute flip is *suffix-local in the backward pass*, but not a
+    pure task removal like a keep flip: the recompute subtree must be
+    spliced onto the compute stream (recursively re-running discarded
+    producers, exactly like ``ScheduleBuilder._ensure_available``), the
+    ``SO{m}``/``SI{m}`` transfer pair dropped, and the swap-in policy
+    repaired (H2D first-need order, EAGER auto-headroom — recompute tasks
+    allocate — and NAIVE/SUPERNEURONS triggers, which reference compute
+    positions that the spliced R tasks shift).  Rather than reasoning about
+    each interaction separately, this replays the builder's backward
+    *resolution* pass over the unchanged backward task order, creating
+    draft objects only where the resolution differs from the base — the
+    construction order, and therefore every order-sensitive tie-break
+    (stable H2D sort, resident-chain reuse), is the fresh builder's by
+    construction.  The result is task-for-task identical to a fresh
+    ``ScheduleBuilder(...).build_raw()`` for the same classification —
+    ``tests/test_step2_incremental.py`` asserts exact draft equality across
+    the model zoo.  Like :func:`apply_keep_delta`, the base draft is never
+    mutated and stale ``io`` annotations of patched tasks are tolerated
+    (draft-replay engines never read ``io``).
+    """
+    opt = options or ScheduleOptions()
+    if opt.forward_refetch_gap is not None:
+        raise ScheduleError(
+            "apply_recompute_delta requires forward_refetch_gap=None"
+        )
+    rec_set = set(recomputes)
+    keep_set = set(keeps)
+    if rec_set & keep_set:
+        raise ScheduleError(
+            f"maps {sorted(rec_set & keep_set)} are both kept and recomputed"
+        )
+    tasks = dict(base_tasks)
+    buffers = dict(base_buffers)
+    removed: set[str] = set()
+
+    def patch_task(tid: str) -> _TaskDraft:
+        t = tasks[tid]
+        if tid in base_tasks and t is base_tasks[tid]:
+            t = tasks[tid] = _copy_task(t)
+        return t
+
+    def patch_buffer(bid: str) -> _BufferDraft:
+        b = buffers[bid]
+        if bid in base_buffers and b is base_buffers[bid]:
+            nb = _BufferDraft(b.bid, b.nbytes, alloc_by=b.alloc_by,
+                              host=b.host)
+            nb.writers = set(b.writers)
+            nb.readers = set(b.readers)
+            buffers[bid] = b = nb
+        return b
+
+    # -- forward patch: a RECOMPUTE map has no swap-out (and thus no host
+    # instance and no backward swap-in); its forward instance is freed after
+    # its last forward consumer, exactly like a keep flip minus the keep
+    for m in sorted(rec_set):
+        so, si = f"SO{m}", f"SI{m}"
+        if so not in tasks:
+            raise ScheduleError(
+                f"apply_recompute_delta: map {m} is not swapped in the base "
+                "draft"
+            )
+        del tasks[so]
+        del buffers[f"fm{m}@host"]
+        removed.add(so)
+        fb = patch_buffer(f"fm{m}@f")
+        fb.readers.discard(so)
+        if si in tasks:
+            del tasks[si]
+            del buffers[f"fm{m}@b"]
+            removed.add(si)
+
+    # -- backward resolution replay (see ScheduleBuilder._ensure_available):
+    # walk the unchanged backward compute order, tracking which map instance
+    # is resident at each point; only resolutions that differ from the base
+    # (recompute chains and their inputs) create or patch draft objects
+    classifiable = set(graph.classifiable_maps())
+    resident: dict[int, tuple[str, str]] = {
+        m: (f"fm{m}@f", f"F{m}") for m in keep_set
+    }
+    si_order: list[str] = []      # swap-in creation order of the fresh build
+    pending_r: list[str] = []     # R tasks to splice before the current B
+    r_headroom = 0                # largest recompute-task allocation
+
+    def make_recompute(m: int) -> tuple[str, str]:
+        nonlocal r_headroom
+        layer = graph[m]
+        r = _TaskDraft(
+            tid=f"R{m}",
+            kind=TaskKind.RECOMPUTE,
+            stream=StreamName.COMPUTE,
+            duration=durations.fwd(m),
+            layer=m,
+            scratch_bytes=layer.op.workspace_bytes,
+        )
+        r.io = {"op": "fwd", "layer": m, "ins": [], "out": f"fm{m}@r"}
+        inst = _BufferDraft(f"fm{m}@r", layer.out_spec.nbytes, alloc_by=r.tid)
+        inst.writers.add(r.tid)
+        buffers[inst.bid] = inst
+        r_headroom = max(
+            r_headroom, round_size(inst.nbytes) + round_size(r.scratch_bytes)
+        )
+        # register before resolving inputs so diamond-shaped chains reuse it
+        resident[m] = (inst.bid, r.tid)
+        for j in layer.preds:
+            bid, producer = resolve(j)
+            r.reads.add(bid)
+            r.deps.add(producer)
+            patch_buffer(bid).readers.add(r.tid)
+            r.io["ins"].append(bid)
+        tasks[r.tid] = r
+        pending_r.append(r.tid)
+        return resident[m]
+
+    def resolve(m: int) -> tuple[str, str]:
+        hit = resident.get(m)
+        if hit is not None:
+            return hit
+        if m in rec_set:
+            return make_recompute(m)
+        if m in classifiable:  # still SWAP: the base swap-in survives
+            si_order.append(f"SI{m}")
+            resident[m] = (f"fm{m}@b", f"SI{m}")
+            return resident[m]
+        if graph[m].op.recomputable:  # unclassified chain input, regenerable
+            return make_recompute(m)
+        resident[m] = (f"fm{m}@f", f"F{m}")  # retain the forward instance
+        return resident[m]
+
+    new_compute: list[str] = []
+    for tid in base_queues[StreamName.COMPUTE]:
+        t = base_tasks[tid]
+        if t.kind is TaskKind.BWD:
+            layer = graph[t.layer]
+            needed: list[int] = []
+            if layer.op.bwd_needs_input:
+                needed.extend(layer.preds)
+            if layer.op.bwd_needs_output:
+                needed.append(t.layer)
+            for m in needed:
+                bid, producer = resolve(m)
+                if m in rec_set:
+                    bt = patch_task(tid)
+                    bt.reads.discard(f"fm{m}@b")
+                    bt.deps.discard(f"SI{m}")
+                    bt.reads.add(bid)
+                    bt.deps.add(producer)
+                    buffers[bid].readers.add(tid)
+            if pending_r:
+                new_compute.extend(pending_r)
+                pending_r.clear()
+        new_compute.append(tid)
+
+    # -- swap-in policy repair (see ScheduleBuilder._apply_swap_in_policy):
+    # recompute splices shift compute positions and can first-read restored
+    # instances earlier than the backward task that requested them
+    si_by_out: dict[str, str] = {}
+    for tid, t in tasks.items():
+        if t.kind is TaskKind.SWAP_IN:
+            si_by_out[t.io["dst"]] = tid
+    first_reader: dict[str, str] = {}
+    for tid in new_compute:
+        for bid in tasks[tid].reads:
+            si = si_by_out.get(bid)
+            if si is not None and si not in first_reader:
+                first_reader[si] = tid
+    pos = {tid: n for n, tid in enumerate(new_compute)}
+
+    def need_position(tid: str) -> int:
+        reader = first_reader.get(tid)
+        p = pos.get(reader) if reader is not None else None
+        return p if p is not None else -1
+
+    # fresh creation order: input loads (forward order), then swap-ins in
+    # resolution order — the stable sort's tie-break, like the builder's
+    new_h2d = [tid for tid in base_queues[StreamName.H2D]
+               if tid not in removed
+               and base_tasks[tid].kind is not TaskKind.SWAP_IN]
+    new_h2d += si_order
+    new_h2d.sort(key=need_position)
+
+    if opt.policy is SwapInPolicy.EAGER:
+        if opt.headroom is None and si_by_out:
+            base_h = max(
+                (t.headroom for t in base_tasks.values()
+                 if t.kind is TaskKind.SWAP_IN),
+                default=0,
+            )
+            headroom = max(base_h, r_headroom)
+            if headroom != base_h:
+                for tid in si_by_out.values():
+                    patch_task(tid).headroom = headroom
+    else:
+        for si_tid, reader in first_reader.items():
+            p = pos.get(reader)
+            desired: set[str] = set()
+            if p is not None and p > 0:
+                if opt.policy is SwapInPolicy.NAIVE:
+                    desired = {new_compute[p - 1]}
+                else:  # SUPERNEURONS: nearest preceding conv backward
+                    trigger = new_compute[p - 1]
+                    for q in range(p - 1, -1, -1):
+                        t = tasks[new_compute[q]]
+                        if (t.kind is TaskKind.BWD
+                                and graph[t.layer].op.kind is OpKind.CONV):
+                            trigger = t.tid
+                            break
+                    desired = {trigger}
+            if tasks[si_tid].start_deps != desired:
+                patch_task(si_tid).start_deps = desired
+
+    queues = {
+        StreamName.COMPUTE: new_compute,
+        StreamName.H2D: new_h2d,
+        StreamName.D2H: [t for t in base_queues[StreamName.D2H]
+                         if t not in removed],
+    }
+    return tasks, queues, buffers
+
+
+def liveness_floor(
+    tasks: dict[str, _TaskDraft],
+    queues: dict[StreamName, list[str]],
+    buffers: dict[str, _BufferDraft],
+) -> int:
+    """Admissible lower bound on the device peak of *any* execution of a
+    draft, from compute-stream liveness alone.
+
+    The compute stream is sequential and FIFO, so when the task at compute
+    position ``p`` issues, every device buffer that (a) is allocated by a
+    compute task at position <= p and (b) is freed no earlier than the
+    completion of some compute task at position >= p is necessarily
+    resident — regardless of transfer timing, gating or policy.  Transfer-
+    allocated instances (swap-ins) and host buffers are excluded precisely
+    because their residency *is* timing-dependent.  The maximum over ``p``
+    of that co-resident set (plus ``p``'s own scratch) therefore floors the
+    peak of every execution: a draft whose floor exceeds device capacity
+    cannot complete and every simulation of it ends in an
+    ``OutOfMemoryError``.  Step 2 uses this to elide keep probes whose only
+    possible outcome is "infeasible".
+    """
+    compute = queues.get(StreamName.COMPUTE, [])
+    pos = {tid: i for i, tid in enumerate(compute)}
+    n = len(compute)
+    delta = [0] * (n + 1)
+    always_resident = 0
+    for b in buffers.values():
+        if b.host:
+            continue
+        size = round_size(b.nbytes)
+        if b.alloc_by is None:
+            always_resident += size  # preallocated: lives the whole run
+            continue
+        a = pos.get(b.alloc_by)
+        if a is None:
+            continue  # transfer-allocated (swap-in instance)
+        f = max((pos[t] for t in (b.writers | b.readers) if t in pos),
+                default=-1)
+        if f >= a:
+            delta[a] += size
+            delta[f + 1] -= size
+    for i, tid in enumerate(compute):
+        scratch = tasks[tid].scratch_bytes
+        if scratch:
+            delta[i] += round_size(scratch)
+            delta[i + 1] -= round_size(scratch)
+    floor = 0
+    running = always_resident
+    for i in range(n):
+        running += delta[i]
+        if running > floor:
+            floor = running
+    return floor

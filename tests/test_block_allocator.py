@@ -57,6 +57,43 @@ class TestPlacement:
         assert p.largest_free_block() == 90 * KiB
         assert len(p._free_blocks) == 1
 
+    def test_best_fit_tie_breaks_to_lowest_offset(self):
+        p = BlockMemoryPool(100 * KiB)
+        for i, name in enumerate("abcde"):
+            p.malloc(name, 20 * KiB, 0.0)
+        p.free("b", 1.0)  # 20 KiB hole at 20 KiB
+        p.free("d", 1.0)  # 20 KiB hole at 60 KiB — same size, higher offset
+        p.malloc("x", 20 * KiB, 2.0)
+        assert p._offsets["x"][0] == 20 * KiB
+
+    def test_bucket_stats_reported(self):
+        p = BlockMemoryPool(100 * KiB)
+        p.malloc("a", 20 * KiB, 0.0)
+        p.malloc("b", 20 * KiB, 0.0)
+        p.malloc("c", 20 * KiB, 0.0)
+        p.free("a", 1.0)
+        p.free("c", 1.0)  # two free blocks: 20 KiB hole + 20+40 KiB tail
+        s = p.stats()
+        assert s["free_blocks"] == 2
+        assert s["size_buckets"] == 2
+        assert s["largest_bucket_blocks"] == 1
+        p.free("b", 2.0)
+        s = p.stats()
+        assert s["free_blocks"] == s["size_buckets"] == 1
+        assert s["largest_free_block_bytes"] == 100 * KiB
+
+    def test_zero_size_request_holds_no_block(self):
+        p = BlockMemoryPool(100 * KiB)
+        p.malloc("a", 10 * KiB, 0.0)
+        p.malloc("z", 0, 0.0)
+        assert p.in_use == 10 * KiB
+        before = list(p._free_blocks)
+        p.free("z", 1.0)
+        # the free list (and its invariants) are untouched by 0-byte buffers
+        assert p._free_blocks == before
+        p.malloc("b", 90 * KiB, 2.0)  # remaining space fully usable
+        assert not p.can_fit(1)
+
     def test_can_fit_all_respects_blocks(self):
         p = BlockMemoryPool(100 * KiB)
         p.malloc("a", 40 * KiB, 0.0)
@@ -100,6 +137,45 @@ def test_block_pool_invariants(script):
         for (o1, s1), (o2, s2) in zip(blocks, blocks[1:]):
             assert o1 + s1 < o2
         assert sum(s for _, s in blocks) == p.capacity - p.in_use
+        # the size-bucket index mirrors the free list exactly
+        by_size: dict[int, list[int]] = {}
+        for off, s in blocks:
+            by_size.setdefault(s, []).append(off)
+        assert p._size_keys == sorted(by_size)
+        assert {s: sorted(offs) for s, offs in by_size.items()} == p._buckets
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(0, 7),
+                  st.integers(1, 32 * KiB)),
+        max_size=50,
+    )
+)
+def test_bucketed_placement_matches_linear_scan(script):
+    """The size-bucket fast path must pick the exact block a linear best-fit
+    scan of the free list would: smallest size >= request, lowest offset
+    among equal sizes."""
+    p = BlockMemoryPool(128 * KiB)
+    live: set[str] = set()
+    for is_malloc, slot, size in script:
+        bid = f"b{slot}"
+        if is_malloc and bid not in live:
+            ref = None
+            for off, s in p._free_blocks:  # reference linear scan
+                if s >= round_size(size) and (ref is None or s < ref[1]):
+                    ref = (off, s)
+            try:
+                p.malloc(bid, size, 0.0)
+            except OutOfMemoryError:
+                assert ref is None
+                continue
+            live.add(bid)
+            assert p._offsets[bid] == (ref[0], round_size(size))
+        elif not is_malloc and bid in live:
+            p.free(bid, 0.0)
+            live.remove(bid)
 
 
 class TestEngineIntegration:

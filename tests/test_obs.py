@@ -13,6 +13,7 @@ import os
 import pytest
 
 from repro.obs import (
+    ACCEPTED_SCHEMAS,
     MetricsRegistry,
     RUN_METRICS_SCHEMA,
     SECTIONS,
@@ -87,6 +88,25 @@ class TestRegistry:
         assert sections["search"]["sims"] == 9
         assert sections["engine"]["makespan"] == 0.5
 
+    def test_record_last_write_wins(self):
+        r = MetricsRegistry()
+        r.record("search.step2_rounds", [{"3": 0.5}])
+        r.record("search.step2_rounds", [{"3": 0.5}, {"5": 1.2}])
+        assert r.records["search.step2_rounds"] == [{"3": 0.5}, {"5": 1.2}]
+
+    def test_records_land_in_sections(self):
+        r = MetricsRegistry()
+        r.record("search.step2_rounds", [{"3": 0.5}])
+        assert r.sections()["search"]["step2_rounds"] == [{"3": 0.5}]
+
+    def test_snapshot_includes_json_safe_records(self):
+        r = MetricsRegistry()
+        r.record("search.step2_rounds", [{3: float("inf")}])
+        doc = r.snapshot()
+        # int keys become strings, non-finite floats become null
+        assert doc["records"]["search.step2_rounds"] == [{"3": None}]
+        json.dumps(doc)
+
     def test_snapshot_validates(self):
         r = MetricsRegistry()
         r.count("search.sims")
@@ -111,6 +131,19 @@ class TestRegistry:
         doc = MetricsRegistry().snapshot()
         del doc["sections"]["search"]
         assert any("sections.search" in p for p in validate_run_metrics(doc))
+
+    def test_validate_accepts_v1_documents(self):
+        # a pre-records v1 writer must keep validating (forward compat)
+        doc = MetricsRegistry().snapshot()
+        doc["schema"] = "repro.obs/run-metrics/v1"
+        del doc["records"]
+        assert "repro.obs/run-metrics/v1" in ACCEPTED_SCHEMAS
+        assert validate_run_metrics(doc) == []
+
+    def test_validate_flags_non_dict_records(self):
+        doc = MetricsRegistry().snapshot()
+        doc["records"] = ["not", "a", "dict"]
+        assert any("records" in p for p in validate_run_metrics(doc))
 
 
 class TestActiveRegistry:
@@ -199,6 +232,21 @@ class TestPlanPreservation:
         assert s["leaves_total"] == result.stats.leaves_total
         assert s["subtrees_pruned"] == result.stats.subtrees_pruned
         assert s["time_all_swap"] == result.stats.time_all_swap
+        assert s["sims_step2_full"] == result.stats.sims_step2_full
+        assert s["sims_step2_resumed"] == result.stats.sims_step2_resumed
+        assert s["step2_rounds_run"] == result.stats.step2_rounds
+        assert s["r_recomputed"] == result.stats.r_recomputed
+        assert s["r_reused"] == result.stats.r_reused
+        assert s["keep_probes_elided"] == result.stats.keep_probes_elided
+        if result.stats.r_rounds:
+            import math
+
+            rounds = s["step2_rounds"]
+            assert len(rounds) == len(result.stats.r_rounds)
+            # sections are JSON-safe: non-finite r-values render as None
+            assert rounds[0] == {
+                str(m): (r if math.isfinite(r) else None)
+                for m, r in result.stats.r_rounds[0].items()}
 
     def test_engine_and_allocator_sections_populated(self, cnn,
                                                      slow_link_machine,

@@ -1,0 +1,289 @@
+"""Incremental step-2 search: recompute-delta drafts, resumable r(X) probes,
+cross-round r-value reuse.
+
+Same contract as ``tests/test_search_pruning.py``, extended to step 2: the
+incremental machinery may only change how much work the swap-vs-recompute
+loop does, never what it returns.
+
+* recompute-delta drafts (``apply_recompute_delta``) must be task-for-task
+  identical to a fresh ``ScheduleBuilder`` build for the same classification,
+  for every swap-in policy and random keep/recompute partitions across the
+  model zoo;
+* the full search must choose the bit-identical plan — classification key,
+  predicted time, peak memory AND the r(X) table the choice was derived
+  from — with ``incremental_step2`` on and off, on multiple machines and
+  under fault-injected profile noise (``FAULT_SEED`` shifts the noise like
+  the fault property harness);
+* the dirty-set/resume machinery must actually cut work: step-2 full
+  simulations drop at least 3x on a step-2-heavy configuration;
+* keep-probe elision is sound by construction: ``liveness_floor`` is an
+  admissible bound (never above a feasible run's simulated peak), so a
+  floor above capacity proves the simulation could only answer
+  "infeasible" — elided probes change no r-value;
+* the ``incremental_step2`` knob IS part of the plan-cache signature (its
+  exactness is empirical, not structural — unlike ``incremental``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.common.errors import ScheduleError
+from repro.pooch.classifier import (
+    PoochClassifier,
+    PoochConfig,
+    R_ROUNDS_LIMIT,
+)
+from repro.runtime.plan import Classification, MapClass, SwapInPolicy
+from repro.runtime.profiler import run_profiling
+from repro.runtime.schedule import (
+    ScheduleBuilder,
+    ScheduleOptions,
+    apply_keep_delta,
+    apply_recompute_delta,
+    liveness_floor,
+)
+from tests.conftest import tiny_machine
+from tests.test_search_pruning import _ZOO, _assert_drafts_equal, _graph
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+_MACHINE = tiny_machine(mem_mib=224, link_gbps=3.0)
+#: tighter memory + slower link → step 1 swaps more, step 2 flips more
+_SLOW = tiny_machine(mem_mib=160, link_gbps=2.0, name="tiny-slow")
+
+_POLICIES = [SwapInPolicy.NAIVE, SwapInPolicy.EAGER,
+             SwapInPolicy.SUPERNEURONS]
+
+
+def _partitions(g, rng, n=6):
+    """Random (keeps, recomputes) splits, always including the
+    everything-recomputable extreme."""
+    maps = g.classifiable_maps()
+    recable = [m for m in maps if g[m].op.recomputable]
+    parts = [(set(), set(recable))]
+    for _ in range(n):
+        keeps = set(rng.sample(maps, rng.randint(0, len(maps) // 2)))
+        pool = [m for m in recable if m not in keeps]
+        if pool:
+            parts.append((keeps, set(rng.sample(pool,
+                                                rng.randint(1, len(pool))))))
+    return parts
+
+
+@pytest.mark.parametrize("policy", _POLICIES, ids=lambda p: p.name.lower())
+@pytest.mark.parametrize("name,batch", _ZOO)
+def test_recompute_delta_equals_fresh_build(name, batch, policy):
+    """apply_recompute_delta(keep-delta base, ...) == ScheduleBuilder for the
+    same keep/recompute sets, for random partitions across the zoo."""
+    g = _graph(name, batch)
+    prof = run_profiling(g, _MACHINE)
+    durs = prof.durations()
+    opts = ScheduleOptions(policy=policy)
+    base = ScheduleBuilder(g, Classification.all_swap(g), durs, opts,
+                           validate=False).build_raw()
+    rng = random.Random(FAULT_SEED * 2027 + len(g.classifiable_maps()))
+    for keeps, recs in _partitions(g, rng):
+        cls = Classification.all_swap(g).with_classes(
+            {m: MapClass.KEEP for m in keeps}
+            | {m: MapClass.RECOMPUTE for m in recs}
+        )
+        fresh = ScheduleBuilder(g, cls, durs, opts,
+                                validate=False).build_raw()
+        kd = apply_keep_delta(base[0], base[1], base[2], keeps)
+        delta = apply_recompute_delta(kd[0], kd[1], kd[2], g, durs, opts,
+                                      keeps, recs)
+        _assert_drafts_equal(delta, fresh)
+
+
+def test_recompute_delta_leaves_base_unmodified():
+    g = _graph("small_cnn", 8)
+    prof = run_profiling(g, _MACHINE)
+    durs = prof.durations()
+    opts = ScheduleOptions()
+    base = ScheduleBuilder(g, Classification.all_swap(g), durs, opts,
+                           validate=False).build_raw()
+    keeps = set(g.classifiable_maps()[::3])
+    kd = apply_keep_delta(base[0], base[1], base[2], keeps)
+    ref = apply_keep_delta(base[0], base[1], base[2], keeps)
+    recs = {m for m in g.classifiable_maps()
+            if g[m].op.recomputable and m not in keeps}
+    apply_recompute_delta(kd[0], kd[1], kd[2], g, durs, opts, keeps, recs)
+    _assert_drafts_equal(kd, ref)
+
+
+def test_recompute_delta_rejects_bad_inputs():
+    g = _graph("small_cnn", 8)
+    prof = run_profiling(g, _MACHINE)
+    durs = prof.durations()
+    base = ScheduleBuilder(g, Classification.all_swap(g), durs,
+                           ScheduleOptions(), validate=False).build_raw()
+    recable = [m for m in g.classifiable_maps() if g[m].op.recomputable]
+    with pytest.raises(ScheduleError, match="kept and recomputed"):
+        apply_recompute_delta(base[0], base[1], base[2], g, durs,
+                              ScheduleOptions(), {recable[0]}, {recable[0]})
+    with pytest.raises(ScheduleError, match="forward_refetch_gap"):
+        apply_recompute_delta(base[0], base[1], base[2], g, durs,
+                              ScheduleOptions(forward_refetch_gap=2),
+                              set(), {recable[0]})
+
+
+@pytest.mark.parametrize("machine", [_MACHINE, _SLOW],
+                         ids=lambda m: m.name)
+@pytest.mark.parametrize("name,batch", _ZOO)
+def test_step2_plans_bit_identical_on_off(name, batch, machine):
+    """The whole search returns the identical plan, predicted outcome and
+    r(X) table with incremental step 2 on and off."""
+    g = _graph(name, batch)
+    prof = run_profiling(g, machine)
+    results = {}
+    for s2 in (True, False):
+        clf = PoochClassifier(g, prof, machine,
+                              config=PoochConfig(incremental_step2=s2))
+        cls, stats = clf.classify()
+        out = clf.predictor.predict(cls)
+        results[s2] = (cls.key(), out.time, out.peak_memory,
+                       stats.r_values, stats.flips_to_recompute)
+    assert results[True] == results[False]
+
+
+def test_step2_plans_identical_under_profile_noise():
+    """Bit-identity must survive a perturbed (fault-injected) profile."""
+    from repro.pooch import PoocH
+
+    g = _graph("resnet18", 4)
+    spec = "profile_noise=0.05"
+    results = {}
+    for s2 in (True, False):
+        res = PoocH(_SLOW, PoochConfig(incremental_step2=s2), faults=spec,
+                    fault_seed=FAULT_SEED).optimize(g)
+        results[s2] = (res.classification.key(), res.predicted.time,
+                       res.stats.r_values)
+    assert results[True] == results[False]
+
+
+def test_step2_resume_and_round_stats_populated():
+    g = _graph("resnet18", 4)
+    prof = run_profiling(g, _SLOW)
+    clf = PoochClassifier(g, prof, _SLOW, config=PoochConfig())
+    _cls, stats = clf.classify()
+    assert stats.sims_step2_full + stats.sims_step2_resumed == stats.sims_step2
+    assert stats.step2_rounds >= 1
+    # one r-value history entry per round (bounded), first == r_values
+    assert len(stats.r_rounds) == min(stats.step2_rounds, R_ROUNDS_LIMIT)
+    assert stats.r_rounds[0] == stats.r_values
+    assert stats.r_recomputed + stats.r_reused == sum(
+        len(r) for r in stats.r_rounds)
+    # EAGER is the resumable policy: most r(X) probes resume mid-replay
+    assert stats.sims_step2_resumed > stats.sims_step2_full
+    # reuse never serves a value the round would not have recomputed: every
+    # r(X) published per round covers exactly the surviving pool
+    for earlier, later in zip(stats.r_rounds, stats.r_rounds[1:]):
+        assert set(later) <= set(earlier)
+
+
+def test_step2_full_sims_cut_at_least_3x():
+    """The acceptance criterion at test scale: on a step-2-heavy config the
+    incremental path does >= 3x fewer full step-2 simulations for the
+    bit-identical plan."""
+    g = _graph("resnet18", 4)
+    prof = run_profiling(g, _SLOW)
+    results = {}
+    for s2 in (True, False):
+        clf = PoochClassifier(g, prof, _SLOW,
+                              config=PoochConfig(incremental_step2=s2))
+        cls, stats = clf.classify()
+        results[s2] = (stats.sims_step2_full, cls.key())
+    assert results[True][1] == results[False][1]
+    assert results[False][0] >= 3 * max(results[True][0], 1), (
+        f"expected >=3x fewer full step-2 sims, got "
+        f"{results[False][0]} -> {results[True][0]}"
+    )
+
+
+@pytest.mark.parametrize("name,batch", _ZOO)
+def test_liveness_floor_is_admissible_and_sound(name, batch):
+    """``liveness_floor`` must never exceed the simulated peak of a feasible
+    run (admissibility), and ``provably_infeasible`` must imply the
+    simulation agrees (soundness) — across random keep/recompute splits."""
+    g = _graph(name, batch)
+    prof = run_profiling(g, _SLOW)
+    pred = PoochClassifier(g, prof, _SLOW, config=PoochConfig()).predictor
+    rng = random.Random(FAULT_SEED * 31 + batch)
+    for keeps, recs in _partitions(g, rng, n=3):
+        cls = Classification.all_swap(g).with_classes(
+            {m: MapClass.KEEP for m in keeps}
+            | {m: MapClass.RECOMPUTE for m in recs}
+        )
+        proven = pred.provably_infeasible(cls)
+        out = pred.predict(cls)
+        if proven:
+            assert not out.feasible
+        if out.feasible:
+            tasks, queues, buffers, _k, _r = pred._sim_draft(cls)
+            assert liveness_floor(tasks, queues, buffers) <= out.peak_memory
+
+
+def test_keep_probe_elision_cuts_sims():
+    """On a memory-tight machine every keep probe is provably infeasible:
+    the incremental arm answers them from the liveness floor and halves the
+    probe simulations, without touching any r-value."""
+    g = _graph("resnet18", 4)
+    prof = run_profiling(g, _SLOW)
+    results = {}
+    for s2 in (True, False):
+        clf = PoochClassifier(g, prof, _SLOW,
+                              config=PoochConfig(incremental_step2=s2))
+        cls, stats = clf.classify()
+        results[s2] = (cls.key(), stats.r_rounds, stats)
+    on, off = results[True][2], results[False][2]
+    assert results[True][:2] == results[False][:2]
+    assert off.keep_probes_elided == 0
+    assert on.keep_probes_elided > 0
+    # an elided probe is one keep simulation the exhaustive arm had to run
+    assert on.keep_probes_elided <= on.r_recomputed + on.r_reused
+    assert on.sims_step2 < off.sims_step2
+
+
+def test_step2_counters_identical_across_workers():
+    """The memoization absorbs parallel results in serial evaluation order:
+    worker fan-out must not change any search counter or the plan."""
+    g = _graph("small_cnn", 8)
+    prof = run_profiling(g, _SLOW)
+    results = {}
+    for workers in (1, 2):
+        clf = PoochClassifier(g, prof, _SLOW,
+                              config=PoochConfig(workers=workers))
+        cls, stats = clf.classify()
+        results[workers] = (cls.key(), stats.sims_step2, stats.r_recomputed,
+                            stats.r_reused, stats.step2_rounds,
+                            stats.r_rounds)
+    assert results[1] == results[2]
+
+
+def test_step2_knob_is_in_plan_signature():
+    """Unlike ``incremental`` (provably plan-preserving), the step-2 knob's
+    exactness is established empirically, so it keys the plan cache."""
+    base = PoochConfig()
+    assert PoochConfig(incremental_step2=False).signature() != base.signature()
+    assert PoochConfig(incremental=False).signature() == base.signature()
+    assert PoochConfig(workers=4).signature() == base.signature()
+
+
+def test_non_eager_policies_fall_back_to_full_builds():
+    """NAIVE/SUPERNEURONS swap-in triggers are not recompute-resumable; the
+    gate must quietly fall back without changing the chosen plan."""
+    g = _graph("poster_example", 2)
+    prof = run_profiling(g, _MACHINE)
+    for policy in (SwapInPolicy.NAIVE, SwapInPolicy.SUPERNEURONS):
+        results = {}
+        for s2 in (True, False):
+            clf = PoochClassifier(
+                g, prof, _MACHINE,
+                config=PoochConfig(policy=policy, incremental_step2=s2))
+            cls, stats = clf.classify()
+            results[s2] = (cls.key(), stats.r_values)
+        assert results[True] == results[False]
