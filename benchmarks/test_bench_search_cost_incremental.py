@@ -1,7 +1,8 @@
-"""Search-cost extension, round 2: pruning + incremental prefix sharing.
+"""Search-cost extension, round 3: pruning + incremental sharing + lockstep
+vectorization.
 
-The previous round (``test_bench_search_cost_parallel``) made each candidate
-simulation cheap; this one makes most of them *shared*.  Three knobs:
+Round 1 (``test_bench_search_cost_parallel``) made candidate simulations
+cheap, round 2 made most of them *shared*; this round batches them.  Knobs:
 
 * ``PoochConfig.incremental`` — candidate drafts are produced by patching
   the all-swap base schedule (cost proportional to the flipped maps, not
@@ -13,16 +14,24 @@ simulation cheap; this one makes most of them *shared*.  Three knobs:
   drafts resumed from sibling checkpoints, r-values survive across rounds
   unless the accepted flip's perturbation window overlaps theirs, and keep
   probes whose draft liveness floor already exceeds capacity are answered
-  "infeasible" without simulating at all.
+  "infeasible" without simulating at all;
+* ``PoochConfig.vectorize`` — keep/swap candidates are simulated K at a
+  time by the lockstep ``VectorEngine`` (speculatively batched along the
+  step-1 greedy scans, directly batched for step-2 keep probes), with the
+  event engines as fallback for everything else.
 
 All are exactly plan-preserving, which this benchmark re-asserts end-to-end
 on the headline ResNet-50 (batch=256, x86) search before asserting the cost
-claims: >=3x fewer full-leaf (from-t=0) simulations in step 1 AND in step 2,
-plus a measurable wall reduction versus the fully exhaustive arm.
+claims: >=3x fewer full-leaf (from-t=0) simulations in step 1 AND in step 2
+for the incremental arm, plus a >=10x *wall* reduction from vectorization
+on top of the incremental arm.
 
-Machine-readable numbers go to ``benchmarks/results/BENCH_search.json``
-(uploaded by the CI bench job's artifact step; the bench job prints the
-step-1 vs step-2 breakdown in the run log).
+Profiling runs once and is shared by every arm, so ``wall_s`` is pure
+search cost (the shared profiling wall is reported separately as
+``profile_wall_s``).  Machine-readable numbers go to
+``benchmarks/results/BENCH_search.json`` (uploaded by the CI bench job's
+artifact step; the bench job prints the step-1 vs step-2 and
+vectorized-vs-event breakdowns in the run log).
 """
 
 import json
@@ -32,38 +41,57 @@ from dataclasses import replace
 from repro.hw import X86_V100
 from repro.models import resnet50
 from repro.pooch import PoocH, PoochConfig
+from repro.runtime import run_profiling
 
 from benchmarks.conftest import run_once
 
-#: ample budget: neither arm truncates, so exhaustive and optimized searches
-#: visit the same candidate set and equivalence is provable, not incidental
+#: ample budget: no arm truncates, so all searches visit the same candidate
+#: set and equivalence is provable, not incidental
 _CONFIG = PoochConfig(max_exact_li=8, step1_sim_budget=100_000)
 
 
 def test_bench_search_cost_incremental(benchmark, report, results_dir):
     def run():
+        g = resnet50(256)
         t0 = time.perf_counter()
-        off = PoocH(
-            X86_V100,
-            replace(_CONFIG, prune=False, incremental=False,
-                    incremental_step2=False),
-        ).optimize(resnet50(256))
-        t_off = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        opt = PoocH(X86_V100, _CONFIG).optimize(resnet50(256))
-        t_opt = time.perf_counter() - t0
-        return off, t_off, opt, t_opt
+        profile = run_profiling(g, X86_V100)
+        t_prof = time.perf_counter() - t0
+        arms = {}
+        for label, cfg in (
+            ("exhaustive", replace(_CONFIG, prune=False, incremental=False,
+                                   incremental_step2=False, vectorize=False)),
+            ("optimized", replace(_CONFIG, vectorize=False)),
+            ("vectorized", _CONFIG),
+        ):
+            t0 = time.perf_counter()
+            result = PoocH(X86_V100, cfg).optimize(g, profile)
+            arms[label] = (result, time.perf_counter() - t0)
+        return t_prof, arms
 
-    off, t_off, opt, t_opt = run_once(benchmark, run)
+    t_prof, arms = run_once(benchmark, run)
+    off, t_off = arms["exhaustive"]
+    opt, t_opt = arms["optimized"]
+    vec, t_vec = arms["vectorized"]
 
     # exact equivalence first: same plan, prediction, and the same search
-    # trajectory (flip sequence, rounds, first-round r-values)
-    assert opt.classification.key() == off.classification.key()
-    assert opt.predicted.time == off.predicted.time
-    assert opt.predicted.peak_memory == off.predicted.peak_memory
-    assert opt.stats.flips_to_recompute == off.stats.flips_to_recompute
-    assert opt.stats.step2_rounds == off.stats.step2_rounds
-    assert opt.stats.r_values == off.stats.r_values
+    # trajectory (flip sequence, rounds, first-round r-values) — for the
+    # incremental arm AND the vectorized arm on top of it
+    for cand in (opt, vec):
+        assert cand.classification.key() == off.classification.key()
+        assert cand.predicted.time == off.predicted.time
+        assert cand.predicted.peak_memory == off.predicted.peak_memory
+        assert cand.stats.flips_to_recompute == off.stats.flips_to_recompute
+        assert cand.stats.step2_rounds == off.stats.step2_rounds
+        assert cand.stats.r_values == off.stats.r_values
+    # vectorization changes *how* candidates are simulated, never which:
+    assert vec.stats.sims_step1 == opt.stats.sims_step1
+    assert vec.stats.sims_step2 == opt.stats.sims_step2
+    assert vec.stats.keep_probes_elided == opt.stats.keep_probes_elided
+    # ... and every simulation is either a lockstep row or an event replay
+    assert vec.stats.sims_vectorized > 0
+    assert vec.stats.vector_sweeps > 0
+    assert (vec.stats.sims_vectorized + vec.stats.sims_fallback
+            == vec.stats.sims_step1 + vec.stats.sims_step2)
     # step 1: pruned leaves are never simulated, nothing else changes
     assert (opt.stats.sims_step1 + opt.stats.leaves_pruned
             == off.stats.sims_step1)
@@ -76,18 +104,22 @@ def test_bench_search_cost_incremental(benchmark, report, results_dir):
             == off.stats.r_recomputed)
 
     sims_off = off.stats.sims_full + off.stats.sims_resumed
-    sims_opt = opt.stats.sims_full + opt.stats.sims_resumed
     full_ratio = off.stats.sims_full / max(opt.stats.sims_full, 1)
     step2_ratio = (off.stats.sims_step2_full
                    / max(opt.stats.sims_step2_full, 1))
+    vec_speedup = t_opt / t_vec
 
     def arm(result, wall):
         s = result.stats
         return {
             "wall_s": round(wall, 3),
-            "simulations": s.sims_full + s.sims_resumed,
+            "simulations": s.sims_full + s.sims_resumed + s.sims_vectorized,
             "full": s.sims_full,
             "resumed": s.sims_resumed,
+            "vectorized": s.sims_vectorized,
+            "fallback": s.sims_fallback,
+            "vector_sweeps": s.vector_sweeps,
+            "vector_candidates": s.vector_candidates,
             "subtrees_pruned": s.subtrees_pruned,
             "step2": {
                 "sims": s.sims_step2,
@@ -104,12 +136,16 @@ def test_bench_search_cost_incremental(benchmark, report, results_dir):
         "model": "resnet50",
         "batch": 256,
         "machine": X86_V100.name,
+        "profile_wall_s": round(t_prof, 3),
         "exhaustive": arm(off, t_off),
         "optimized": {**arm(opt, t_opt),
                       "leaves_pruned": opt.stats.leaves_pruned},
+        "vectorized": {**arm(vec, t_vec),
+                       "leaves_pruned": vec.stats.leaves_pruned},
         "full_simulation_ratio": round(full_ratio, 2),
         "step2_full_simulation_ratio": round(step2_ratio, 2),
         "wall_speedup": round(t_off / t_opt, 2),
+        "vectorized_wall_speedup": round(vec_speedup, 2),
         "plan_identical": True,
     }
     (results_dir / "BENCH_search.json").write_text(
@@ -117,14 +153,20 @@ def test_bench_search_cost_incremental(benchmark, report, results_dir):
     )
     report(
         "extension_search_cost_incremental",
-        "PoocH search cost with pruning + incremental replay, "
-        "ResNet-50 (batch=256, x86):\n"
+        "PoocH search cost with pruning + incremental replay + lockstep\n"
+        "vectorization, ResNet-50 (batch=256, x86); walls are pure search "
+        f"(shared profiling: {t_prof:.1f} s):\n"
         f"  exhaustive (all knobs off): {t_off:.1f} s wall, "
         f"{off.stats.sims_full} full-leaf simulations "
         f"({off.stats.sims_step2_full} in step 2)\n"
         f"  pruned + incremental: {t_opt:.1f} s wall, "
         f"{opt.stats.sims_full} full + {opt.stats.sims_resumed} resumed "
         f"simulations, {opt.stats.subtrees_pruned} subtrees pruned\n"
+        f"  + vectorized: {t_vec:.1f} s wall, "
+        f"{vec.stats.sims_vectorized} lockstep + "
+        f"{vec.stats.sims_fallback} event-engine sims over "
+        f"{vec.stats.vector_sweeps} sweeps "
+        f"({vec.stats.vector_candidates} speculated rows)\n"
         f"  step 2: {opt.stats.step2_rounds} rounds, "
         f"{opt.stats.sims_step2_full} full + "
         f"{opt.stats.sims_step2_resumed} resumed sims, "
@@ -132,13 +174,15 @@ def test_bench_search_cost_incremental(benchmark, report, results_dir):
         f"r-values {opt.stats.r_recomputed} recomputed / "
         f"{opt.stats.r_reused} reused\n"
         f"  full-simulation reduction: {full_ratio:.1f}x overall, "
-        f"{step2_ratio:.1f}x in step 2, wall "
-        f"{t_off / t_opt:.2f}x, plan bit-identical",
+        f"{step2_ratio:.1f}x in step 2; wall {t_off / t_opt:.2f}x "
+        f"(incremental), {vec_speedup:.2f}x more (vectorized); "
+        f"plans bit-identical",
     )
 
     # headline claims: >=3x fewer from-scratch replays — overall and within
-    # step 2 — plus a measurable wall win
+    # step 2 — plus a >=10x wall win from vectorization on top
     assert off.stats.sims_full == sims_off  # off arm never resumes
     assert full_ratio >= 3.0
     assert step2_ratio >= 3.0
     assert t_opt < t_off
+    assert vec_speedup >= 10.0

@@ -175,7 +175,8 @@ def _cmd_optimize(args) -> int:
     config = PoochConfig(step1_sim_budget=args.budget, workers=args.workers,
                          prune=not args.no_prune,
                          incremental=not args.no_incremental,
-                         incremental_step2=not args.no_incremental_step2)
+                         incremental_step2=not args.no_incremental_step2,
+                         vectorize=not args.no_vectorize)
     result = PoocH(machine, config, plan_cache=args.plan_cache).optimize(graph)
     print(result.summary())
     if result.stats.plan_cache_hit:
@@ -226,7 +227,8 @@ def _cmd_run(args) -> int:
                              workers=args.workers,
                              prune=not args.no_prune,
                              incremental=not args.no_incremental,
-                             incremental_step2=not args.no_incremental_step2)
+                             incremental_step2=not args.no_incremental_step2,
+                             vectorize=not args.no_vectorize)
         result = PoocH(machine, config, plan_cache=args.plan_cache,
                        faults=injector).optimize(graph)
         if injector is None:
@@ -354,6 +356,10 @@ def make_parser() -> argparse.ArgumentParser:
                         "candidates rebuild and replay in full, and r(X) "
                         "values are re-evaluated every round instead of "
                         "reused under dirty-set invalidation")
+    p.add_argument("--no-vectorize", action="store_true",
+                   help="disable the lockstep vector engine: every candidate "
+                        "simulates through the serial event engine "
+                        "(bit-identical plans, higher search wall time)")
     p.add_argument("--verbose", action="store_true",
                    help="print the per-map classification")
     p.add_argument("--save", metavar="PLAN.json",
@@ -384,6 +390,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="disable only step-2 incremental search (recompute "
                         "delta drafts, resumable replay, r(X) reuse) for "
                         "--method pooch")
+    p.add_argument("--no-vectorize", action="store_true",
+                   help="disable the lockstep vector engine for "
+                        "--method pooch (serial event-engine simulation)")
     p.add_argument("--trace", metavar="TRACE.json",
                    help="write a chrome://tracing / Perfetto trace of the "
                         "pipeline phases plus the executed timeline")

@@ -1,0 +1,704 @@
+"""Lockstep vectorized replay engine for schedule-candidate *families*.
+
+The classification search evaluates thousands of candidate schedules that
+all share one base draft and differ only by keep/swap flips: a kept map
+removes its ``SO``/``SI`` transfer pair and rewires the backward readers of
+the swapped-in instance onto the surviving forward instance (see
+:func:`repro.runtime.schedule.apply_keep_delta`).  :class:`VectorEngine`
+exploits that uniformity: it compiles the base draft once into numpy tables
+(durations, padded dependency lists, rounded memory needs, per-task free
+lists, stream queues) where every flip-dependent task, dependency edge and
+free edge carries a *condition* — "active iff map m is kept" / "active iff
+map m is swapped" — and then simulates K candidates in lockstep as an array
+program: one row of state per candidate, one batched sweep per event round.
+
+Per round, each candidate independently (at its own simulated clock)
+
+1. completes every in-flight task whose finish time equals its next event
+   time (the engines batch completions at identical timestamps), releasing
+   scratch and decrementing buffer free countdowns;
+2. runs one scan pass over the three streams in the deterministic
+   compute → D2H → H2D priority order, issuing each idle stream's head when
+   its dependencies have completed and its memory needs fit (with the same
+   headroom waiver as :class:`~repro.gpusim.engine.Engine`).
+
+Because all engine arithmetic is the same left-fold of IEEE ``+``/``min``
+over the same operands, results are bit-identical to
+:class:`~repro.gpusim.fastengine.FastEngine` and
+:class:`~repro.gpusim.engine.Engine` — same makespans, same per-task
+start/end times, same allocator high-water marks, and the same OOM/deadlock
+diagnoses at the same simulated instants.  ``tests/test_vecengine.py``
+fuzzes exactly that equivalence.
+
+The lockstep formulation covers EAGER-policy drafts without alloc-on-ready
+reservations or start-deps (a single scan pass is then a fixpoint: issues
+only consume memory and dependency satisfaction needs a completion, so no
+issue can unblock another within one instant).  Anything else —
+NAIVE/SUPERNEURONS triggers, forward-refetch swap-ins with recompute
+interactions, mid-replay resume — raises :class:`VectorUnsupported` at
+compile time and the caller falls back to :class:`FastEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import OutOfMemoryError, ScheduleError, SimulationError
+from repro.common.units import format_bytes
+from repro.gpusim.allocator import round_size
+from repro.gpusim.engine import StreamName
+from repro.obs import metrics
+
+#: same deterministic scan priority as the event engines
+_STREAM_ORDER = (StreamName.COMPUTE, StreamName.D2H, StreamName.H2D)
+_N_STREAMS = len(_STREAM_ORDER)
+
+#: free-countdown value of the sentinel buffer column — never reaches zero
+_NEVER = 1 << 30
+
+
+class VectorUnsupported(SimulationError):
+    """The draft (or batch) is outside the lockstep engine's expressible
+    family; callers fall back to the event-driven engines."""
+
+
+@dataclass(frozen=True)
+class KeepFlip:
+    """One map's keep↔swap flip, described purely in engine terms.
+
+    ``removed_tasks``/``removed_buffers`` exist only while the map is
+    swapped; when kept, each task in ``rewired_readers`` drops its
+    dependency on ``swap_in`` in favour of ``fwd_producer`` and joins the
+    free set of ``fwd_buffer`` (whose ``swap_out`` free edge disappears
+    with the swap-out task).  Built from a base draft by
+    :func:`repro.runtime.schedule.keep_flip_specs`, mirroring
+    ``apply_keep_delta`` edge for edge.
+    """
+
+    map_id: int
+    swap_out: str
+    swap_in: str | None
+    fwd_buffer: str
+    fwd_producer: str
+    host_buffer: str
+    back_buffer: str | None
+    rewired_readers: tuple[str, ...] = ()
+
+
+@dataclass
+class VecOutcome:
+    """Result of one candidate's lockstep replay.
+
+    ``error`` carries the exact exception an event engine run would have
+    raised (``OutOfMemoryError`` or ``ScheduleError``) — not raised here so
+    one infeasible candidate cannot abort its batch.  ``starts``/``ends``
+    map tid → time when the batch ran with ``record_times=True``.
+    """
+
+    makespan: float
+    device_peak: int
+    host_peak: int
+    error: Exception | None = None
+    starts: dict[str, float] | None = None
+    ends: dict[str, float] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class VectorTables:
+    """Numpy tables compiled once from a raw schedule draft (plus the
+    conditional edges of an optional keep-flip family).  Immutable; one
+    compile serves every :meth:`VectorEngine.run_batch` over the family."""
+
+    def __init__(self, tasks, queues, buffers, device_capacity: int,
+                 host_capacity: int | None = None,
+                 flips: tuple[KeepFlip, ...] = ()) -> None:
+        if device_capacity <= 0:
+            raise SimulationError(
+                f"pool capacity must be positive, got {device_capacity}")
+        self.device_capacity = int(device_capacity)
+        self.host_capacity = int(host_capacity or (1 << 62))
+        self.flips = tuple(flips)
+        self.flip_maps = tuple(f.map_id for f in self.flips)
+
+        tids = list(tasks)
+        index = {tid: i for i, tid in enumerate(tids)}
+        n = len(tids)
+        self.tids = tids
+        self.index = index
+        self.n = n
+
+        # -- expressibility gate (see module docstring) ---------------------
+        for tid in tids:
+            t = tasks[tid]
+            if not t.memory_gated:
+                raise VectorUnsupported(
+                    f"task {tid!r} is not memory-gated (SUPERNEURONS-style "
+                    "drafts need the event engine)")
+            if t.alloc_on_ready:
+                raise VectorUnsupported(
+                    f"task {tid!r} uses alloc-on-ready reservations")
+            if t.start_deps:
+                raise VectorUnsupported(
+                    f"task {tid!r} has start-deps (NAIVE/SUPERNEURONS "
+                    "triggers need the event engine)")
+
+        # flip slot per conditioned tid: slot+1 when active-iff-kept is
+        # False (task removed when kept) — tasks are only ever conditioned
+        # negatively (SO/SI exist while swapped)
+        removed_when_kept: dict[str, int] = {}
+        for s, f in enumerate(self.flips):
+            if f.swap_out not in index:
+                raise VectorUnsupported(
+                    f"flip of map {f.map_id} names unknown task "
+                    f"{f.swap_out!r}")
+            removed_when_kept[f.swap_out] = s
+            if f.swap_in is not None:
+                removed_when_kept[f.swap_in] = s
+
+        #: 0 = always active, -(s+1) = inactive when keep[s]
+        task_cond = np.zeros(n, np.int32)
+        for tid, s in removed_when_kept.items():
+            task_cond[index[tid]] = -(s + 1)
+        self.task_cond = task_cond
+
+        # -- buffers ---------------------------------------------------------
+        bids = list(buffers)
+        bindex = {bid: i for i, bid in enumerate(bids)}
+        nb = len(bids)
+        self.bids = bids
+        self.nbuf = nb
+        buf_size = np.zeros(nb + 1, np.int64)
+        buf_host = np.zeros(nb + 1, bool)
+        for bid, b in buffers.items():
+            buf_size[bindex[bid]] = round_size(b.nbytes)
+            buf_host[bindex[bid]] = b.host
+        self.buf_size = buf_size
+        self.buf_host = buf_host
+
+        # -- dependency slots: one *shared* table for the whole family.
+        # A rewired reader carries both the swap-in dep (fires only while
+        # swapped — the task vanishes when kept, so its in-degree share is
+        # simply not counted then) and the forward-producer dep (always
+        # present: while swapped it is transitively implied by the swap-in
+        # chain SI → SO → producer, so counting it never delays an issue).
+        # The per-candidate part is therefore just the *initial in-degree*,
+        # which the batch derives from one matmul over the keep mask.
+        dep_slots: list[list[int]] = [
+            [index[d] for d in tasks[tid].deps] for tid in tids
+        ]
+        # -- free edges: (buffer, eff_cond, paired_alt); a buffer is freed
+        # when every edge that fires in the candidate has fired.  Most
+        # conditioned edges belong to tasks that exist only while swapped
+        # (SO/SI) — those stay in the shared table, an inactive task never
+        # completes.  The one genuinely per-candidate slot is the rewired
+        # reader's pin: backward instance while swapped, forward instance
+        # while kept.  It is stored as a *pair* (primary = swapped value,
+        # alternate = kept value) and resolved at completion time.
+        free_slots: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+        edges: dict[tuple[int, int], tuple[int, int]] = {}
+        for bid, b in buffers.items():
+            bi = bindex[bid]
+            for tid in (b.writers | b.readers):
+                edges[(index[tid], bi)] = (0, -1)
+
+        for s, f in enumerate(self.flips):
+            so_i = index[f.swap_out]
+            fwd_bi = bindex[f.fwd_buffer]
+            fwd_pi = index[f.fwd_producer]
+            # swap-out's read of the forward instance exists only while
+            # swapped; so do the host instance and its free edge
+            edges[(so_i, fwd_bi)] = (-(s + 1), -1)
+            edges[(so_i, bindex[f.host_buffer])] = (-(s + 1), -1)
+            if f.swap_in is None:
+                continue
+            si_i = index[f.swap_in]
+            back_bi = bindex[f.back_buffer]
+            for rid in f.rewired_readers:
+                ri = index[rid]
+                # kept: reader waits on the forward producer and pins the
+                # forward instance; swapped: it waits on the swap-in and
+                # pins the swapped-in instance
+                dep_slots[ri].append(fwd_pi)
+                edges[(ri, back_bi)] = (-(s + 1), fwd_bi)
+            edges[(si_i, back_bi)] = (-(s + 1), -1)
+            edges[(si_i, bindex[f.host_buffer])] = (-(s + 1), -1)
+
+        for (ti, bi), (cond, alt) in edges.items():
+            free_slots[ti].append((bi, cond, alt))
+
+        nf = len(self.flips)
+        self.n_flips = nf
+
+        # in-degree seed: a dep slot contributes iff its *dep task* exists
+        # in the candidate (float32 so the batch matmul hits BLAS; counts
+        # stay far below 2**24, so the sums are exact)
+        indeg_base = np.zeros(n + 1, np.float32)
+        indeg_swap = np.zeros((nf, n + 1), np.float32)
+        for i, slots in enumerate(dep_slots):
+            for d in slots:
+                c = task_cond[d]
+                if c == 0:
+                    indeg_base[i] += 1
+                else:
+                    indeg_swap[-c - 1, i] += 1
+        self.indeg_base = indeg_base
+        self.indeg_swap = indeg_swap
+
+        # consumer lists: who to count down when a task completes (one
+        # entry per dep slot, so duplicate edges stay balanced)
+        cons_lists: list[list[int]] = [[] for _ in range(n)]
+        for i, slots in enumerate(dep_slots):
+            for d in slots:
+                cons_lists[d].append(i)
+        cmax = max((len(c) for c in cons_lists), default=0)
+        consumers_pad = np.full((n, max(cmax, 1)), n, np.int32)
+        for i, cons in enumerate(cons_lists):
+            consumers_pad[i, : len(cons)] = cons
+        self.consumers_pad = consumers_pad
+
+        fmax = max((len(s) for s in free_slots), default=0)
+        frees_pad = np.full((n, max(fmax, 1)), nb, np.int32)
+        pair_alt = np.full((n, max(fmax, 1)), nb, np.int32)
+        pair_flip = np.zeros((n, max(fmax, 1)), np.int32)
+        for i, slots in enumerate(free_slots):
+            for j, (b, c, alt) in enumerate(slots):
+                frees_pad[i, j] = b
+                if alt >= 0:
+                    pair_alt[i, j] = alt
+                    pair_flip[i, j] = -c  # pair conds are always negative
+        self.frees_pad = frees_pad
+        self.pair_alt = pair_alt
+        self.pair_flip = pair_flip
+        #: which tasks carry any pair slot — the completion loop only runs
+        #: the pair fix-up over those rows
+        self.pair_task = (pair_flip != 0).any(axis=1)
+        self.has_pairs = bool(self.pair_task.any())
+
+        # free-countdown initialisation: unconditional edge count per
+        # buffer, plus per-flip corrections applied via one matmul.  An
+        # edge counts iff it fires: task-conditioned edges follow the task,
+        # a pair slot counts its swapped side or its kept side.
+        free_base = np.zeros(nb + 1, np.float32)
+        count_keep = np.zeros((nf, nb + 1), np.float32)
+        count_swap = np.zeros((nf, nb + 1), np.float32)
+        for (ti, bi), (cond, alt) in edges.items():
+            if cond == 0:
+                free_base[bi] += 1
+            else:
+                count_swap[-cond - 1, bi] += 1
+                if alt >= 0:
+                    count_keep[-cond - 1, alt] += 1
+        free_base[nb] = _NEVER
+        self.free_base = free_base
+        self.count_keep = count_keep
+        self.count_swap = count_swap
+
+        # -- per-task scalars (padded with a sentinel slot at index n, so
+        # scan-time gathers over sentinel queue heads stay in bounds) -------
+        self.duration = np.array([tasks[t].duration for t in tids], np.float64)
+        self.scratch_r = np.array(
+            [round_size(tasks[t].scratch_bytes) for t in tids], np.int64)
+        self.headroom = np.zeros(n + 1, np.int64)
+        self.headroom[:n] = [tasks[t].headroom for t in tids]
+
+        need_dev = np.zeros(n + 1, np.int64)
+        need_host = np.zeros(n + 1, np.int64)
+        host_buf_of = np.full(n + 1, -1, np.int64)
+        n_dev_bufs = np.zeros(n + 1, np.int64)
+        for bid, b in buffers.items():
+            if b.alloc_by is None:
+                continue
+            i = index[b.alloc_by]
+            if b.host:
+                if host_buf_of[i] >= 0:
+                    raise VectorUnsupported(
+                        f"task {b.alloc_by!r} allocates several host buffers")
+                host_buf_of[i] = bindex[bid]
+                need_host[i] += round_size(b.nbytes)
+            else:
+                need_dev[i] += round_size(b.nbytes)
+                n_dev_bufs[i] += 1
+        if np.any((need_host[:n] > 0)
+                  & ((need_dev[:n] > 0) | (self.scratch_r > 0))):
+            raise VectorUnsupported(
+                "a task allocates both host and device memory (host-pool "
+                "failure ordering is not expressible)")
+        need_dev[:n] += self.scratch_r
+        self.need_dev = need_dev
+        self.need_host = need_host
+        self.host_buf_of = host_buf_of
+        #: mirror of FastEngine's _check_full: no memory gate at all when a
+        #: task allocates nothing on the device
+        self.check = np.zeros(n + 1, bool)
+        self.check[:n] = (self.scratch_r > 0) | (n_dev_bufs[:n] > 0)
+
+        # -- stream queues (base order; candidates compact them by mask) -----
+        self.queues = [
+            np.array([index[t] for t in queues.get(s, [])], np.int32)
+            for s in _STREAM_ORDER
+        ]
+        stream_of = np.zeros(n, np.int32)
+        for si, q in enumerate(self.queues):
+            stream_of[q] = si
+        self.stream_of = stream_of
+
+        # -- preallocated buffers (weights, gradients): resident from t=0.
+        # Replay the malloc sequence once — a prealloc overflow fails every
+        # candidate identically, with the pool's own error
+        self.prealloc_error: OutOfMemoryError | None = None
+        dev_use = host_use = 0
+        for bid, b in buffers.items():
+            if b.alloc_by is not None:
+                continue
+            size = round_size(b.nbytes)
+            cap, in_use, name = (
+                (self.host_capacity, host_use, "host") if b.host
+                else (self.device_capacity, dev_use, "gpu"))
+            if size > cap - in_use:
+                self.prealloc_error = OutOfMemoryError(
+                    f"{name} pool out of memory allocating {bid!r}: "
+                    f"requested {format_bytes(size)}, free "
+                    f"{format_bytes(cap - in_use)} of {format_bytes(cap)}"
+                    " while prealloc",
+                    requested=size, free=cap - in_use, capacity=cap,
+                    context="prealloc")
+                break
+            if b.host:
+                host_use += size
+            else:
+                dev_use += size
+        self.prealloc_dev = dev_use
+        self.prealloc_host = host_use
+
+    # -- candidate-family helpers ----------------------------------------------
+
+    def active_tasks(self, keep: np.ndarray) -> np.ndarray:
+        """(K, n) bool: which tasks exist in each candidate."""
+        k = keep.shape[0]
+        active = np.ones((k, self.n), bool)
+        neg = self.task_cond < 0
+        if neg.any():
+            active[:, neg] = ~keep[:, -self.task_cond[neg] - 1]
+        return active
+
+
+class VectorEngine:
+    """Run batches of candidates against one :class:`VectorTables`."""
+
+    def __init__(self, tables: VectorTables) -> None:
+        self.tables = tables
+
+    # -- scalar fallbacks for the rare per-candidate exits ---------------------
+
+    def _diagnose_stall(self, k: int, now: float, qk, cur, indeg_k,
+                        dev_use: int, ninf: int) -> Exception:
+        """Mirror of the event engines' deadlock diagnosis for candidate k
+        (reached with nothing in flight, so the headroom waiver is moot)."""
+        t = self.tables
+        memory_blocked: list[int] = []
+        dep_blocked: list[int] = []
+        for s in range(_N_STREAMS):
+            h = int(qk[s][k, cur[k, s]])
+            if h >= t.n:
+                continue
+            if indeg_k[h] > 0:
+                dep_blocked.append(h)
+            elif t.check[h] and t.need_dev[h] > t.device_capacity - dev_use:
+                memory_blocked.append(h)
+            else:  # issuable head ⇒ the scan would not have stalled
+                dep_blocked.append(h)
+        free = t.device_capacity - dev_use
+        if memory_blocked:
+            i = memory_blocked[0]
+            need = int(t.need_dev[i])
+            metrics.count("engine.stalls_memory")
+            return OutOfMemoryError(
+                f"memory deadlock at t={now:.6f}: task {t.tids[i]!r} needs "
+                f"{format_bytes(need)} (+{format_bytes(int(t.headroom[i]))} "
+                f"headroom), free {format_bytes(free)} of "
+                f"{format_bytes(t.device_capacity)}, nothing in flight",
+                requested=need, free=free, capacity=t.device_capacity,
+                context=t.tids[i])
+        heads = [t.tids[i] for i in dep_blocked]
+        metrics.count("engine.stalls_dependency")
+        return ScheduleError(
+            f"dependency deadlock at t={now:.6f}: stream heads {heads} "
+            "can never issue (cyclic or unsatisfiable deps)")
+
+    def _host_oom(self, i: int, host_use: int) -> OutOfMemoryError:
+        """The host pool's own malloc failure (host allocs are ungated)."""
+        t = self.tables
+        bid = t.bids[int(t.host_buf_of[i])]
+        size = int(t.need_host[i])
+        free = t.host_capacity - host_use
+        return OutOfMemoryError(
+            f"host pool out of memory allocating {bid!r}: requested "
+            f"{format_bytes(size)}, free {format_bytes(free)} of "
+            f"{format_bytes(t.host_capacity)} while {t.tids[i]}",
+            requested=size, free=free, capacity=t.host_capacity,
+            context=t.tids[i])
+
+    # -- the lockstep loop ------------------------------------------------------
+
+    def run_batch(self, keep: np.ndarray | None = None,
+                  record_times: bool = False) -> list[VecOutcome]:
+        """Simulate K candidates; ``keep`` is a (K, len(flips)) bool matrix
+        (``None`` = the base draft alone).  Returns one :class:`VecOutcome`
+        per row, in order — infeasible candidates carry their exact
+        event-engine exception instead of raising."""
+        t = self.tables
+        if keep is None:
+            keep = np.zeros((1, len(t.flips)), bool)
+        keep = np.asarray(keep, bool)
+        if keep.ndim != 2 or keep.shape[1] != len(t.flips):
+            raise SimulationError(
+                f"keep matrix must be (K, {len(t.flips)}), got {keep.shape}")
+        K = keep.shape[0]
+        n = t.n
+        nb1 = t.nbuf + 1
+        registry = metrics.active()
+        if registry is not None:
+            registry.count("engine.vector_runs")
+            registry.count("engine.vector_candidates", K)
+
+        if t.prealloc_error is not None:
+            return [VecOutcome(float("inf"), t.prealloc_dev, t.prealloc_host,
+                               error=t.prealloc_error) for _ in range(K)]
+
+        ar = np.arange(K)
+        active_task = t.active_tasks(keep)
+        total = active_task.sum(1)
+
+        # per-candidate compacted queues (sentinel-tailed).  A stable
+        # actives-first compaction is just a running count of actives: task
+        # q[j] lands at column (#actives before j) of its row.
+        qk: list[np.ndarray] = []
+        for q in t.queues:
+            if q.size == 0:
+                qk.append(np.full((K, 1), n, np.int32))
+                continue
+            if not (t.task_cond[q] != 0).any():
+                # unconditioned queue (e.g. compute): one shared row
+                row = np.concatenate([q, [n]]).astype(np.int32)
+                qk.append(np.broadcast_to(row, (K, q.size + 1)))
+                continue
+            qa = active_task[:, q]
+            pos = np.cumsum(qa, axis=1) - 1
+            out = np.full((K, q.size + 1), n, np.int32)
+            rows, cols = np.nonzero(qa)
+            out[rows, pos[rows, cols]] = q[cols]
+            qk.append(out)
+
+        # per-candidate countdown seeds via two BLAS matmuls; int64 keeps
+        # np.subtract.at on its fast (no-cast) path
+        kf = keep.astype(np.float32)
+        nkf = np.float32(1.0) - kf
+        free_count = (t.free_base[None, :]
+                      + kf @ t.count_keep + nkf @ t.count_swap)
+        fc_flat = np.ascontiguousarray(free_count, np.int64).reshape(-1)
+        indeg = t.indeg_base[None, :] + nkf @ t.indeg_swap
+        ind_flat = np.ascontiguousarray(indeg, np.int64).reshape(-1)
+
+        # mutable lockstep state, one row per candidate
+        now = np.zeros(K)
+        fin = np.full((K, _N_STREAMS), np.inf)
+        inflight = np.zeros((K, _N_STREAMS), np.int32)
+        cur = np.zeros((K, _N_STREAMS), np.int64)
+        ncomp = np.zeros(K, np.int64)
+        ninf = np.zeros(K, np.int64)
+        dev_use = np.full(K, t.prealloc_dev, np.int64)
+        host_use = np.full(K, t.prealloc_host, np.int64)
+        dev_peak = dev_use.copy()
+        host_peak = host_use.copy()
+        running = np.ones(K, bool)
+        errors: dict[int, Exception] = {}
+        makespan = np.zeros(K)
+        starts = np.full((K, n), np.nan) if record_times else None
+        ends = np.full((K, n), np.nan) if record_times else None
+
+        duration = t.duration
+        need_dev = t.need_dev
+        need_host = t.need_host
+        headroom = t.headroom
+        check = t.check
+        scratch_r = t.scratch_r
+        buf_size = t.buf_size
+        buf_host = t.buf_host
+        dev_cap = t.device_capacity
+        host_cap = t.host_capacity
+
+        # flat views + row offsets let the hot loop use ``take`` (contiguous
+        # 1-D gathers) instead of multi-axis fancy indexing
+        n1 = n + 1
+        row_off = ar * n1
+        consumers_pad = t.consumers_pad
+        frees_pad = t.frees_pad
+        pair_alt = t.pair_alt
+        pair_flip = t.pair_flip
+        pair_task = t.pair_task
+        has_pairs = t.has_pairs
+        nf = max(t.n_flips, 1)
+        keep_flat = np.ascontiguousarray(keep).reshape(-1)
+
+        # head-gather fast paths: a shared (broadcast) queue reads one row,
+        # a per-candidate queue reads its flat view with row offsets
+        q_shared: list[np.ndarray | None] = []
+        q_flat: list[tuple[np.ndarray, np.ndarray] | None] = []
+        for qs in qk:
+            if qs.strides[0] == 0:
+                q_shared.append(qs[0])
+                q_flat.append(None)
+            else:
+                q_shared.append(None)
+                q_flat.append((qs.reshape(-1), qs.shape[1]))
+
+        while running.any():
+            # ---- scan: one prioritized pass over the three streams --------
+            for s in range(_N_STREAMS):
+                # compact on "stream open" before the head gather: the take
+                # and every later op run on the |ck| open rows, not all K
+                ck = np.nonzero(running & np.isinf(fin[:, s]))[0]
+                if ck.size == 0:
+                    continue
+                qrow = q_shared[s]
+                if qrow is not None:
+                    hc = qrow.take(cur[ck, s])
+                else:
+                    qf, qw = q_flat[s]
+                    hc = qf.take(ck * qw + cur[ck, s])
+                open_h = hc < n
+                if not open_h.all():
+                    ck = ck[open_h]
+                    if ck.size == 0:
+                        continue
+                    hc = hc[open_h]
+                ok = ind_flat.take(row_off[ck] + hc) == 0
+                ck = ck[ok]
+                if ck.size == 0:
+                    continue
+                hc = hc[ok]
+                nd = need_dev[hc]
+                free = dev_cap - dev_use[ck]
+                ok = (~check[hc]
+                      | ((nd <= free)
+                         & ((free >= nd + headroom[hc]) | (ninf[ck] == 0))))
+                hn = need_host[hc]
+                hbad = ok & (hn > host_cap - host_use[ck])
+                if hbad.any():
+                    for j in np.nonzero(hbad)[0]:
+                        k = int(ck[j])
+                        errors[k] = self._host_oom(int(hc[j]),
+                                                   int(host_use[k]))
+                        makespan[k] = np.inf
+                        running[k] = False
+                    ok &= ~hbad
+                kk = ck[ok]
+                if kk.size == 0:
+                    continue
+                hh = hc[ok]
+                dev_use[kk] += nd[ok]
+                host_use[kk] += hn[ok]
+                fin[kk, s] = now[kk] + duration[hh]
+                inflight[kk, s] = hh
+                cur[kk, s] += 1
+                ninf[kk] += 1
+                if starts is not None:
+                    starts[kk, hh] = now[kk]
+            np.maximum(dev_peak, dev_use, out=dev_peak)
+            np.maximum(host_peak, host_use, out=host_peak)
+
+            # ---- next event time per candidate ----------------------------
+            tnext = fin.min(1)
+            live = running & np.isfinite(tnext)
+            idle = running ^ live
+            if idle.any():
+                for k in np.nonzero(idle)[0]:
+                    if ncomp[k] == total[k]:
+                        makespan[k] = now[k]
+                    else:
+                        errors[k] = self._diagnose_stall(
+                            int(k), float(now[k]), qk, cur,
+                            ind_flat[k * n1:(k + 1) * n1],
+                            int(dev_use[k]), int(ninf[k]))
+                        makespan[k] = np.inf
+                running &= ~idle
+            if not live.any():
+                continue
+
+            # ---- batched completions at each candidate's event time -------
+            kk, ss = np.nonzero((fin <= tnext[:, None]) & live[:, None])
+            ii = inflight[kk, ss]
+            fin[kk, ss] = np.inf
+            np.copyto(now, tnext, where=live)
+            counts = np.bincount(kk, minlength=K)
+            ncomp += counts
+            ninf -= counts
+            # scratch release (rounded like the pool); int64 all the way
+            # keeps ufunc.at on its fast path
+            np.subtract.at(dev_use, kk, scratch_r[ii])
+            if ends is not None:
+                ends[kk, ii] = tnext[kk]
+            # dependency countdown: each completion counts down its
+            # consumers' in-degrees (sentinel slots dropped first)
+            cons = consumers_pad[ii]
+            cflat = (kk[:, None] * n1 + cons)[cons < n]
+            np.subtract.at(ind_flat, cflat, 1)
+            # buffer free countdowns; a buffer is released when the last
+            # active edge fires.  Pair slots (confined to the few tasks in
+            # ``pair_task``) resolve to the kept-side buffer first; sentinel
+            # (padding) slots are dropped before the scatter, and several
+            # same-instant completions hitting zero together are collapsed
+            # into one release by a sort-dedupe.
+            fb = frees_pad[ii]
+            if has_pairs:
+                pr = np.nonzero(pair_task[ii])[0]
+                if pr.size:
+                    pf = pair_flip[ii[pr]]
+                    kept = keep_flat.take(
+                        kk[pr, None] * nf + np.maximum(pf, 1) - 1)
+                    fb[pr] = np.where((pf > 0) & kept, pair_alt[ii[pr]],
+                                      fb[pr])
+            flat = (kk[:, None] * nb1 + fb)[fb < t.nbuf]
+            np.subtract.at(fc_flat, flat, 1)
+            zero = fc_flat[flat] == 0
+            if zero.any():
+                zf = np.sort(flat[zero])
+                if zf.size > 1:
+                    zf = zf[np.concatenate(([True], zf[1:] != zf[:-1]))]
+                zk = zf // nb1
+                zb = zf - zk * nb1
+                sizes = buf_size[zb]
+                hsel = buf_host[zb]
+                np.subtract.at(dev_use, zk[~hsel], sizes[~hsel])
+                np.subtract.at(host_use, zk[hsel], sizes[hsel])
+
+        out: list[VecOutcome] = []
+        for k in range(K):
+            err = errors.get(k)
+            o = VecOutcome(
+                makespan=float(makespan[k]) if err is None else float("inf"),
+                device_peak=int(dev_peak[k]),
+                host_peak=int(host_peak[k]),
+                error=err)
+            if record_times and err is None:
+                o.starts = {t.tids[i]: float(starts[k, i])
+                            for i in range(n) if not np.isnan(starts[k, i])}
+                o.ends = {t.tids[i]: float(ends[k, i])
+                          for i in range(n) if not np.isnan(ends[k, i])}
+            out.append(o)
+        return out
+
+
+def simulate_draft(tasks, queues, buffers, device_capacity: int,
+                   host_capacity: int | None = None,
+                   record_times: bool = False) -> VecOutcome:
+    """Compile one draft and run it alone (no flip family) — the
+    differential-test entry point."""
+    tables = VectorTables(tasks, queues, buffers, device_capacity,
+                          host_capacity)
+    return VectorEngine(tables).run_batch(record_times=record_times)[0]

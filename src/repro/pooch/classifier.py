@@ -34,6 +34,8 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.common.errors import OutOfMemoryError
 from repro.graph import NNGraph
 from repro.gpusim.allocator import round_size
@@ -109,6 +111,17 @@ class PoochConfig:
     #: changes *which candidates are simulated*, so the knob is part of
     #: :meth:`signature`.
     incremental_step2: bool = True
+    #: evaluate pure keep/swap candidates on the lockstep vector engine
+    #: (:mod:`repro.gpusim.vecengine`): step-1 leaves are staged by a
+    #: speculative chunk-major sweep and step-2 keep probes by one sweep
+    #: per round, with the event engine as fallback for everything the
+    #: flip family cannot express (recompute probes, non-EAGER drafts).
+    #: Outcomes are bit-identical to the event engines (the differential
+    #: harness fuzzes it), so plans and simulation counts never change —
+    #: but the knob swaps the engine family that produced every cached
+    #: outcome, so it stays in :meth:`signature` out of caution: a plan
+    #: cache entry is never silently reused across engine families.
+    vectorize: bool = True
 
     def signature(self) -> str:
         """Stable identity of every knob that affects the *chosen plan* or
@@ -121,7 +134,7 @@ class PoochConfig:
             f"budget={self.step1_sim_budget};eps={self.time_epsilon!r};"
             f"verify={self.verify_flips};margin={self.capacity_margin};"
             f"gap={self.forward_refetch_gap};prune={self.prune};"
-            f"step2={self.incremental_step2}"
+            f"step2={self.incremental_step2};vec={self.vectorize}"
         )
 
 
@@ -175,6 +188,17 @@ class SearchStats:
     #: ``sims_step1+sims_step2``, which remain the authoritative counts)
     sims_full: int = 0
     sims_resumed: int = 0
+    #: vectorized-vs-fallback split of the search's simulations: outcomes a
+    #: lockstep sweep produced *and the search consumed* (counted once, at
+    #: absorb time) vs simulations that ran through the serial event-engine
+    #: path (recompute probes, non-expressible drafts, vectorize=False)
+    sims_vectorized: int = 0
+    sims_fallback: int = 0
+    #: lockstep sweeps run and total candidate rows swept; rows the
+    #: speculative step-1 driver evaluated but never consumed (mispredicted
+    #: tails, pruned leaves) are included, so rows ≥ ``sims_vectorized``
+    vector_sweeps: int = 0
+    vector_candidates: int = 0
     #: wall-clock seconds spent inside classify()
     wall_time_s: float = 0.0
 
@@ -205,6 +229,7 @@ def _init_search_worker(graph: NNGraph, profile: Profile,
         forward_refetch_gap=config.forward_refetch_gap,
         incremental=config.incremental,
         incremental_step2=config.incremental_step2,
+        vectorize=config.vectorize,
     )
     _worker_all_swap = Classification.all_swap(graph)
     _worker_epsilon = config.time_epsilon
@@ -433,6 +458,207 @@ class _LeafCursor:
         return None
 
 
+class _VectorLeafStager:
+    """Speculative chunk-major evaluation of step-1 leaves on the lockstep
+    vector engine, staged in the worker-protocol shape ``(base, events)``.
+
+    The serial search walks leaves one at a time, each an inherently
+    sequential greedy scan (every accept changes the next trial).  The
+    stager breaks that chain the same way the process-pool path does —
+    evaluate ahead, then *replay* through ``consume_leaf`` so accounting,
+    budget truncation and the chosen plan are exactly serial — but gets its
+    outcomes from lockstep sweeps instead of worker processes:
+
+    * leaves are staged in windows sized to the remaining simulation
+      budget (everything past the budget's reach is never swept);
+    * every live leaf *speculates* a run of candidate trials along its
+      own greedy frontier under predicted accept/reject decisions; one
+      sweep evaluates every leaf's run at once; each leaf's greedy walk
+      then replays against the swept outcomes — a mispredicted decision
+      invalidates that leaf's speculated tail, which is regenerated from
+      the corrected prefix in the next round.  Leaves advance
+      independently (no barrier between scan positions), so a straggler
+      never forces the window back into tiny sweeps;
+    * decisions are predicted per scan position by majority vote over
+      the decisions other leaves already made there, and a leaf's run is
+      cut off once the joint probability that its speculated prefix is
+      right drops below ``THRESH`` (or at ``DEPTH`` trials).  Positions
+      where leaves agree are swept tens deep; positions where they
+      genuinely disagree are swept nearly unspeculated;
+    * a window opens with a pioneer cohort (growing fourfold per round)
+      so early leaves populate the votes before the bulk of the window
+      speculates against them.
+
+    Decisions replayed here use the exact accept rule of the search on
+    exact outcomes, so staged events equal what serial evaluation would
+    have produced wherever the search consults them; everything else is
+    discarded without ever touching the predictor cache.  A ``None`` event
+    (byte-skip, non-OOM engine error, or vectorization lost mid-run) makes
+    ``consume_leaf`` fall back to the serial predictor for that position.
+    The vote tallies only steer *speculation* — which trials are staged —
+    never a decision, so they cannot affect the chosen plan.
+    """
+
+    DEPTH = 48          # max speculated trials per leaf per sweep
+    THRESH = 0.9        # min joint probability a speculated tail is valid
+    RAMP = 32           # pioneer cohort size; quadruples every round
+
+    def __init__(self, predictor, leaves, scan, map_bytes, keep_budget,
+                 epsilon, budget_remaining) -> None:
+        self.predictor = predictor
+        self.leaves = leaves
+        self.scan = scan
+        self.map_bytes = map_bytes
+        self.keep_budget = keep_budget
+        self.epsilon = epsilon
+        self.budget_remaining = budget_remaining
+        self._fi = predictor.vector_flip_index()
+        self._staged: dict[int, tuple] = {}
+        #: per scan position: how many staged leaves accepted / rejected
+        #: the flip there (majority predicts, minority share gates depth)
+        self._acc = [0] * len(scan)
+        self._rej = [0] * len(scan)
+        #: leaves below this index were staged (or skipped past) already
+        self._next = 0
+
+    def get(self, idx: int):
+        """Worker-protocol ``(base, events)`` for leaf ``idx``, staging the
+        window that contains it on demand; None when vectorization is
+        unavailable (caller falls back to pure serial evaluation)."""
+        if self._fi is None:
+            return None
+        pre = self._staged.pop(idx, None)
+        if pre is not None:
+            return pre
+        if idx < self._next:  # already consumed (cannot happen: the cursor
+            return None       # visits each leaf once) — serve serially
+        # size the window to what the simulation budget can still absorb:
+        # one base plus one trial per scan position per leaf
+        per_leaf = 1 + len(self.scan)
+        want = max(8, -(-self.budget_remaining() // per_leaf))
+        hi = min(len(self.leaves), idx + want)
+        self._stage(list(range(idx, hi)))
+        self._next = hi
+        return self._staged.pop(idx, None)
+
+    # -- window staging ---------------------------------------------------------
+
+    def _rows_for(self, keep_sets) -> np.ndarray:
+        fi = self._fi
+        rows = np.zeros((len(keep_sets), len(fi)), bool)
+        for r, ks in enumerate(keep_sets):
+            for m in ks:
+                rows[r, fi[m]] = True
+        return rows
+
+    def _stage(self, indices: list[int]) -> None:
+        rows = self._rows_for([self.leaves[li] for li in indices])
+        outs = self.predictor.predict_keep_batch(rows)
+        if outs is None:
+            self._fi = None
+            return
+        # leaves awaiting admission; each entry carries the walk state
+        # (prefix, keep row, best time, kept bytes) at its greedy frontier
+        queue: list[tuple[int, tuple]] = []
+        for r, li in enumerate(indices):
+            base = outs[r]
+            self._staged[li] = (base, [None] * len(self.scan))
+            if base is not None and base.feasible:
+                kb = sum(self.map_bytes[m] for m in self.leaves[li])
+                queue.append((li, ((), rows[r], base.time, kb)))
+        live: dict[int, tuple] = {}
+        admit = self.RAMP
+        while queue or live:
+            for li, st in queue[:admit]:
+                live[li] = st
+            del queue[:admit]
+            admit *= 4
+            entries: list[tuple[int, int, tuple]] = []
+            cand: list[np.ndarray] = []
+            for li, st in sorted(live.items()):
+                self._gen(li, st, entries, cand)
+            stage: dict[tuple[int, int], tuple] = {}
+            if cand:
+                outs = self.predictor.predict_keep_batch(np.stack(cand))
+                if outs is None:
+                    self._fi = None
+                    return
+                for (li, j, prefix), out in zip(entries, outs):
+                    stage[(li, j)] = (prefix, out)
+            for li, st in sorted(live.items()):
+                done, nst = self._walk(li, st, stage)
+                if done:
+                    del live[li]
+                else:
+                    live[li] = nst
+
+    def _gen(self, li, st, entries, cand) -> None:
+        """Speculate the next run of candidate trials along one leaf's
+        greedy frontier.  Each decision not yet made is predicted by the
+        per-position majority vote; the run stops once the joint
+        probability that the speculated prefix is right — the product of
+        the majority shares it rests on — drops below ``THRESH``.  The
+        first trial sits on no prediction at all, so every live leaf
+        always stages at least one decidable trial (progress guarantee)."""
+        prefix, cur, _t, kb = st
+        fi = self._fi
+        conf = 1.0
+        emitted = 0
+        for j in range(len(prefix), len(self.scan)):
+            m = self.scan[j]
+            if kb + self.map_bytes[m] > self.keep_budget:
+                prefix = prefix + (False,)
+                continue
+            row = cur.copy()
+            row[fi[m]] = True
+            entries.append((li, j, prefix))
+            cand.append(row)
+            emitted += 1
+            acc, rej = self._acc[j], self._rej[j]
+            if acc >= rej:
+                cur = row
+                kb += self.map_bytes[m]
+                prefix = prefix + (True,)
+            else:
+                prefix = prefix + (False,)
+            if acc or rej:
+                conf *= max(acc, rej) / (acc + rej)
+            if emitted >= self.DEPTH or conf < self.THRESH:
+                return
+
+    def _walk(self, li, st, stage):
+        """Replay the greedy scan for one leaf against the swept outcomes,
+        casting its accept/reject votes as it decides.  Returns
+        ``(True, None)`` when the scan is finished, else ``(False, state)``
+        stalled at the first position whose outcome is missing (or was
+        swept under a mispredicted prefix), to regenerate next round."""
+        prefix, cur, t, kb = st
+        _, events = self._staged[li]
+        fi = self._fi
+        for j in range(len(prefix), len(self.scan)):
+            m = self.scan[j]
+            if kb + self.map_bytes[m] > self.keep_budget:
+                prefix = prefix + (False,)
+                continue
+            hit = stage.get((li, j))
+            if hit is None or hit[0] != prefix:
+                return False, (prefix, cur, t, kb)
+            out = hit[1]
+            events[j] = out
+            if (out is not None and out.feasible
+                    and out.time <= t + self.epsilon):
+                cur = cur.copy()
+                cur[fi[m]] = True
+                t = out.time
+                kb += self.map_bytes[m]
+                self._acc[j] += 1
+                prefix = prefix + (True,)
+            else:
+                self._rej[j] += 1
+                prefix = prefix + (False,)
+        return True, None
+
+
 class PoochClassifier:
     """Runs the two-step search; one instance per (graph, profile, machine)."""
 
@@ -454,6 +680,7 @@ class PoochClassifier:
             forward_refetch_gap=self.config.forward_refetch_gap,
             incremental=self.config.incremental,
             incremental_step2=self.config.incremental_step2,
+            vectorize=self.config.vectorize,
         )
         self.stats = SearchStats()
 
@@ -471,6 +698,8 @@ class PoochClassifier:
         start = time.perf_counter()
         full_at_start = self.predictor.full_simulations
         resumed_at_start = self.predictor.resumed_simulations
+        sweeps_at_start = self.predictor.vector_sweeps
+        swept_at_start = self.predictor.vector_candidates
         try:
             with metrics.span("search.step1", category="search",
                               graph=self.graph.name):
@@ -489,6 +718,16 @@ class PoochClassifier:
             )
             self.stats.sims_resumed = (
                 self.predictor.resumed_simulations - resumed_at_start
+            )
+            self.stats.vector_sweeps = (
+                self.predictor.vector_sweeps - sweeps_at_start
+            )
+            self.stats.vector_candidates = (
+                self.predictor.vector_candidates - swept_at_start
+            )
+            self.stats.sims_fallback = (
+                self.stats.sims_step1 + self.stats.sims_step2
+                - self.stats.sims_vectorized
             )
             if executor is not None:
                 executor.shutdown(wait=False, cancel_futures=True)
@@ -516,6 +755,10 @@ class PoochClassifier:
         registry.count("search.sims_step2", s.sims_step2)
         registry.count("search.sims_full", s.sims_full)
         registry.count("search.sims_resumed", s.sims_resumed)
+        registry.count("search.sims_vectorized", s.sims_vectorized)
+        registry.count("search.sims_fallback", s.sims_fallback)
+        registry.count("search.vector_sweeps", s.vector_sweeps)
+        registry.count("search.vector_candidates", s.vector_candidates)
         registry.count("search.sims_step2_full", s.sims_step2_full)
         registry.count("search.sims_step2_resumed", s.sims_step2_resumed)
         registry.count("search.keep_probes_elided", s.keep_probes_elided)
@@ -611,6 +854,17 @@ class PoochClassifier:
                 return False
             return True
 
+        # staged-outcome plumbing for the serial vectorized driver (below);
+        # stays None on the worker path, where ``pre`` outcomes come from
+        # processes and count as fallback (event-engine) simulations
+        stager: _VectorLeafStager | None = None
+
+        def absorb_staged(key: tuple, out: PredictedOutcome | None) -> None:
+            if out is None:
+                return  # nothing staged: the serial predictor takes over
+            if self.predictor.absorb(key, out) and stager is not None:
+                self.stats.sims_vectorized += 1
+
         def consume_leaf(
             keeps: tuple[int, ...],
             pre: tuple[PredictedOutcome, list[PredictedOutcome | None]] | None,
@@ -624,7 +878,7 @@ class PoochClassifier:
             nonlocal best_cls, best_time
             cls = all_swap.with_classes({m: MapClass.KEEP for m in keeps})
             if pre is not None:
-                self.predictor.absorb(cls.key(), pre[0])
+                absorb_staged(cls.key(), pre[0])
             outcome = self.predictor.predict(cls)
             if not outcome.feasible:
                 return True  # keeping this L_I subset over-commits memory
@@ -639,7 +893,7 @@ class PoochClassifier:
                     continue
                 trial = cur_cls.with_class(m, MapClass.KEEP)
                 if pre is not None:
-                    self.predictor.absorb(trial.key(), pre[1][idx])
+                    absorb_staged(trial.key(), pre[1][idx])
                 out = self.predictor.predict(trial)
                 if out.feasible and out.time <= cur_time + cfg.time_epsilon:
                     cur_cls, cur_time = trial, out.time
@@ -683,12 +937,25 @@ class PoochClassifier:
         cursor = _LeafCursor(leaves, exact_li, bounds, self.stats)
 
         if executor is None:
+            if cfg.vectorize:
+                # speculative lockstep sweeps stage worker-shaped outcome
+                # streams per leaf; the loop below remains the *definitive*
+                # serial walk (same cursor, pruning, budget truncation and
+                # accounting), it just replays staged outcomes instead of
+                # running the event engine candidate by candidate
+                stager = _VectorLeafStager(
+                    self.predictor, leaves, scan, map_bytes, keep_budget,
+                    cfg.time_epsilon,
+                    lambda: (cfg.step1_sim_budget
+                             - (self.predictor.simulations - sims_at_start)),
+                )
             while True:
                 nxt = cursor.next(best_time)
                 if nxt is None or not budget_left():
                     break
+                pre = stager.get(nxt[0]) if stager is not None else None
                 self.stats.leaves_evaluated += 1
-                if not consume_leaf(nxt[1], None):
+                if not consume_leaf(nxt[1], pre):
                     break
         else:
             # keep a small window of leaves in flight; submission is
@@ -767,6 +1034,50 @@ class PoochClassifier:
             return float("inf")
         return rec_overhead / swap_overhead
 
+    def _vector_keep_probes(self, current: Classification, fresh: list[int],
+                            memo: bool) -> None:
+        """Answer a step-2 round's uncached keep probes ("X kept, everything
+        else as in ``current``") with one lockstep sweep.
+
+        Expressible only while ``current`` is pure keep/swap — i.e. the
+        first round, and every round following a rejected flip; once a
+        recompute flip is accepted the candidates leave the keep-flip
+        family and the serial predictor takes over.  The recompute probes
+        of :meth:`_r_value` are never expressible and always run serially
+        (they are the ``sims_fallback`` share of step 2).  Mirrors the
+        process-pool fan-out: outcomes are absorbed before the serial round
+        reads them, so r-values, caches and simulation counts are exactly
+        those of the unvectorized search."""
+        keeps = []
+        for m, c in current.classes.items():
+            if c is MapClass.KEEP:
+                keeps.append(m)
+            elif c is not MapClass.SWAP:
+                return
+        fi = self.predictor.vector_flip_index()
+        if fi is None:
+            return
+        todo: list[tuple[Classification, int]] = []
+        for x in fresh:
+            keep_c = current.with_class(x, MapClass.KEEP)
+            if memo and self.predictor.provably_infeasible(keep_c):
+                continue  # _r_value elides this probe: don't sweep it
+            if self.predictor.cached(keep_c) is None:
+                todo.append((keep_c, x))
+        if not todo:
+            return
+        rows = np.zeros((len(todo), len(fi)), bool)
+        if keeps:
+            rows[:, [fi[m] for m in keeps]] = True
+        for r, (_, x) in enumerate(todo):
+            rows[r, fi[x]] = True
+        outs = self.predictor.predict_keep_batch(rows)
+        if outs is None:
+            return
+        for (keep_c, _), out in zip(todo, outs):
+            if out is not None and self.predictor.absorb(keep_c.key(), out):
+                self.stats.sims_vectorized += 1
+
     def _step2_swap_vs_recompute(
         self, step1: Classification,
         executor: ProcessPoolExecutor | None = None,
@@ -816,6 +1127,8 @@ class PoochClassifier:
                         needed.append(keep_c)
                 for c, outcome in zip(needed, executor.map(_predict_one, needed)):
                     self.predictor.absorb(c.key(), outcome)
+            elif cfg.vectorize and fresh:
+                self._vector_keep_probes(current, fresh, memo)
             for x in fresh:
                 r_cache[x] = self._r_value(current, x, current_time)
             self.stats.r_recomputed += len(fresh)

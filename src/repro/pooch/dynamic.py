@@ -209,6 +209,7 @@ class DynamicPoocH:
                 forward_refetch_gap=self.config.forward_refetch_gap,
                 incremental=self.config.incremental,
                 incremental_step2=self.config.incremental_step2,
+                vectorize=self.config.vectorize,
             )
         return self._predictors[size]
 

@@ -229,6 +229,7 @@ class PoocH:
             forward_refetch_gap=self.config.forward_refetch_gap,
             incremental=self.config.incremental,
             incremental_step2=self.config.incremental_step2,
+            vectorize=self.config.vectorize,
         )
         cache = self.plan_cache
         if cache is not None:

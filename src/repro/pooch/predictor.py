@@ -23,10 +23,13 @@ from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
 
-from repro.common.errors import OutOfMemoryError
+import numpy as np
+
+from repro.common.errors import OutOfMemoryError, ScheduleError
 from repro.graph import NNGraph
 from repro.gpusim import Engine, RunResult
 from repro.gpusim.fastengine import _STREAM_ORDER, EngineCheckpoint, FastEngine
+from repro.gpusim.vecengine import VectorEngine, VectorTables, VectorUnsupported
 from repro.hw import MachineSpec
 from repro.runtime.plan import Classification, MapClass, SwapInPolicy
 from repro.runtime.profiler import Profile
@@ -36,6 +39,7 @@ from repro.runtime.schedule import (
     apply_keep_delta,
     apply_recompute_delta,
     build_schedule,
+    keep_flip_specs,
     liveness_floor,
 )
 
@@ -138,6 +142,7 @@ class TimelinePredictor:
         forward_refetch_gap: int | None = None,
         incremental: bool = True,
         incremental_step2: bool = True,
+        vectorize: bool = True,
     ) -> None:
         self.graph = graph
         self.profile = profile
@@ -198,6 +203,22 @@ class TimelinePredictor:
         self._rwin: dict[int, tuple[int, int]] = {}
         #: memoized liveness-floor verdicts (see :meth:`provably_infeasible`)
         self._floor_verdicts: dict[tuple, bool] = {}
+        #: evaluate pure keep/swap candidate *batches* on the lockstep
+        #: vector engine (:meth:`predict_keep_batch`); outcomes are
+        #: bit-identical to the event engines, so this only changes
+        #: wall-clock — never results
+        self.vectorize = vectorize
+        #: lockstep sweeps run and candidate rows swept (includes rows the
+        #: caller speculated on and discarded; absorbed-sim accounting is
+        #: the classifier's ``SearchStats.sims_vectorized``)
+        self.vector_sweeps = 0
+        self.vector_candidates = 0
+        self._vec_engine: VectorEngine | None = None
+        self._flip_index: dict[int, int] | None = None
+        #: the draft family proved inexpressible (non-EAGER triggers,
+        #: forward re-fetch, host+device allocating tasks, ...) — every
+        #: later batch request falls back to the event engine
+        self._vec_failed = False
 
     def predict(self, classification: Classification) -> PredictedOutcome:
         """Predicted iteration time and feasibility for a candidate plan."""
@@ -242,12 +263,99 @@ class TimelinePredictor:
             return 0.0
         return abs(measured - predicted) / predicted
 
-    def absorb(self, key: tuple, outcome: PredictedOutcome) -> None:
-        """Install an outcome computed elsewhere (a worker process) under
-        ``key``, with the same miss accounting as a local simulation."""
+    def absorb(self, key: tuple, outcome: PredictedOutcome) -> bool:
+        """Install an outcome computed elsewhere (a worker process or a
+        vectorized sweep) under ``key``, with the same miss accounting as a
+        local simulation.  Returns True when the outcome was new (and was
+        therefore counted as a simulation)."""
         if key not in self._cache:
             self.simulations += 1
             self._cache[key] = outcome
+            return True
+        return False
+
+    # -- vectorized batch prediction ---------------------------------------------
+    #
+    # Every step-1 candidate (and step 2's keep probes while no recompute
+    # flip has been accepted yet) is "all-swap plus a keep set" — exactly
+    # the flip family the lockstep vector engine expresses.  One compile of
+    # the all-swap base draft serves every sweep; outcomes are bit-identical
+    # to FastEngine replays of the same candidates (tests/test_vecengine.py
+    # fuzzes that), so callers may install them in the memo cache via
+    # :meth:`absorb` without changing any result.
+
+    def _ensure_vec(self) -> VectorEngine | None:
+        """Compile the keep-flip vector family once; None when vectorization
+        is off or the draft family is not expressible (the caller then uses
+        the serial event-engine path, candidate by candidate)."""
+        if self._vec_engine is not None:
+            return self._vec_engine
+        if not self.vectorize or self._vec_failed:
+            return None
+        if self.forward_refetch_gap is not None:
+            # re-fetch swap-ins read the host instance a keep flip deletes —
+            # not a pure edge condition (keep_flip_specs would refuse too)
+            self._vec_failed = True
+            return None
+        try:
+            self._ensure_base()
+            tasks, queues, buffers = self._base
+            maps = sorted(self.graph.classifiable_maps())
+            flips = keep_flip_specs(tasks, buffers, maps)
+            tables = VectorTables(
+                tasks, queues, buffers,
+                self.machine.usable_gpu_memory - self.capacity_margin,
+                self.machine.cpu_mem_capacity, flips,
+            )
+        except (VectorUnsupported, ScheduleError):
+            self._vec_failed = True
+            return None
+        self._flip_index = {f.map_id: i for i, f in enumerate(flips)}
+        self._vec_engine = VectorEngine(tables)
+        return self._vec_engine
+
+    def vector_flip_index(self) -> dict[int, int] | None:
+        """Map id → keep-matrix column of the compiled flip family, or None
+        when vectorization is unavailable for this predictor."""
+        if self._ensure_vec() is None:
+            return None
+        return self._flip_index
+
+    def predict_keep_batch(
+        self, keep: np.ndarray
+    ) -> list[PredictedOutcome | None] | None:
+        """Simulate K pure keep/swap candidates in one lockstep sweep.
+
+        ``keep`` is a (K, n_flips) bool matrix over :meth:`vector_flip_index`
+        columns.  Returns one outcome per row, positionally — the memo cache
+        and simulation counters are *not* touched, so callers can speculate
+        freely and :meth:`absorb` only the outcomes they actually consume.
+        A row is None when its replay ended in a non-OOM engine error (the
+        serial path raises those; the caller must re-predict serially so the
+        exception propagates identically).  The whole call returns None when
+        vectorization is unavailable.
+        """
+        engine = self._ensure_vec()
+        if engine is None:
+            return None
+        outs = engine.run_batch(keep)
+        self.vector_sweeps += 1
+        self.vector_candidates += len(outs)
+        results: list[PredictedOutcome | None] = []
+        for o in outs:
+            if o.error is None:
+                results.append(PredictedOutcome(
+                    feasible=True, time=o.makespan,
+                    peak_memory=o.device_peak,
+                ))
+            elif isinstance(o.error, OutOfMemoryError):
+                results.append(PredictedOutcome(
+                    feasible=False, time=float("inf"), peak_memory=0,
+                    oom_context=o.error.context,
+                ))
+            else:
+                results.append(None)
+        return results
 
     def sim_signature(self) -> str:
         """Identity of everything (besides graph and machine) an outcome of

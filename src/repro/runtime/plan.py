@@ -3,6 +3,7 @@ scheduling policies — the decision variables of the whole paper."""
 
 from __future__ import annotations
 
+import bisect
 import enum
 from dataclasses import dataclass
 
@@ -95,8 +96,18 @@ class Classification:
         return sorted(i for i, c in self.classes.items() if c is cls)
 
     def key(self) -> tuple[tuple[int, str], ...]:
-        """Hashable identity, for memoising timeline simulations."""
-        return tuple(sorted((i, c.value) for i, c in self.classes.items()))
+        """Hashable identity, for memoising timeline simulations.
+
+        Computed lazily and cached on the instance — safe because the
+        class is treated as immutable everywhere (``with_class`` copies).
+        The search computes keys for every trial of a 100-position scan,
+        so :meth:`with_class` also derives the child's key from a cached
+        parent key with a single-element splice instead of a re-sort."""
+        k = getattr(self, "_key", None)
+        if k is None:
+            k = tuple(sorted((i, c.value) for i, c in self.classes.items()))
+            object.__setattr__(self, "_key", k)
+        return k
 
     # -- derivation ----------------------------------------------------------------
 
@@ -106,7 +117,13 @@ class Classification:
             raise ScheduleError(f"feature map {i} is not classifiable")
         new = dict(self.classes)
         new[i] = cls
-        return Classification(new)
+        out = Classification(new)
+        k = getattr(self, "_key", None)
+        if k is not None:
+            p = bisect.bisect_left(k, (i,))
+            object.__setattr__(out, "_key",
+                               k[:p] + ((i, cls.value),) + k[p + 1:])
+        return out
 
     def with_classes(self, updates: dict[int, MapClass]) -> "Classification":
         new = dict(self.classes)

@@ -41,6 +41,7 @@ from repro.graph import NNGraph
 from repro.graph.ops import OpKind
 from repro.gpusim import BufferSpec, Schedule, StreamName, Task, TaskKind
 from repro.gpusim.allocator import round_size
+from repro.gpusim.vecengine import KeepFlip
 from repro.runtime.durations import DurationProvider
 from repro.runtime.plan import Classification, MapClass, SwapInPolicy
 
@@ -724,6 +725,50 @@ def apply_keep_delta(
                          if t not in removed],
     }
     return tasks, queues, buffers
+
+
+def keep_flip_specs(
+    base_tasks: dict[str, _TaskDraft],
+    base_buffers: dict[str, _BufferDraft],
+    maps,
+) -> tuple[KeepFlip, ...]:
+    """Declarative :class:`~repro.gpusim.vecengine.KeepFlip` descriptors for
+    keep↔swap flips against an all-swap base draft — the exact edge set
+    :func:`apply_keep_delta` rewires, so the lockstep vector engine's
+    conditional tables describe the same candidate family the event engines
+    replay (``tests/test_vecengine.py`` fuzzes the agreement).
+
+    Requires a base built without forward re-fetch: re-fetch swap-ins read
+    the host instance a keep flip deletes, which is not a pure edge
+    condition.
+    """
+    specs: list[KeepFlip] = []
+    for m in maps:
+        so, si = f"SO{m}", f"SI{m}"
+        if so not in base_tasks:
+            raise ScheduleError(
+                f"keep_flip_specs: map {m} is not swapped in the base draft"
+            )
+        host = base_buffers[f"fm{m}@host"]
+        if any(r != si for r in host.readers):
+            raise ScheduleError(
+                f"keep_flip_specs: map {m} has forward re-fetch readers"
+            )
+        has_si = si in base_tasks
+        specs.append(KeepFlip(
+            map_id=m,
+            swap_out=so,
+            swap_in=si if has_si else None,
+            fwd_buffer=f"fm{m}@f",
+            fwd_producer=f"F{m}",
+            host_buffer=f"fm{m}@host",
+            back_buffer=f"fm{m}@b" if has_si else None,
+            rewired_readers=(
+                tuple(sorted(base_buffers[f"fm{m}@b"].readers))
+                if has_si else ()
+            ),
+        ))
+    return tuple(specs)
 
 
 def apply_recompute_delta(

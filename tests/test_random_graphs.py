@@ -6,7 +6,9 @@ policies, then checks the invariants that hold for *any* graph:
 
 * the schedule builder output validates and executes,
 * the predictor agrees exactly with ground truth,
-* the numeric backend produces bit-identical gradients to in-core.
+* the numeric backend produces bit-identical gradients to in-core,
+* the lockstep vector engine replays the draft bit-identically to both
+  event engines (makespan, per-task times, high-water marks, OOM blame).
 """
 
 import numpy as np
@@ -110,3 +112,24 @@ def test_random_graph_gradients_bit_identical(layer_picks, branch_picks,
     graph = build_random_graph(layer_picks, branch_picks)
     cls = random_classification(graph, class_picks)
     verify_against_incore(graph, cls, X86_V100)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.integers(0, 4), min_size=4, max_size=12),
+    st.lists(st.integers(0, 7), min_size=4, max_size=4),
+    st.lists(st.integers(0, 2), min_size=6, max_size=6),
+    st.integers(0, 2),
+)
+def test_random_graph_vector_engine_bit_identical(layer_picks, branch_picks,
+                                                  class_picks, mem_pick):
+    """Three-way engine differential on random DAGs: the lockstep replay
+    must match Engine and FastEngine exactly, including the OOM branch
+    (``mem_pick`` shrinks the pool to push some draws out of core)."""
+    from tests.test_vecengine import assert_three_way
+
+    graph = build_random_graph(layer_picks, branch_picks)
+    cls = random_classification(graph, class_picks)
+    machine = tiny_machine(mem_mib=(64, 24, 12)[mem_pick], link_gbps=4.0)
+    assert_three_way(graph, cls, machine)

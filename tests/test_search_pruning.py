@@ -149,6 +149,108 @@ def test_engine_resume_is_bit_identical(name, batch):
         assert again.run(resume_from=cp) == full
 
 
+def _checkpoint_fixture(name="resnet18", batch=4, keep_stride=2):
+    """An engine mid-way through a mixed keep/swap replay, with a spy on
+    ``_checkpoint`` that also snapshots the recording pools at capture."""
+    g = _graph(name, batch)
+    prof = run_profiling(g, _MACHINE)
+    pred = TimelinePredictor(g, prof, _MACHINE)
+    maps = g.classifiable_maps()
+    cls = Classification.all_swap(g).with_classes(
+        {m: MapClass.KEEP for m in maps[::keep_stride]}
+    )
+    draft = pred.draft(cls)
+    caps = dict(device_capacity=_MACHINE.usable_gpu_memory,
+                host_capacity=_MACHINE.cpu_mem_capacity)
+    eng = FastEngine(*draft, **caps)
+    snaps = []
+    orig = eng._checkpoint
+
+    def spy():
+        cp = orig()
+        snaps.append((cp, eng.device.snapshot_state(),
+                      eng.host.snapshot_state()))
+        return cp
+
+    eng._checkpoint = spy
+    eng.run(checkpoint_every=6)
+    assert snaps, "expected checkpoints to be recorded"
+    return draft, caps, snaps
+
+
+def test_restore_reconstructs_pool_contents_exactly():
+    """``_restore`` never copies pool contents — it rebuilds residency from
+    the resuming engine's own alloc lists and free countdowns.  On the same
+    schedule that reconstruction must reproduce the recording pools
+    *buffer-for-buffer* (sizes dicts, not just the in-use/peak scalars the
+    checkpoint carries), including in-flight scratch workspaces and
+    swapped-out host instances."""
+    draft, caps, snaps = _checkpoint_fixture()
+    for cp, dev_snap, host_snap in snaps:
+        fresh = FastEngine(*draft, **caps)
+        fresh._restore(cp)
+        assert fresh.device.snapshot_state() == dev_snap
+        assert fresh.host.snapshot_state() == host_snap
+
+
+def test_restore_residency_sums_to_recorded_watermark():
+    """The reconstructed sizes dict and the recorded ``in_use`` scalar are
+    produced by independent mechanisms; they must agree or the resumed run
+    would drift from the from-scratch replay on the first allocation."""
+    draft, caps, snaps = _checkpoint_fixture()
+    for cp, _dev, _host in snaps:
+        fresh = FastEngine(*draft, **caps)
+        fresh._restore(cp)
+        dev_sizes, dev_in_use, dev_peak = fresh.device.snapshot_state()
+        host_sizes, host_in_use, _ = fresh.host.snapshot_state()
+        assert sum(dev_sizes.values()) == dev_in_use == cp.dev_in_use
+        assert sum(host_sizes.values()) == host_in_use == cp.host_in_use
+        assert dev_peak == cp.dev_peak >= dev_in_use
+
+
+def test_checkpoint_completed_and_started_sets():
+    """`completed()` is a prefix copy of the shared completion-order list,
+    and the lazily built sets stay consistent with it and the in-flight
+    tuple even as the recording engine keeps appending."""
+    draft, caps, snaps = _checkpoint_fixture()
+    n_tasks = len(draft[0])
+    prev = -1
+    for cp, _dev, _host in snaps:
+        done = cp.completed()
+        assert len(done) == cp.progress
+        assert len(done) > prev, "checkpoints must advance"
+        prev = len(done)
+        assert cp.completed_set() == frozenset(done)
+        assert cp.started_set() == frozenset(done) | {
+            tid for _, _, tid in cp.inflight
+        }
+        # the shared source list outgrew the prefix: later completions must
+        # not leak into an earlier checkpoint's view
+        assert len(cp.completed_src) >= len(done)
+    assert len(cp.completed_src) <= n_tasks
+
+
+def test_alloc_on_ready_drafts_refuse_checkpointing():
+    """SUPERNEURONS swap-ins are ungated and reserve memory the moment
+    their trigger fires — engine state then depends on non-head queue
+    positions, which the checkpoint validity argument does not cover, so
+    the engine must declare itself non-checkpointable and record nothing."""
+    from repro.runtime.plan import SwapInPolicy
+    from repro.runtime.schedule import ScheduleOptions
+
+    g = _graph("small_cnn", 8)
+    prof = run_profiling(g, _MACHINE)
+    draft = ScheduleBuilder(
+        g, Classification.all_swap(g), prof.durations(),
+        ScheduleOptions(policy=SwapInPolicy.SUPERNEURONS), validate=False,
+    ).build_raw()
+    eng = FastEngine(*draft, device_capacity=_MACHINE.usable_gpu_memory,
+                     host_capacity=_MACHINE.cpu_mem_capacity)
+    assert not eng.checkpointable
+    eng.run(checkpoint_every=4)
+    assert eng.checkpoints == []
+
+
 @pytest.mark.parametrize("name,batch", _ZOO)
 def test_search_equivalence_across_zoo(name, batch):
     """Pruned + incremental search chooses the identical plan (key,
@@ -171,7 +273,11 @@ def test_search_equivalence_across_zoo(name, batch):
 def test_incremental_resumes_and_stats_populated():
     g = _graph("resnet18", 4)
     prof = run_profiling(g, _MACHINE)
-    clf = PoochClassifier(g, prof, _MACHINE, config=PoochConfig())
+    # vectorize=False: this test is about the *event-engine* replay modes
+    # (full vs prefix-resumed); under vectorization most step-1 sims never
+    # touch the event engines at all
+    clf = PoochClassifier(g, prof, _MACHINE,
+                          config=PoochConfig(vectorize=False))
     _cls, stats = clf.classify()
     assert stats.wall_time_s > 0.0
     assert stats.leaves_total >= stats.leaves_evaluated > 0
@@ -179,6 +285,25 @@ def test_incremental_resumes_and_stats_populated():
     # prefix sharing must actually fire: sibling candidates differ in a
     # handful of maps, so most replays resume
     assert stats.sims_resumed > stats.sims_full
+
+
+def test_vectorized_stats_account_for_all_simulations():
+    """Under the default (vectorized) search every simulation is either a
+    lockstep-swept outcome or an event-engine fallback, and the fallbacks
+    are exactly the full/resumed replays."""
+    g = _graph("resnet18", 4)
+    prof = run_profiling(g, _MACHINE)
+    clf = PoochClassifier(g, prof, _MACHINE, config=PoochConfig())
+    _cls, stats = clf.classify()
+    assert stats.sims_vectorized > 0
+    assert stats.vector_sweeps > 0
+    assert stats.vector_candidates >= stats.sims_vectorized
+    assert (stats.sims_vectorized + stats.sims_fallback
+            == stats.sims_step1 + stats.sims_step2)
+    # every simulation is a swept outcome or an event-engine replay (the
+    # all-swap baseline runs outside the step windows, hence ``full``)
+    assert (stats.sims_vectorized + stats.sims_full + stats.sims_resumed
+            == clf.predictor.simulations)
 
 
 def test_incremental_counters_do_not_change_budget():

@@ -115,6 +115,92 @@ def test_recompute_delta_leaves_base_unmodified():
     _assert_drafts_equal(kd, ref)
 
 
+@pytest.mark.parametrize("policy",
+                         [SwapInPolicy.NAIVE, SwapInPolicy.SUPERNEURONS],
+                         ids=lambda p: p.name.lower())
+def test_recompute_delta_repairs_swap_in_triggers(policy):
+    """Spliced R tasks shift backward compute positions, so every surviving
+    swap-in's start trigger — "the compute task right before my first
+    reader" (NAIVE) / "the nearest preceding conv backward" (SUPERNEURONS)
+    — must be recomputed against the *new* compute order.  This pins the
+    repair directly (not only via whole-draft equality): the repair must
+    actually fire, must match the fresh build, and every trigger must
+    reference a live task that precedes the swap-in's first reader."""
+    from repro.gpusim.engine import StreamName
+    from repro.runtime.schedule import TaskKind
+
+    g = _graph("resnet18", 4)
+    prof = run_profiling(g, _MACHINE)
+    durs = prof.durations()
+    opts = ScheduleOptions(policy=policy)
+    base = ScheduleBuilder(g, Classification.all_swap(g), durs, opts,
+                           validate=False).build_raw()
+    # recompute the earliest recomputable maps: their R tasks splice at the
+    # *end* of the backward pass, shifting positions for the most swap-ins
+    recable = sorted(m for m in g.classifiable_maps()
+                     if g[m].op.recomputable)
+    recs = set(recable[: len(recable) // 2])
+    cls = Classification.all_swap(g).with_classes(
+        {m: MapClass.RECOMPUTE for m in recs})
+    fresh = ScheduleBuilder(g, cls, durs, opts, validate=False).build_raw()
+    delta = apply_recompute_delta(base[0], base[1], base[2], g, durs, opts,
+                                  set(), recs)
+    tasks, queues, _ = delta
+    sis = [t for t in tasks.values() if t.kind is TaskKind.SWAP_IN]
+    assert sis, "expected surviving swap-ins"
+    changed = [t.tid for t in sis
+               if t.start_deps != base[0][t.tid].start_deps]
+    assert changed, "R splicing shifted no trigger: test lost its bite"
+    compute_pos = {tid: n for n, tid in
+                   enumerate(queues[StreamName.COMPUTE])}
+    for t in sis:
+        assert t.start_deps == fresh[0][t.tid].start_deps
+        readers = [compute_pos[tid] for tid in compute_pos
+                   if t.tid in tasks[tid].deps]
+        for trig in t.start_deps:
+            assert trig in compute_pos, f"{t.tid} triggers on dead {trig}"
+            if readers:
+                assert compute_pos[trig] < min(readers)
+        if policy is SwapInPolicy.SUPERNEURONS and t.start_deps:
+            (trig,) = t.start_deps
+            tt = tasks[trig]
+            assert (tt.kind is TaskKind.BWD
+                    or compute_pos[trig] == min(readers) - 1)
+
+
+def test_recompute_delta_repairs_eager_headroom():
+    """EAGER auto-headroom covers the largest backward-phase allocation;
+    spliced recompute tasks allocate, so when one out-allocates every task
+    of the base draft the surviving swap-ins must be re-patched with the
+    larger floor (== the fresh builder's)."""
+    from repro.runtime.schedule import TaskKind
+
+    g = _graph("resnet18", 4)
+    prof = run_profiling(g, _MACHINE)
+    durs = prof.durations()
+    opts = ScheduleOptions()  # EAGER
+    base = ScheduleBuilder(g, Classification.all_swap(g), durs, opts,
+                           validate=False).build_raw()
+    rng = random.Random(FAULT_SEED * 31 + 7)
+    recable = [m for m in g.classifiable_maps() if g[m].op.recomputable]
+    checked = 0
+    for _ in range(8):
+        recs = set(rng.sample(recable, rng.randint(1, len(recable))))
+        cls = Classification.all_swap(g).with_classes(
+            {m: MapClass.RECOMPUTE for m in recs})
+        fresh = ScheduleBuilder(g, cls, durs, opts,
+                                validate=False).build_raw()
+        delta = apply_recompute_delta(base[0], base[1], base[2], g, durs,
+                                      opts, set(), recs)
+        want = {t.tid: t.headroom for t in fresh[0].values()
+                if t.kind is TaskKind.SWAP_IN}
+        got = {t.tid: t.headroom for t in delta[0].values()
+              if t.kind is TaskKind.SWAP_IN}
+        assert got == want
+        checked += bool(want)
+    assert checked, "no partition left any swap-in to check"
+
+
 def test_recompute_delta_rejects_bad_inputs():
     g = _graph("small_cnn", 8)
     prof = run_profiling(g, _MACHINE)

@@ -1,0 +1,329 @@
+"""VectorEngine == FastEngine == Engine: the lockstep sweep is *bit-identical*.
+
+The vectorized search path (``PoochConfig.vectorize``) rests on the lockstep
+replay agreeing with both event engines float-for-float — same makespans,
+same per-task start/end times, same allocator high-water marks, and the same
+OOM attribution for infeasible plans (the stall diagnosis).  This harness
+checks that three ways:
+
+* a three-way differential on fixed plans, random mixed plans, and the
+  whole model zoo under seeded duration noise (``FAULT_SEED`` shifts the
+  interleavings like the fault property harness);
+* the conditional keep-flip tables: a ``run_batch`` row for keep-set S must
+  equal a from-scratch ``ScheduleBuilder`` draft for the classification
+  that keeps S, replayed on ``FastEngine`` — the compiled family and the
+  rebuilt schedule are two independent constructions of the same plan;
+* the fallback matrix: draft families the lockstep formulation cannot
+  express must refuse at compile time (``VectorUnsupported``), never
+  silently diverge.
+
+End-to-end plan identity (``vectorize`` on/off through the full search) is
+covered zoo-wide in ``TestSearchPlanIdentity``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.common.errors import OutOfMemoryError, SimulationError
+from repro.faults import FaultInjector, FaultSpec, FaultyDurations
+from repro.gpusim import Engine
+from repro.gpusim.fastengine import FastEngine
+from repro.gpusim.vecengine import (
+    VectorEngine,
+    VectorTables,
+    VectorUnsupported,
+    simulate_draft,
+)
+from repro.hw import CostModel, POWER9_V100, X86_V100, scaled_machine
+from repro.models import linear_chain, poster_example, small_cnn
+from repro.models.zoo import MODEL_ZOO
+from repro.pooch import PoocH, PoochConfig
+from repro.runtime.durations import CostModelDurations
+from repro.runtime.plan import Classification, MapClass, SwapInPolicy
+from repro.runtime.profiler import run_profiling
+from repro.runtime.schedule import (
+    ScheduleBuilder,
+    ScheduleOptions,
+    build_schedule,
+    keep_flip_specs,
+)
+from tests.conftest import tiny_machine
+
+#: CI pins a seed matrix through this env var; locally it defaults to 0
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+
+def _raw_draft(graph, cls, machine, durations=None, *, gap=None, margin=0):
+    """EAGER raw draft plus the capacities both engine families use."""
+    if durations is None:
+        durations = run_profiling(
+            graph, machine, forward_refetch_gap=gap
+        ).durations()
+    options = ScheduleOptions(policy=SwapInPolicy.EAGER,
+                              forward_refetch_gap=gap)
+    tasks, queues, buffers = ScheduleBuilder(
+        graph, cls, durations, options, validate=False
+    ).build_raw()
+    capacity = machine.usable_gpu_memory - margin
+    return (tasks, queues, buffers, capacity, machine.cpu_mem_capacity,
+            durations, options)
+
+
+def assert_three_way(graph, cls, machine, durations=None, **kw):
+    """Engine, FastEngine and VectorEngine on one draft: identical makespan,
+    per-task start/end times, high-water marks — or identical OOM blame."""
+    (tasks, queues, buffers, capacity, host_cap,
+     durations, options) = _raw_draft(graph, cls, machine, durations, **kw)
+    vec = simulate_draft(tasks, queues, buffers, capacity, host_cap,
+                         record_times=True)
+    full = Engine(
+        build_schedule(graph, cls, durations, options),
+        device_capacity=capacity, host_capacity=host_cap, validate=False,
+    )
+    fast = FastEngine(tasks, queues, buffers, device_capacity=capacity,
+                      host_capacity=host_cap)
+    try:
+        want = full.run()
+    except OutOfMemoryError as e:
+        with pytest.raises(OutOfMemoryError) as caught:
+            fast.run()
+        assert caught.value.context == e.context
+        assert isinstance(vec.error, OutOfMemoryError)
+        assert vec.error.context == e.context
+        return
+    makespan, device_peak, host_peak = fast.run()
+    assert vec.ok, vec.error
+    # exact equality throughout — never approx
+    assert vec.makespan == want.makespan == makespan
+    assert vec.device_peak == want.device_peak == device_peak
+    assert vec.host_peak == want.host_peak == host_peak
+    assert len(vec.starts) == len(want.records)
+    for rec in want.records:
+        assert vec.starts[rec.tid] == rec.start
+        assert vec.ends[rec.tid] == rec.end
+
+
+def _random_classification(graph, rng):
+    classes = {}
+    for m in graph.classifiable_maps():
+        options = [MapClass.SWAP, MapClass.KEEP]
+        if graph[m].op.recomputable:
+            options.append(MapClass.RECOMPUTE)
+        classes[m] = rng.choice(options)
+    return Classification(classes)
+
+
+class TestThreeWayEquivalence:
+    def test_poster_all_swap(self):
+        g = poster_example()
+        assert_three_way(g, Classification.all_swap(g),
+                         tiny_machine(mem_mib=224))
+
+    def test_poster_all_recompute(self):
+        g = poster_example()
+        assert_three_way(g, Classification.all_recompute(g),
+                         tiny_machine(mem_mib=224))
+
+    def test_in_core_plan(self):
+        g = poster_example()
+        assert_three_way(g, Classification.all_keep(g), X86_V100)
+
+    def test_all_keep_oom_matches(self):
+        # infeasible plans must fail the same way, blaming the same task
+        g = poster_example()
+        assert_three_way(g, Classification.all_keep(g),
+                         tiny_machine(mem_mib=224))
+
+    def test_forward_refetch_gap(self):
+        g = linear_chain(6, batch=16, channels=32, image=64)
+        assert_three_way(g, Classification.all_swap(g),
+                         tiny_machine(mem_mib=224), gap=2)
+
+    def test_random_mixed_plans(self):
+        g = small_cnn()
+        machine = tiny_machine(mem_mib=160)
+        rng = random.Random(7)
+        for _ in range(12):
+            assert_three_way(g, _random_classification(g, rng), machine)
+
+    def test_random_mixed_plans_near_capacity(self):
+        # tighter memory: exercise the OOM/stall-diagnosis branch too
+        g = small_cnn()
+        machine = tiny_machine(mem_mib=96)
+        rng = random.Random(11)
+        for _ in range(12):
+            assert_three_way(g, _random_classification(g, rng), machine)
+
+
+class TestZooEquivalenceUnderNoise:
+    """Three-way differential for *every* zoo model, at two batch sizes,
+    with seeded duration noise on every task."""
+
+    MACHINE = scaled_machine(X86_V100, mem_scale=0.25, name="x86_quarter")
+
+    @pytest.mark.parametrize("batch", [2, 8])
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_zoo_model_equivalence(self, name, batch):
+        graph = MODEL_ZOO[name](batch=batch)
+        injector = FaultInjector(FaultSpec(duration_noise=0.1),
+                                 seed=FAULT_SEED + batch)
+        durations = FaultyDurations(
+            CostModelDurations(graph, CostModel(self.MACHINE)), injector
+        )
+        for cls in (Classification.all_swap(graph),
+                    Classification.all_recompute(graph),
+                    Classification.all_keep(graph)):
+            assert_three_way(graph, cls, self.MACHINE, durations)
+
+
+class TestKeepFlipFamily:
+    """A ``run_batch`` row must equal an independent from-scratch draft for
+    the classification it encodes — compiled conditional tables vs a fresh
+    ``ScheduleBuilder`` build, agreeing feasible-for-feasible and
+    OOM-context-for-OOM-context."""
+
+    def _family(self, graph, machine):
+        base = Classification.all_swap(graph)
+        (tasks, queues, buffers, capacity, host_cap,
+         durations, options) = _raw_draft(graph, base, machine)
+        maps = sorted(graph.classifiable_maps())
+        flips = keep_flip_specs(tasks, buffers, maps)
+        tables = VectorTables(tasks, queues, buffers, capacity, host_cap,
+                              flips)
+        return (VectorEngine(tables), [f.map_id for f in flips], base,
+                durations, capacity, host_cap)
+
+    def _check(self, graph, machine, seed, rows=16):
+        engine, maps, base, durations, capacity, host_cap = self._family(
+            graph, machine)
+        rng = random.Random(seed)
+        keep = np.zeros((rows, len(maps)), bool)
+        for r in range(rows):
+            for c in range(len(maps)):
+                keep[r, c] = rng.random() < 0.5
+        outs = engine.run_batch(keep)
+        options = ScheduleOptions(policy=SwapInPolicy.EAGER)
+        for r, out in enumerate(outs):
+            cls = base.with_classes(
+                {m: MapClass.KEEP for c, m in enumerate(maps) if keep[r, c]})
+            tasks, queues, buffers = ScheduleBuilder(
+                graph, cls, durations, options, validate=False
+            ).build_raw()
+            fast = FastEngine(tasks, queues, buffers,
+                              device_capacity=capacity,
+                              host_capacity=host_cap)
+            try:
+                makespan, device_peak, host_peak = fast.run()
+            except OutOfMemoryError as e:
+                assert isinstance(out.error, OutOfMemoryError)
+                assert out.error.context == e.context
+                continue
+            assert out.ok, out.error
+            assert out.makespan == makespan
+            assert out.device_peak == device_peak
+            assert out.host_peak == host_peak
+
+    def test_small_cnn_family(self):
+        self._check(small_cnn(), tiny_machine(mem_mib=160), FAULT_SEED + 1)
+
+    def test_small_cnn_family_near_capacity(self):
+        self._check(small_cnn(), tiny_machine(mem_mib=96), FAULT_SEED + 2)
+
+    def test_poster_family(self):
+        self._check(poster_example(), tiny_machine(mem_mib=224),
+                    FAULT_SEED + 3)
+
+    def test_resnet18_family(self):
+        self._check(MODEL_ZOO["resnet18"](batch=4),
+                    scaled_machine(X86_V100, mem_scale=0.25),
+                    FAULT_SEED + 4, rows=8)
+
+
+class TestFallbackMatrix:
+    """Inexpressible draft families must refuse at compile time."""
+
+    def _draft(self, policy):
+        g = poster_example()
+        machine = tiny_machine(mem_mib=224)
+        durations = run_profiling(g, machine, policy=policy).durations()
+        options = ScheduleOptions(policy=policy)
+        return ScheduleBuilder(
+            g, Classification.all_swap(g), durations, options,
+            validate=False,
+        ).build_raw(), machine
+
+    def test_naive_policy_unsupported(self):
+        (tasks, queues, buffers), machine = self._draft(SwapInPolicy.NAIVE)
+        with pytest.raises(VectorUnsupported):
+            VectorTables(tasks, queues, buffers,
+                         machine.usable_gpu_memory)
+
+    def test_superneurons_policy_unsupported(self):
+        (tasks, queues, buffers), machine = self._draft(
+            SwapInPolicy.SUPERNEURONS)
+        with pytest.raises(VectorUnsupported):
+            VectorTables(tasks, queues, buffers,
+                         machine.usable_gpu_memory)
+
+    def test_nonpositive_capacity_rejected(self):
+        (tasks, queues, buffers), _machine = self._draft(SwapInPolicy.EAGER)
+        with pytest.raises(SimulationError):
+            VectorTables(tasks, queues, buffers, 0)
+
+    def test_predictor_gates_on_refetch_gap(self):
+        # the integration layer must not even try to vectorize drafts the
+        # flip family cannot describe (forward re-fetch reads the host
+        # instance a keep flip deletes)
+        from repro.pooch.predictor import TimelinePredictor
+
+        g = poster_example()
+        machine = tiny_machine(mem_mib=224)
+        profile = run_profiling(g, machine, forward_refetch_gap=2)
+        predictor = TimelinePredictor(g, profile, machine,
+                                      forward_refetch_gap=2, vectorize=True)
+        assert predictor.vector_flip_index() is None
+
+
+class TestSearchPlanIdentity:
+    """``vectorize`` flips how step-1/step-2 outcomes are *computed*, never
+    what the search returns: zoo-wide, the chosen plan, its predicted time
+    and the full search accounting must be bit-identical on/off."""
+
+    MACHINES = [
+        scaled_machine(X86_V100, mem_scale=0.25, name="x86_quarter"),
+        scaled_machine(POWER9_V100, mem_scale=0.25, name="p9_quarter"),
+    ]
+
+    @pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_zoo_plan_identity(self, name, machine):
+        graph = MODEL_ZOO[name](batch=2)
+        try:
+            profile = run_profiling(graph, machine)
+        except OutOfMemoryError:
+            pytest.skip("all-swap profiling infeasible at this scale")
+        results = {}
+        for vec in (True, False):
+            cfg = PoochConfig(vectorize=vec)
+            res = PoocH(machine, cfg).optimize(graph, profile)
+            s = res.stats
+            results[vec] = (
+                res.classification.key(), res.predicted.time,
+                res.predicted.peak_memory, s.sims_step1, s.sims_step2,
+                s.time_after_step1, s.time_after_step2, s.leaves_evaluated,
+                tuple(sorted(s.r_values.items())),
+                tuple(s.flips_to_recompute),
+            )
+        assert results[True] == results[False]
+
+    def test_vectorized_search_actually_vectorizes(self):
+        machine = self.MACHINES[0]
+        graph = MODEL_ZOO["resnet18"](batch=2)
+        res = PoocH(machine, PoochConfig()).optimize(graph)
+        assert res.stats.sims_vectorized > 0
+        assert res.stats.vector_sweeps > 0
