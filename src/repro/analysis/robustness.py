@@ -1,13 +1,18 @@
 """Robustness reporting: how gracefully does PoocH degrade under faults?
 
 ``robustness_report`` sweeps a list of fault specifications (by default a
-noise ladder) over one (graph, machine) pair.  For each spec it re-runs the
-whole pipeline — profile (perturbed), classify, execute resiliently — and
-records the makespan/throughput degradation relative to the clean run, the
-transfer retries spent, and any fallback-chain steps taken.  The resulting
-table is the repo's analogue of the paper's "execution fails" columns: where
-SuperNeurons' rows would read *fail*, PoocH's rows read *degraded via
-swap-all* with a number attached.
+noise ladder) over one (graph, machine) pair.  For each spec it runs the
+planning pipeline once — profile (perturbed), classify — and then executes
+the chosen plan under ``fault_seeds`` independent fault seeds via
+:func:`repro.faults.fault_seed_sweep`, so each row reports a makespan
+*distribution* (P50/P95/P99) plus OOM/fallback/retry **rates** instead of a
+single-draw point estimate.  Specs whose execution-side draws are
+precomputable (duration noise, degraded bandwidth, shrunken host capacity)
+run all seeds in one lockstep :class:`~repro.gpusim.vecengine.VectorEngine`
+batch; event-order-dependent specs (stalls, spurious OOMs) take the serial
+resilient path per seed.  The resulting table is the repo's analogue of the
+paper's "execution fails" columns: where SuperNeurons' rows would read
+*fail*, PoocH's rows read *degraded via swap-all* with a rate attached.
 
 Everything is seed-driven and bit-reproducible; the pooch import happens
 lazily because :mod:`repro.pooch.overlap` itself imports this package.
@@ -15,10 +20,14 @@ lazily because :mod:`repro.pooch.overlap` itself imports this package.
 
 from __future__ import annotations
 
+import math
+from collections import Counter
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.analysis.report import Table
-from repro.faults import FaultInjector, FaultSpec, RetryPolicy
+from repro.faults import FaultInjector, FaultSpec, RetryPolicy, fault_seed_sweep
 from repro.graph import NNGraph
 from repro.hw import MachineSpec
 
@@ -28,19 +37,40 @@ DEFAULT_NOISE_LEVELS = (0.02, 0.05, 0.10)
 
 @dataclass
 class RobustnessRow:
-    """Outcome of one faulted pipeline run."""
+    """Outcome of one fault scenario: a seed distribution, not one draw.
+
+    ``makespan`` is the P50 across seeds (so ``throughput`` and
+    ``degradation`` keep their single-run meaning when ``fault_seeds=1``);
+    the tails live in ``p95``/``p99``.  Rates are fractions of seeds in
+    [0, 1].
+    """
 
     label: str
     spec: FaultSpec
     makespan: float
-    #: relative makespan increase vs the clean run (0.07 = 7% slower)
+    #: relative P50 makespan increase vs the clean run (0.07 = 7% slower)
     degradation: float
     throughput: float
     plan_used: str
+    fault_seeds: int = 1
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    #: fraction of seeds that hit a genuine OOM along their fallback chain
+    oom_rate: float = 0.0
+    #: fraction of seeds that abandoned the chosen plan
+    fallback_rate: float = 0.0
+    #: fraction of seeds that needed at least one transfer retry
+    retry_rate: float = 0.0
+    #: seeds whose whole fallback chain was exhausted (makespan = inf)
+    failed: int = 0
     transfer_retries: int = 0
     attempts: int = 1
     fallbacks: int = 0
     fallback_path: str = ""
+    #: lockstep vs serial split of the sweep's seeds
+    rows_vectorized: int = 0
+    rows_fallback: int = 0
     #: search cost of this row's (re-)optimization: simulations executed,
     #: split into full replays and prefix-shared resumes, plus wall time
     search_sims: int = 0
@@ -57,30 +87,38 @@ class RobustnessReport:
     machine_name: str
     batch: int
     seed: int
+    fault_seeds: int
     clean_makespan: float
     clean_throughput: float
     rows: list[RobustnessRow] = field(default_factory=list)
 
     def render(self) -> str:
+        def ms(v: float) -> str:
+            return "inf" if math.isinf(v) else f"{v * 1e3:.3f}"
+
         t = Table(
             f"robustness of {self.graph_name!r} on {self.machine_name} "
             f"(clean: {self.clean_makespan * 1e3:.3f} ms, "
-            f"{self.clean_throughput:.1f} img/s, fault seed {self.seed})",
-            ["faults", "plan used", "makespan (ms)", "degradation",
-             "img/s", "retries", "attempts", "fallbacks",
-             "search sims (resumed)", "search s"],
+            f"{self.clean_throughput:.1f} img/s, "
+            f"{self.fault_seeds} fault seed"
+            f"{'s' if self.fault_seeds != 1 else ''} from {self.seed})",
+            ["faults", "plan used", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+             "degradation", "img/s", "oom", "fallbacks", "retries",
+             "vec/serial", "search s"],
         )
         for r in self.rows:
             t.add(
                 r.label,
                 r.plan_used + (f" ({r.fallback_path})" if r.fallback_path else ""),
-                f"{r.makespan * 1e3:.3f}",
+                ms(r.p50),
+                ms(r.p95),
+                ms(r.p99),
                 f"{r.degradation * 100:+.1f}%",
                 f"{r.throughput:.1f}",
-                r.transfer_retries,
-                r.attempts,
-                r.fallbacks,
-                f"{r.search_sims} ({r.search_sims_resumed})",
+                f"{r.oom_rate * 100:.0f}%",
+                f"{r.fallback_rate * 100:.0f}%",
+                f"{r.retry_rate * 100:.0f}%",
+                f"{r.rows_vectorized}/{r.rows_fallback}",
                 f"{r.search_wall_s:.2f}",
             )
         return t.render()
@@ -93,6 +131,17 @@ def _batch_of(graph: NNGraph) -> int:
     return next(iter(graph)).out_spec.batch
 
 
+def _plan_summary(outcomes) -> tuple[str, str]:
+    """(dominant plan label, dominant degradation path) across seeds."""
+    plans = Counter(o.plan_used or "failed" for o in outcomes)
+    plan, count = plans.most_common(1)[0]
+    if len(plans) > 1:
+        plan = f"{plan} ({count}/{len(outcomes)})"
+    paths = Counter(o.fallback_path for o in outcomes if o.fallback_path)
+    path = paths.most_common(1)[0][0] if paths else ""
+    return plan, path
+
+
 def robustness_report(
     graph: NNGraph,
     machine: MachineSpec,
@@ -100,18 +149,27 @@ def robustness_report(
     specs: list[FaultSpec] | None = None,
     noise_levels: tuple[float, ...] = DEFAULT_NOISE_LEVELS,
     seed: int = 0,
+    fault_seeds: int = 1,
     config=None,
     retry: RetryPolicy | None = None,
+    workers: int = 1,
 ) -> RobustnessReport:
     """Run the fault sweep and return the filled report.
 
     ``specs`` overrides the sweep entirely; otherwise each entry of
     ``noise_levels`` becomes a spec with that much duration *and* profile
     noise plus a small stall probability — the "everything is a bit sick"
-    scenario the acceptance criteria target.
+    scenario the acceptance criteria target.  Each spec plans **once**
+    (under fault seed ``seed``, exactly as a single-run report would) and
+    then executes the chosen plan under seeds ``seed .. seed +
+    fault_seeds - 1``; ``workers`` fans the serial-path seeds across a
+    process pool.
     """
     from repro.pooch import PoocH  # lazy: pooch.overlap imports this package
+    from repro.runtime.schedule import ScheduleOptions
 
+    if fault_seeds < 1:
+        raise ValueError(f"fault_seeds must be >= 1, got {fault_seeds}")
     if specs is None:
         specs = [
             FaultSpec(duration_noise=lvl, profile_noise=lvl,
@@ -119,6 +177,7 @@ def robustness_report(
             for lvl in noise_levels
         ]
     batch = _batch_of(graph)
+    seeds = range(seed, seed + fault_seeds)
 
     clean = PoocH(machine, config=config).optimize(graph)
     clean_result = clean.execute()
@@ -128,26 +187,49 @@ def robustness_report(
         machine_name=machine.name,
         batch=batch,
         seed=seed,
+        fault_seeds=fault_seeds,
         clean_makespan=clean_makespan,
         clean_throughput=batch / clean_makespan,
     )
 
     for spec in specs:
+        # plan once per scenario — the sweep is evaluation-side only
         injector = FaultInjector(spec, seed=seed)
         result = PoocH(machine, config=config, faults=injector).optimize(graph)
-        robust = result.execute_resilient(retry=retry)
+        options = ScheduleOptions(
+            policy=result.config.policy,
+            forward_refetch_gap=result.config.forward_refetch_gap,
+        )
+        outcomes = fault_seed_sweep(
+            graph, result.classification, machine, spec, seeds,
+            retry=retry, options=options, workers=workers,
+        )
+        makespans = np.array([o.makespan for o in outcomes])
+        p50, p95, p99 = (float(np.percentile(makespans, q))
+                         for q in (50, 95, 99))
+        n = len(outcomes)
+        plan, path = _plan_summary(outcomes)
         report.rows.append(RobustnessRow(
             label=spec.describe(),
             spec=spec,
-            makespan=robust.makespan,
-            degradation=robust.makespan / clean_makespan - 1.0,
-            throughput=batch / robust.makespan,
-            plan_used=robust.plan_used,
-            transfer_retries=robust.transfer_retries,
-            attempts=robust.attempts,
-            fallbacks=len(robust.fallbacks),
-            fallback_path=" -> ".join(
-                s.to_plan for s in robust.fallbacks),
+            makespan=p50,
+            degradation=p50 / clean_makespan - 1.0,
+            throughput=batch / p50 if math.isfinite(p50) else 0.0,
+            plan_used=plan,
+            fault_seeds=n,
+            p50=p50,
+            p95=p95,
+            p99=p99,
+            oom_rate=sum(o.oom for o in outcomes) / n,
+            fallback_rate=sum(o.degraded for o in outcomes) / n,
+            retry_rate=sum(o.transfer_retries > 0 for o in outcomes) / n,
+            failed=sum(o.failed for o in outcomes),
+            transfer_retries=sum(o.transfer_retries for o in outcomes),
+            attempts=max(o.attempts for o in outcomes),
+            fallbacks=sum(o.fallbacks for o in outcomes),
+            fallback_path=path,
+            rows_vectorized=sum(o.vectorized for o in outcomes),
+            rows_fallback=sum(not o.vectorized for o in outcomes),
             search_sims=result.stats.sims_full + result.stats.sims_resumed,
             search_sims_full=result.stats.sims_full,
             search_sims_resumed=result.stats.sims_resumed,

@@ -23,6 +23,12 @@ from repro.faults.resilient import (
     fallback_chain,
 )
 from repro.faults.spec import FaultSpec
+from repro.faults.sweep import (
+    SweepOutcome,
+    fault_seed_sweep,
+    seed_duration_matrix,
+    vectorizable,
+)
 
 __all__ = [
     "FaultSpec",
@@ -32,7 +38,11 @@ __all__ = [
     "RetryPolicy",
     "FallbackStep",
     "RobustResult",
+    "SweepOutcome",
     "apply_transfer_faults",
     "execute_resilient",
     "fallback_chain",
+    "fault_seed_sweep",
+    "seed_duration_matrix",
+    "vectorizable",
 ]

@@ -67,11 +67,31 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class FallbackStep:
-    """One link of the degradation chain that was actually taken."""
+    """One link of the degradation chain that was actually taken.
+
+    ``reason_kind`` is the machine-readable class of the failure that
+    forced the step — ``"oom"`` (genuine capacity shortfall),
+    ``"transfer"`` (retry budget exhausted) or ``"spurious"`` (transient
+    allocation faults outlasted ``max_plan_attempts``) — so consumers like
+    the fault-seed sweep can compute OOM/fallback rates without string
+    matching on ``reason``.
+    """
 
     from_plan: str
     to_plan: str
     reason: str
+    reason_kind: str = ""
+
+
+def _failure_kind(error: Exception | None) -> str:
+    """Classify a plan failure for :attr:`FallbackStep.reason_kind`."""
+    if isinstance(error, SpuriousOOMError):
+        return "spurious"
+    if isinstance(error, TransferFaultError):
+        return "transfer"
+    if isinstance(error, OutOfMemoryError):
+        return "oom"
+    return "error"
 
 
 @dataclass
@@ -262,6 +282,7 @@ def execute_resilient(
                 from_plan=name,
                 to_plan=chain[chain_pos + 1][0],
                 reason=str(plan_failed),
+                reason_kind=_failure_kind(plan_failed),
             ))
     assert last_error is not None
     metrics.count("resilience.chain_exhausted")

@@ -77,13 +77,15 @@ class FaultSpec:
     def parse(text: str) -> "FaultSpec":
         """Parse the CLI syntax: comma-separated ``key=value`` pairs.
 
-        ``"none"`` / ``""`` yield the inert spec.  Unknown keys and
-        unparseable values raise :class:`~repro.common.errors.FaultError`.
+        ``"none"`` / ``""`` yield the inert spec.  Unknown keys, duplicated
+        keys and unparseable values raise
+        :class:`~repro.common.errors.FaultError`.
         """
         text = text.strip()
         if not text or text == "none":
             return FaultSpec()
         known = {f.name for f in fields(FaultSpec)}
+        seen: set[str] = set()
         spec = FaultSpec()
         for item in text.split(","):
             item = item.strip()
@@ -100,6 +102,12 @@ class FaultSpec:
                 raise FaultError(
                     f"unknown fault spec key {key!r} (known: {sorted(known)})"
                 )
+            if key in seen:
+                raise FaultError(
+                    f"duplicate fault spec key {key!r} (each key may appear "
+                    "at most once)"
+                )
+            seen.add(key)
             try:
                 spec = replace(spec, **{key: float(value)})
             except ValueError:

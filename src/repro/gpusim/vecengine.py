@@ -446,19 +446,32 @@ class VectorEngine:
     # -- the lockstep loop ------------------------------------------------------
 
     def run_batch(self, keep: np.ndarray | None = None,
-                  record_times: bool = False) -> list[VecOutcome]:
+                  record_times: bool = False,
+                  durations: np.ndarray | None = None) -> list[VecOutcome]:
         """Simulate K candidates; ``keep`` is a (K, len(flips)) bool matrix
-        (``None`` = the base draft alone).  Returns one :class:`VecOutcome`
-        per row, in order — infeasible candidates carry their exact
-        event-engine exception instead of raising."""
+        (``None`` = the base draft alone).  ``durations`` optionally
+        overrides the compiled per-task durations with a (K, n) float64
+        matrix — one duration table per row — so a batch can sweep K fault
+        seeds (or other per-row perturbations) over one compiled draft;
+        ``None`` keeps the shared table.  When only ``durations`` is given,
+        K is taken from it and every row runs the base draft.  Returns one
+        :class:`VecOutcome` per row, in order — infeasible candidates carry
+        their exact event-engine exception instead of raising."""
         t = self.tables
         if keep is None:
-            keep = np.zeros((1, len(t.flips)), bool)
+            rows = 1 if durations is None else np.asarray(durations).shape[0]
+            keep = np.zeros((rows, len(t.flips)), bool)
         keep = np.asarray(keep, bool)
         if keep.ndim != 2 or keep.shape[1] != len(t.flips):
             raise SimulationError(
                 f"keep matrix must be (K, {len(t.flips)}), got {keep.shape}")
         K = keep.shape[0]
+        if durations is not None:
+            durations = np.ascontiguousarray(durations, np.float64)
+            if durations.shape != (K, t.n):
+                raise SimulationError(
+                    f"durations matrix must be (K, n) = ({K}, {t.n}), "
+                    f"got {durations.shape}")
         n = t.n
         nb1 = t.nbuf + 1
         registry = metrics.active()
@@ -522,6 +535,9 @@ class VectorEngine:
         ends = np.full((K, n), np.nan) if record_times else None
 
         duration = t.duration
+        # per-row duration tables gather from a flat (K*n) view with row
+        # stride n — hh never holds the sentinel (heads are filtered < n)
+        dur_flat = None if durations is None else durations.reshape(-1)
         need_dev = t.need_dev
         need_host = t.need_host
         headroom = t.headroom
@@ -603,7 +619,10 @@ class VectorEngine:
                 hh = hc[ok]
                 dev_use[kk] += nd[ok]
                 host_use[kk] += hn[ok]
-                fin[kk, s] = now[kk] + duration[hh]
+                if dur_flat is None:
+                    fin[kk, s] = now[kk] + duration[hh]
+                else:
+                    fin[kk, s] = now[kk] + dur_flat.take(kk * n + hh)
                 inflight[kk, s] = hh
                 cur[kk, s] += 1
                 ninf[kk] += 1

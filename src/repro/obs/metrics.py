@@ -25,16 +25,22 @@ from typing import Iterator
 
 #: schema identifier stamped into every RunMetrics document.  v1.1 added
 #: the structured *records* instrument (e.g. ``search.step2_rounds``);
-#: documents remain readable by v1 consumers, and v1 documents remain
+#: v1.2 added the ``faults`` section (seed-sweep row accounting).
+#: Documents remain readable by v1 consumers, and older documents remain
 #: acceptable to :func:`validate_run_metrics`.
-RUN_METRICS_SCHEMA = "repro.obs/run-metrics/v1.1"
+RUN_METRICS_SCHEMA = "repro.obs/run-metrics/v1.2"
 
 #: every schema revision a document may legitimately carry
-ACCEPTED_SCHEMAS = ("repro.obs/run-metrics/v1", RUN_METRICS_SCHEMA)
+ACCEPTED_SCHEMAS = ("repro.obs/run-metrics/v1", "repro.obs/run-metrics/v1.1",
+                    RUN_METRICS_SCHEMA)
+
+#: sections pre-v1.2 documents carry — validation requires only these for
+#: documents that declare an older schema
+SECTIONS_V1 = ("search", "engine", "allocator", "resilience")
 
 #: sections every RunMetrics document carries, populated or not — consumers
 #: (the CI smoke test, the bench artifact reader) rely on their presence
-SECTIONS = ("search", "engine", "allocator", "resilience")
+SECTIONS = SECTIONS_V1 + ("faults",)
 
 
 @dataclass
@@ -211,7 +217,10 @@ def validate_run_metrics(doc: dict) -> list[str]:
     if "records" in doc and not isinstance(doc["records"], dict):
         problems.append("'records' present but not an object")
     if isinstance(doc.get("sections"), dict):
-        for name in SECTIONS:
+        # pre-v1.2 documents predate the "faults" section
+        required = (SECTIONS if doc.get("schema") == RUN_METRICS_SCHEMA
+                    else SECTIONS_V1)
+        for name in required:
             if not isinstance(doc["sections"].get(name), dict):
                 problems.append(f"sections.{name} missing or not an object")
     if isinstance(doc.get("counters"), dict):

@@ -182,3 +182,26 @@ class TestRobustnessCommand:
                      "--faults", "stall_prob=0.2"]) == 0
         out = capsys.readouterr().out
         assert "stall_prob=0.2" in out
+
+    def test_seed_distribution_sweep(self, capsys):
+        assert main(["robustness", "small_cnn", "--batch", "8",
+                     "--fault-seeds", "4",
+                     "--faults", "duration_noise=0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "4 fault seeds" in out
+        assert "p95" in out and "p99" in out
+        # a pure duration-noise spec runs every seed in lockstep
+        assert "4/0" in out
+
+    def test_negative_fault_seed_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["robustness", "small_cnn", "--fault-seed", "-1"])
+        assert exc.value.code == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_negative_fault_seed_rejected_on_run(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "mlp", "--faults", "duration_noise=0.1",
+                  "--fault-seed", "-3"])
+        assert exc.value.code == 2
+        assert "non-negative" in capsys.readouterr().err

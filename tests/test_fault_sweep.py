@@ -1,0 +1,357 @@
+"""Monte-Carlo fault sweeps: vectorized rows == serial injector runs, bit-for-bit.
+
+The seed sweep (``repro.faults.sweep``) rests on two facts this harness
+checks directly:
+
+* **duration-table parity**: :func:`seed_duration_matrix` row k must equal,
+  float-for-float, the durations a schedule rebuilt under
+  ``FaultyDurations(base, FaultInjector(spec, seed=k))`` carries — the
+  keyed-RNG draws are computable up front;
+* **row bit-identity**: a lockstep row replayed with its per-row duration
+  table must match a serial ``FaultInjector`` + event-engine run with the
+  same seed — makespan, per-task start/end times, pool high-water marks,
+  and the OOM diagnosis when the seed's noise breaks the plan — zoo-wide.
+
+Plus the fallback matrix: event-order-dependent specs (stalls, spurious
+OOMs, host faults) and inexpressible drafts (NAIVE triggers) must take the
+serial resilient path, never silently diverge — and the sweep's vectorized
+and forced-serial arms must agree end to end.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.common.errors import FaultError, OutOfMemoryError
+from repro.faults import (
+    FaultInjector,
+    FaultSpec,
+    FaultyDurations,
+    fault_seed_sweep,
+    seed_duration_matrix,
+    vectorizable,
+)
+from repro.gpusim import Engine
+from repro.gpusim.vecengine import VectorEngine, VectorTables
+from repro.hw import CostModel, X86_V100, scaled_machine
+from repro.models import small_cnn
+from repro.models.zoo import MODEL_ZOO
+from repro.obs import MetricsRegistry, metrics
+from repro.runtime.durations import CostModelDurations
+from repro.runtime.plan import Classification, SwapInPolicy
+from repro.runtime.schedule import ScheduleBuilder, ScheduleOptions, build_schedule
+from tests.conftest import tiny_machine
+
+#: CI pins a seed matrix through this env var; locally it defaults to 0
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+_EAGER = ScheduleOptions(policy=SwapInPolicy.EAGER)
+
+
+def _vector_rows(graph, cls, machine, spec, seeds):
+    """Compile the clean draft once, replay all seeds in one lockstep batch."""
+    base = CostModelDurations(graph, CostModel(machine))
+    tasks, queues, buffers = ScheduleBuilder(
+        graph, cls, base, _EAGER, validate=False
+    ).build_raw()
+    host_cap = int(machine.cpu_mem_capacity * spec.host_capacity_factor)
+    tables = VectorTables(tasks, queues, buffers, machine.usable_gpu_memory,
+                          host_cap)
+    matrix = seed_duration_matrix(tasks, tables.tids, spec, seeds)
+    return VectorEngine(tables).run_batch(durations=matrix, record_times=True)
+
+
+def _serial_run(graph, cls, machine, spec, seed):
+    """The ground truth: rebuild the schedule under this seed's injector and
+    replay it on the full event engine."""
+    injector = FaultInjector(spec, seed=seed)
+    durations = FaultyDurations(
+        CostModelDurations(graph, CostModel(machine)), injector)
+    schedule = build_schedule(graph, cls, durations, _EAGER)
+    return Engine(
+        schedule,
+        device_capacity=machine.usable_gpu_memory,
+        host_capacity=injector.host_capacity(machine.cpu_mem_capacity),
+    ).run()
+
+
+def assert_rows_match_serial(graph, cls, machine, spec, seeds):
+    """Every vectorized row bit-identical to its serial counterpart —
+    feasible-for-feasible (times included) and OOM-blame-for-OOM-blame."""
+    rows = _vector_rows(graph, cls, machine, spec, seeds)
+    for seed, row in zip(seeds, rows):
+        try:
+            want = _serial_run(graph, cls, machine, spec, seed)
+        except OutOfMemoryError as e:
+            assert isinstance(row.error, OutOfMemoryError), row.error
+            assert row.error.context == e.context
+            continue
+        assert row.ok, row.error
+        # exact equality throughout — never approx
+        assert row.makespan == want.makespan
+        assert row.device_peak == want.device_peak
+        assert row.host_peak == want.host_peak
+        assert len(row.starts) == len(want.records)
+        for rec in want.records:
+            assert row.starts[rec.tid] == rec.start
+            assert row.ends[rec.tid] == rec.end
+
+
+class TestSeedMatrixParity:
+    """Matrix row k == the durations a per-seed FaultyDurations rebuild
+    would stamp into the draft — per task, bit-exact."""
+
+    SPEC = FaultSpec(duration_noise=0.08, bandwidth_factor=0.85)
+
+    def _compare(self, spec, seeds=tuple(range(4))):
+        graph = small_cnn()
+        machine = tiny_machine(mem_mib=160)
+        cls = Classification.all_swap(graph)
+        base = CostModelDurations(graph, CostModel(machine))
+        tasks, _, _ = ScheduleBuilder(
+            graph, cls, base, _EAGER, validate=False).build_raw()
+        tids = list(tasks)
+        matrix = seed_duration_matrix(tasks, tids, spec, seeds)
+        for r, seed in enumerate(seeds):
+            injector = FaultInjector(spec, seed=seed)
+            faulted = FaultyDurations(base, injector)
+            want, _, _ = ScheduleBuilder(
+                graph, cls, faulted, _EAGER, validate=False).build_raw()
+            for i, tid in enumerate(tids):
+                assert matrix[r, i] == want[tid].duration, (seed, tid)
+
+    def test_noise_and_bandwidth(self):
+        self._compare(self.SPEC)
+
+    def test_inert_spec_is_identity(self):
+        graph = small_cnn()
+        machine = tiny_machine(mem_mib=160)
+        base = CostModelDurations(graph, CostModel(machine))
+        tasks, _, _ = ScheduleBuilder(
+            graph, Classification.all_swap(graph), base, _EAGER,
+            validate=False).build_raw()
+        tids = list(tasks)
+        matrix = seed_duration_matrix(tasks, tids, FaultSpec(), [0, 1])
+        for i, tid in enumerate(tids):
+            assert matrix[0, i] == tasks[tid].duration
+            assert matrix[1, i] == tasks[tid].duration
+
+    def test_recompute_shares_forward_draw(self):
+        # R tasks must reuse the ("dur", "fwd", layer) key, like the provider
+        graph = small_cnn()
+        machine = tiny_machine(mem_mib=160)
+        base = CostModelDurations(graph, CostModel(machine))
+        cls = Classification.all_recompute(graph)
+        tasks, _, _ = ScheduleBuilder(
+            graph, cls, base, _EAGER, validate=False).build_raw()
+        tids = list(tasks)
+        matrix = seed_duration_matrix(tasks, tids, self.SPEC, [FAULT_SEED])
+        index = {tid: i for i, tid in enumerate(tids)}
+        injector = FaultInjector(self.SPEC, seed=FAULT_SEED)
+        for tid in tids:
+            if tid.startswith("R"):
+                layer = tasks[tid].layer
+                factor = injector.duration_factor("fwd", layer)
+                assert (matrix[0, index[tid]]
+                        == tasks[tid].duration * factor)
+
+
+class TestZooSweepBitIdentity:
+    """Satellite: every vectorized fault row bit-identical to a serial
+    ``FaultInjector`` run with the same seed, across the whole zoo."""
+
+    MACHINE = scaled_machine(X86_V100, mem_scale=0.25, name="x86_quarter")
+    SPEC = FaultSpec(duration_noise=0.1, bandwidth_factor=0.9)
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_zoo_row_identity(self, name):
+        graph = MODEL_ZOO[name](batch=2)
+        cls = Classification.all_swap(graph)
+        assert_rows_match_serial(graph, cls, self.MACHINE, self.SPEC,
+                                 [FAULT_SEED, FAULT_SEED + 1, FAULT_SEED + 2])
+
+    def test_recompute_plan_identity(self):
+        graph = small_cnn()
+        cls = Classification.all_recompute(graph)
+        assert_rows_match_serial(graph, cls, tiny_machine(mem_mib=160),
+                                 self.SPEC, list(range(FAULT_SEED,
+                                                       FAULT_SEED + 6)))
+
+    def test_oom_rows_blame_the_same_task(self):
+        # near-capacity + strong noise: some seeds re-time issues enough to
+        # overflow the pool — the lockstep row must blame the same task the
+        # serial engine does, seed for seed
+        graph = small_cnn()
+        cls = Classification.all_keep(graph)
+        assert_rows_match_serial(
+            graph, cls, tiny_machine(mem_mib=96),
+            FaultSpec(duration_noise=0.3),
+            list(range(FAULT_SEED, FAULT_SEED + 8)))
+
+    def test_host_capacity_factor_is_static(self):
+        graph = small_cnn()
+        cls = Classification.all_swap(graph)
+        assert_rows_match_serial(
+            graph, cls, tiny_machine(mem_mib=160),
+            FaultSpec(duration_noise=0.05, host_capacity_factor=0.5),
+            [FAULT_SEED, FAULT_SEED + 1])
+
+
+class TestSweepFallbackMatrix:
+    """Event-order-dependent specs and inexpressible drafts must take the
+    serial path; the sweep's two arms must agree wherever both run."""
+
+    def _outcomes_agree(self, a, b):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert x.seed == y.seed
+            assert x.makespan == y.makespan
+            assert x.plan_used == y.plan_used or x.plan_used == "chosen-plan"
+            assert x.failed == y.failed
+
+    def test_stall_and_oom_specs_are_not_vectorizable(self):
+        assert vectorizable(FaultSpec(duration_noise=0.2,
+                                      bandwidth_factor=0.5,
+                                      host_capacity_factor=0.5,
+                                      profile_noise=0.3))
+        assert not vectorizable(FaultSpec(stall_prob=0.01))
+        assert not vectorizable(FaultSpec(oom_prob=0.01))
+        assert not vectorizable(FaultSpec(host_oom_prob=0.01))
+
+    def test_stall_spec_rows_go_serial(self):
+        graph = small_cnn()
+        machine = tiny_machine(mem_mib=160)
+        cls = Classification.all_swap(graph)
+        outs = fault_seed_sweep(graph, cls, machine,
+                                FaultSpec(stall_prob=0.2), range(3))
+        assert all(not o.vectorized for o in outs)
+
+    def test_naive_draft_falls_back_serially(self):
+        # the clean draft itself is outside the lockstep family: every seed
+        # must still produce an outcome via the serial path
+        graph = small_cnn()
+        machine = tiny_machine(mem_mib=160)
+        cls = Classification.all_swap(graph)
+        outs = fault_seed_sweep(
+            graph, cls, machine, FaultSpec(duration_noise=0.05), range(3),
+            options=ScheduleOptions(policy=SwapInPolicy.NAIVE))
+        assert all(not o.vectorized for o in outs)
+        assert all(o.ok for o in outs)
+
+    def test_vectorized_arm_matches_serial_arm(self):
+        graph = small_cnn()
+        machine = tiny_machine(mem_mib=160)
+        cls = Classification.all_swap(graph)
+        spec = FaultSpec(duration_noise=0.1, bandwidth_factor=0.9)
+        seeds = range(FAULT_SEED, FAULT_SEED + 8)
+        vec = fault_seed_sweep(graph, cls, machine, spec, seeds)
+        ser = fault_seed_sweep(graph, cls, machine, spec, seeds,
+                               vectorize=False)
+        assert any(o.vectorized for o in vec)
+        assert all(not o.vectorized for o in ser)
+        self._outcomes_agree(vec, ser)
+
+    def test_oom_rows_replay_the_fallback_chain(self):
+        # a vectorizable spec whose shrunken host pool breaks the chosen
+        # plan: every lockstep row errors, falls back serially, and degrades
+        # through the chain instead of failing — with the machine-readable
+        # reason recorded
+        graph = small_cnn()
+        machine = tiny_machine(mem_mib=96)
+        cls = Classification.all_swap(graph)
+        clean = _serial_run(graph, cls, machine, FaultSpec(), 0)
+        factor = clean.host_peak * 0.5 / machine.cpu_mem_capacity
+        spec = FaultSpec(duration_noise=0.1, host_capacity_factor=factor)
+        assert vectorizable(spec)
+        outs = fault_seed_sweep(graph, cls, machine, spec,
+                                range(FAULT_SEED, FAULT_SEED + 4))
+        assert all(not o.vectorized for o in outs)
+        for o in outs:
+            assert o.ok and o.degraded and o.fallbacks >= 1
+            assert o.oom
+            assert o.plan_used == "recompute-all"
+
+    def test_workers_fan_out_is_identity(self):
+        graph = small_cnn()
+        machine = tiny_machine(mem_mib=160)
+        cls = Classification.all_swap(graph)
+        spec = FaultSpec(stall_prob=0.2)
+        seeds = range(FAULT_SEED, FAULT_SEED + 3)
+        one = fault_seed_sweep(graph, cls, machine, spec, seeds, workers=1)
+        two = fault_seed_sweep(graph, cls, machine, spec, seeds, workers=2)
+        for a, b in zip(one, two):
+            assert (a.seed, a.makespan, a.plan_used, a.transfer_retries,
+                    a.attempts) == (b.seed, b.makespan, b.plan_used,
+                                    b.transfer_retries, b.attempts)
+
+
+class TestSweepMetrics:
+    def test_row_split_counters(self):
+        graph = small_cnn()
+        machine = tiny_machine(mem_mib=160)
+        cls = Classification.all_swap(graph)
+        registry = MetricsRegistry()
+        previous = metrics.set_active(registry)
+        try:
+            fault_seed_sweep(graph, cls, machine,
+                             FaultSpec(duration_noise=0.05), range(4))
+            fault_seed_sweep(graph, cls, machine,
+                             FaultSpec(stall_prob=0.2), range(2))
+        finally:
+            metrics.set_active(previous)
+        faults = registry.snapshot()["sections"]["faults"]
+        assert faults["sweeps"] == 2
+        assert faults["rows_vectorized"] == 4
+        assert faults["rows_fallback"] == 2
+
+
+class TestRobustnessSeedDistribution:
+    def test_report_carries_percentiles_and_rates(self):
+        from repro.analysis import robustness_report
+
+        machine = tiny_machine(mem_mib=224)
+        report = robustness_report(
+            small_cnn(batch=64), machine,
+            specs=[FaultSpec(duration_noise=0.1)],
+            seed=FAULT_SEED, fault_seeds=8)
+        assert report.fault_seeds == 8
+        (row,) = report.rows
+        assert row.fault_seeds == 8
+        assert row.rows_vectorized + row.rows_fallback == 8
+        assert row.rows_vectorized > 0
+        assert row.p50 <= row.p95 <= row.p99
+        assert row.makespan == row.p50
+        assert row.throughput == pytest.approx(report.batch / row.p50)
+        for rate in (row.oom_rate, row.fallback_rate, row.retry_rate):
+            assert 0.0 <= rate <= 1.0
+        text = report.render()
+        assert "p95" in text and "8 fault seeds" in text
+
+    def test_single_seed_degenerates_to_point_estimate(self):
+        from repro.analysis import robustness_report
+
+        machine = tiny_machine(mem_mib=224)
+        report = robustness_report(
+            small_cnn(batch=64), machine,
+            specs=[FaultSpec(duration_noise=0.1)],
+            seed=FAULT_SEED, fault_seeds=1)
+        (row,) = report.rows
+        assert row.p50 == row.p95 == row.p99 == row.makespan
+
+    def test_rejects_bad_seed_count(self):
+        from repro.analysis import robustness_report
+
+        with pytest.raises(ValueError):
+            robustness_report(small_cnn(), tiny_machine(), fault_seeds=0)
+
+
+class TestParseDuplicateKeys:
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(FaultError, match="duplicate.*duration_noise"):
+            FaultSpec.parse("duration_noise=0.1,duration_noise=0.2")
+
+    def test_duplicate_rejected_even_with_equal_values(self):
+        with pytest.raises(FaultError, match="duplicate"):
+            FaultSpec.parse("stall_prob=0.1,stall_prob=0.1")

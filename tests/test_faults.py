@@ -60,10 +60,17 @@ class TestFaultSpec:
     @pytest.mark.parametrize("text", [
         "bogus=1", "duration_noise", "duration_noise=abc",
         "duration_noise=1.5", "bandwidth_factor=0", "stall_prob=-0.1",
+        "duration_noise=0.1,duration_noise=0.2",
     ])
     def test_bad_specs_rejected(self, text):
         with pytest.raises(FaultError):
             FaultSpec.parse(text)
+
+    def test_duplicate_key_names_the_key(self):
+        # a silent last-wins would make "duration_noise=0.1,duration_noise=0"
+        # quietly disable the fault the user thought they enabled
+        with pytest.raises(FaultError, match="duplicate.*'stall_prob'"):
+            FaultSpec.parse("stall_prob=0.1,oom_prob=0.01,stall_prob=0.2")
 
 
 class TestInjectorDeterminism:
