@@ -93,6 +93,50 @@ class ChromeTraceBuilder:
                 "args": {"bytes_in_use": ev.in_use_after},
             })
 
+    def add_multi_device_run(self, mresult: Any,
+                             name: str | None = None) -> None:
+        """Append an N-device iteration: one stream-row group per device.
+
+        ``mresult`` is a :class:`~repro.gpusim.MultiDeviceResult`.  Each
+        device's rows carry its re-timed records (stagger plus link-
+        contention slip applied) under labels like ``d0/compute``; a device
+        with a gradient exchange also gets an ``allreduce`` row covering
+        the ring-exchange interval after its backward phase.
+        """
+        prefix = f"{name}/" if name else ""
+        for dev in mresult.per_device:
+            tids = {
+                stream: self._claim_tid(
+                    f"{prefix}d{dev.device}/{stream.value}")
+                for stream in _STREAM_ORDER
+            }
+            for rec in mresult.device_records(dev.device):
+                self.events.append({
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tids[rec.stream],
+                    "name": rec.tid,
+                    "cat": rec.kind.value,
+                    "ts": rec.start * 1e6,
+                    "dur": rec.duration * 1e6,
+                    "cname": _KIND_COLOR.get(rec.kind, "grey"),
+                    "args": {"layer": rec.layer, "kind": rec.kind.value,
+                             "device": dev.device},
+                })
+            if dev.allreduce_time > 0:
+                tid = self._claim_tid(f"{prefix}d{dev.device}/allreduce")
+                self.events.append({
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "name": f"allreduce d{dev.device}",
+                    "cat": "allreduce",
+                    "ts": dev.backward_end * 1e6,
+                    "dur": dev.allreduce_time * 1e6,
+                    "cname": "thread_state_iowait",
+                    "args": {"device": dev.device},
+                })
+
     def add_spans(self, spans: Iterable[Any], name: str = "phases") -> None:
         """Append observability spans, one thread row per nesting depth.
 

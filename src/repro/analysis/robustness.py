@@ -90,16 +90,25 @@ class RobustnessReport:
     fault_seeds: int
     clean_makespan: float
     clean_throughput: float
+    #: data-parallel replica count (1 = single-device sweep); with more
+    #: than one device the clean plan's staggered multi-device makespan is
+    #: reported too (per-seed rows remain per-device timelines)
+    devices: int = 1
+    multi_clean_makespan: float = 0.0
     rows: list[RobustnessRow] = field(default_factory=list)
 
     def render(self) -> str:
         def ms(v: float) -> str:
             return "inf" if math.isinf(v) else f"{v * 1e3:.3f}"
 
+        multi = ""
+        if self.devices > 1:
+            multi = (f", {self.devices} devices: "
+                     f"{self.multi_clean_makespan * 1e3:.3f} ms staggered")
         t = Table(
             f"robustness of {self.graph_name!r} on {self.machine_name} "
             f"(clean: {self.clean_makespan * 1e3:.3f} ms, "
-            f"{self.clean_throughput:.1f} img/s, "
+            f"{self.clean_throughput:.1f} img/s{multi}, "
             f"{self.fault_seeds} fault seed"
             f"{'s' if self.fault_seeds != 1 else ''} from {self.seed})",
             ["faults", "plan used", "p50 (ms)", "p95 (ms)", "p99 (ms)",
@@ -190,6 +199,9 @@ def robustness_report(
         fault_seeds=fault_seeds,
         clean_makespan=clean_makespan,
         clean_throughput=batch / clean_makespan,
+        devices=machine.devices,
+        multi_clean_makespan=(clean.multi.chosen.makespan
+                              if clean.multi is not None else 0.0),
     )
 
     for spec in specs:

@@ -48,7 +48,7 @@ from repro.baselines import (
 from repro.common.errors import OutOfMemoryError, ReproError
 from repro.common.units import GiB, format_bytes
 from repro.faults import FaultInjector, FaultSpec
-from repro.hw import MachineSpec, POWER9_V100, X86_V100
+from repro.hw import MachineSpec, POWER9_V100, X86_V100, multi_gpu
 from repro.models import MODEL_ZOO, build_model
 from repro.obs import LEVELS, MetricsRegistry, configure_logging, metrics
 from repro.pooch import PoocH, PoochConfig
@@ -130,8 +130,13 @@ def _obs_parent() -> argparse.ArgumentParser:
     return p
 
 
-def _write_trace(args, result, label: str) -> None:
-    """Write the unified Chrome trace: search-phase spans + the run."""
+def _write_trace(args, result, label: str, multi=None) -> None:
+    """Write the unified Chrome trace: search-phase spans + the run.
+
+    With a multi-device result, each device contributes its own group of
+    stream rows (shifted by stagger and link contention) instead of the
+    single-device timeline.
+    """
     if not getattr(args, "trace", None):
         return
     from repro.analysis import ChromeTraceBuilder
@@ -140,11 +145,22 @@ def _write_trace(args, result, label: str) -> None:
     registry = metrics.active()
     if registry is not None and registry.spans:
         builder.add_spans(registry.spans, name="pipeline phases")
-    if result is not None:
+    if multi is not None:
+        builder.add_multi_device_run(multi, name="ground truth")
+    elif result is not None:
         builder.add_run(result, name="ground truth")
     builder.write(args.trace)
     print(f"chrome trace written to {args.trace} "
           "(open at https://ui.perfetto.dev)")
+
+
+def _machine(args) -> MachineSpec:
+    """The selected machine, widened to N data-parallel devices."""
+    base = _MACHINES[args.machine]
+    devices = getattr(args, "devices", 1)
+    if devices > 1:
+        return multi_gpu(base, devices)
+    return base
 
 
 def _build(args) -> "NNGraph":  # noqa: F821 - doc reference
@@ -156,11 +172,20 @@ def _build(args) -> "NNGraph":  # noqa: F821 - doc reference
 
 def _add_model_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("model", help="model name (see `models`)")
-    p.add_argument("--batch", type=int, default=32)
-    p.add_argument("--input-size", type=int, nargs=3, default=(16, 112, 112),
-                   metavar=("T", "H", "W"),
-                   help="3D input size for resnext101_3d")
+    p.add_argument("--batch", type=_positive_int, default=32,
+                   help="batch size (positive integer)")
+    p.add_argument("--input-size", type=_positive_int, nargs=3,
+                   default=(16, 112, 112), metavar=("T", "H", "W"),
+                   help="3D input size for resnext101_3d "
+                        "(three positive integers)")
     p.add_argument("--machine", choices=sorted(_MACHINES), default="x86")
+
+
+def _add_devices_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--devices", type=_positive_int, default=1,
+                   help="number of data-parallel devices sharing the host "
+                        "link; >1 enables the staggered multi-device "
+                        "planning stage")
 
 
 def _cmd_models(args) -> int:
@@ -185,7 +210,7 @@ def _cmd_optimize(args) -> int:
     from repro.runtime import save_plan
 
     graph = _build(args)
-    machine = _MACHINES[args.machine]
+    machine = _machine(args)
     config = PoochConfig(step1_sim_budget=args.budget, workers=args.workers,
                          prune=not args.no_prune,
                          incremental=not args.no_incremental,
@@ -202,7 +227,14 @@ def _cmd_optimize(args) -> int:
     print(f"ground-truth iteration: {timeline.makespan * 1e3:.2f} ms "
           f"({images_per_second(timeline, args.batch):.1f} img/s), "
           f"peak GPU memory {timeline.device_peak / GiB:.2f} GiB")
-    _write_trace(args, timeline, f"{args.model} pooch")
+    if result.multi is not None:
+        aggregate = (machine.devices * args.batch
+                     / result.multi.chosen.makespan)
+        print(f"multi-device iteration ({machine.devices} devices, "
+              f"staggered): {result.multi.chosen.makespan * 1e3:.2f} ms "
+              f"= {aggregate:.1f} img/s aggregate")
+    _write_trace(args, timeline, f"{args.model} pooch",
+                 multi=result.multi.chosen if result.multi else None)
     if args.save:
         save_plan(args.save, result.classification, graph,
                   machine=machine.name, predicted_time=result.predicted.time)
@@ -220,21 +252,37 @@ def _run_resilient(graph, cls, machine, injector, policy=SwapInPolicy.EAGER):
     return robust.result
 
 
+def _print_multi(machine, mresult, *, staggered: bool) -> None:
+    mode = "staggered" if staggered else "synchronized"
+    print(f"{machine.devices}-device iteration ({mode}): "
+          f"{mresult.makespan * 1e3:.2f} ms "
+          f"(link contention {mresult.contention_delay_total * 1e3:.2f} ms, "
+          f"allreduce {mresult.allreduce_time * 1e3:.2f} ms overlapped)")
+
+
 def _cmd_run(args) -> int:
     graph = _build(args)
-    machine = _MACHINES[args.machine]
+    machine = _machine(args)
     injector = _injector(args)
+    multi = None
     if args.plan:
         from repro.runtime import load_plan
 
         cls = load_plan(args.plan, graph)
         timeline = (execute(graph, cls, machine) if injector is None
                     else _run_resilient(graph, cls, machine, injector))
+        if machine.devices > 1:
+            from repro.gpusim import simulate_multi_device
+
+            multi = simulate_multi_device(
+                timeline, machine,
+                grad_bytes=sum(layer.op.param_bytes for layer in graph))
+            _print_multi(machine, multi, staggered=False)
         print(f"saved-plan on {machine.name}: {timeline.makespan * 1e3:.2f} ms "
               f"per iteration = "
               f"{images_per_second(timeline, args.batch):.1f} img/s "
               f"(peak {timeline.device_peak / GiB:.2f} GiB)")
-        _write_trace(args, timeline, f"{args.model} saved-plan")
+        _write_trace(args, timeline, f"{args.model} saved-plan", multi=multi)
         return 0
     if args.method == "pooch":
         config = PoochConfig(step1_sim_budget=args.budget,
@@ -251,6 +299,9 @@ def _cmd_run(args) -> int:
             robust = result.execute_resilient()
             print(robust.describe())
             timeline = robust.result
+        if result.multi is not None:
+            multi = result.multi.chosen
+            _print_multi(machine, multi, staggered=any(result.multi.stagger))
     else:
         if args.method == "swap-opt":
             plan = plan_swap_opt(graph, machine)
@@ -261,10 +312,18 @@ def _cmd_run(args) -> int:
         else:
             timeline = _run_resilient(graph, plan.classification, machine,
                                       injector, policy=plan.policy)
+        if machine.devices > 1:
+            from repro.gpusim import simulate_multi_device
+
+            # baselines have no stagger search: show the synchronized cost
+            multi = simulate_multi_device(
+                timeline, machine,
+                grad_bytes=sum(layer.op.param_bytes for layer in graph))
+            _print_multi(machine, multi, staggered=False)
     print(f"{args.method} on {machine.name}: {timeline.makespan * 1e3:.2f} ms "
           f"per iteration = {images_per_second(timeline, args.batch):.1f} img/s "
           f"(peak {timeline.device_peak / GiB:.2f} GiB)")
-    _write_trace(args, timeline, f"{args.model} {args.method}")
+    _write_trace(args, timeline, f"{args.model} {args.method}", multi=multi)
     return 0
 
 
@@ -272,7 +331,7 @@ def _cmd_robustness(args) -> int:
     from repro.analysis import robustness_report
 
     graph = _build(args)
-    machine = _MACHINES[args.machine]
+    machine = _machine(args)
     specs = None
     if args.faults:
         spec = FaultSpec.parse(args.faults)
@@ -349,6 +408,7 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("optimize", help="run PoocH and print the plan",
                        parents=[obs])
     _add_model_args(p)
+    _add_devices_arg(p)
     p.add_argument("--budget", type=_positive_int, default=600,
                    help="step-1 simulation budget (positive integer)")
     p.add_argument("--workers", type=_positive_int, default=1,
@@ -388,6 +448,7 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="simulate one iteration of a method",
                        parents=[obs])
     _add_model_args(p)
+    _add_devices_arg(p)
     p.add_argument("--method", default="pooch",
                    choices=["pooch", "swap-opt", *sorted(_SIMPLE_PLANNERS)])
     p.add_argument("--budget", type=_positive_int, default=600)
@@ -420,6 +481,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="sweep fault levels and report degradation/retries/fallbacks",
         parents=[obs])
     _add_model_args(p)
+    _add_devices_arg(p)
     p.add_argument("--noise-levels", type=float, nargs="+",
                    default=[0.02, 0.05, 0.10], metavar="STDDEV",
                    help="duration+profile noise ladder for the sweep")
@@ -484,6 +546,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "command": args.command,
                     "model": getattr(args, "model", None),
                     "machine": getattr(args, "machine", None),
+                    "devices": getattr(args, "devices", 1),
                     "argv": list(argv) if argv is not None else sys.argv[1:],
                 }
                 pathlib.Path(args.metrics).write_text(

@@ -141,7 +141,7 @@ class FaultInjector:
             noisy.baseline = Engine(
                 schedule,
                 device_capacity=machine.usable_gpu_memory,
-                host_capacity=machine.cpu_mem_capacity,
+                host_capacity=machine.host_swap_capacity,
             ).run()
         return noisy
 

@@ -213,7 +213,7 @@ def execute_resilient(
         base = CostModelDurations(graph, cost_model or CostModel(machine))
     if faults is not None:
         base = FaultyDurations(base, faults)
-    host_nominal = machine.cpu_mem_capacity
+    host_nominal = machine.host_swap_capacity
     host_capacity = (faults.host_capacity(host_nominal)
                      if faults is not None else host_nominal)
 

@@ -363,7 +363,7 @@ def fault_seed_sweep(
                                           cost_model or CostModel(machine))
             tasks, queues, buffers = ScheduleBuilder(
                 graph, classification, base, opts).build_raw()
-            host_capacity = int(machine.cpu_mem_capacity
+            host_capacity = int(machine.host_swap_capacity
                                 * spec.host_capacity_factor)
             tables = VectorTables(
                 tasks, queues, buffers,

@@ -23,6 +23,14 @@ from repro.gpusim.engine import (
     TaskKind,
     TaskRecord,
 )
+from repro.gpusim.multidevice import (
+    DeviceTimeline,
+    LinkArbiter,
+    MultiDeviceResult,
+    TransferGrant,
+    ring_allreduce_time,
+    simulate_multi_device,
+)
 
 __all__ = [
     "MemoryPool",
@@ -36,4 +44,10 @@ __all__ = [
     "Schedule",
     "Engine",
     "RunResult",
+    "LinkArbiter",
+    "TransferGrant",
+    "DeviceTimeline",
+    "MultiDeviceResult",
+    "simulate_multi_device",
+    "ring_allreduce_time",
 ]

@@ -7,8 +7,9 @@ from repro.hw.machine import (
     POWER9_V100,
     X86_V100,
     degraded_machine,
+    multi_gpu,
     scaled_machine,
 )
 
 __all__ = ["MachineSpec", "X86_V100", "POWER9_V100", "scaled_machine",
-           "degraded_machine", "CostModel"]
+           "degraded_machine", "multi_gpu", "CostModel"]

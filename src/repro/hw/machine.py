@@ -14,10 +14,15 @@ from repro.common.units import GB, GiB, MiB
 
 @dataclass(frozen=True)
 class MachineSpec:
-    """A host + single-GPU execution environment.
+    """A host + N identical data-parallel GPUs (``devices=1`` — the paper's
+    configuration — is a single-GPU machine).
 
     Bandwidths are *peak* figures; the cost model applies the efficiency
-    fractions.  Capacities are bytes.
+    fractions.  Capacities are bytes and are **per device** for GPU memory
+    but **shared across devices** for host DRAM: with ``devices > 1`` every
+    replica swaps into the same ``cpu_mem_capacity`` pool and every
+    replica's H2D/D2H traffic crosses the same host link (see
+    :mod:`repro.gpusim.multidevice` for the contention model).
     """
 
     name: str
@@ -27,7 +32,7 @@ class MachineSpec:
     gpu_mem_capacity: int = 16 * GiB
     #: memory the CUDA context / framework reserves; not available to the pool.
     gpu_mem_reserved: int = 600 * MiB
-    #: host DRAM capacity — bounds total swap space.
+    #: host DRAM capacity — bounds total swap space across *all* devices.
     cpu_mem_capacity: int = 192 * GB
     #: peak fp32 throughput of the GPU (V100: 15.7 TFLOP/s).
     gpu_peak_flops: float = 15.7e12
@@ -42,25 +47,82 @@ class MachineSpec:
     os: str = ""
     cuda: str = ""
     cudnn: str = "cuDNN 7.1"
+    #: number of data-parallel devices sharing the host link and host DRAM.
+    devices: int = 1
+    #: effective bandwidth of the gradient-exchange (allreduce) path,
+    #: bytes/s; 0 means "use the host-link bandwidth" (PCIe-routed ring).
+    allreduce_bandwidth: float = 0.0
+    #: whether the N devices contend for one host-link budget per direction
+    #: (True models a shared PCIe root complex / switch; False gives every
+    #: device its own full-bandwidth link — the no-contention control).
+    link_shared: bool = True
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ValueError(f"devices must be >= 1, got {self.devices!r}")
+        if self.allreduce_bandwidth < 0:
+            raise ValueError(
+                f"allreduce_bandwidth must be >= 0, got "
+                f"{self.allreduce_bandwidth!r}")
 
     @property
     def usable_gpu_memory(self) -> int:
-        """Bytes the memory pool may hand out."""
+        """Bytes the per-device memory pool may hand out."""
         return self.gpu_mem_capacity - self.gpu_mem_reserved
+
+    @property
+    def host_swap_capacity(self) -> int:
+        """Host DRAM one device replica may use for swap space.
+
+        Host memory is shared: N data-parallel replicas of the same plan
+        swap concurrently, so each gets an even ``cpu_mem_capacity / N``
+        share.  Planning and per-device simulation bound host residency by
+        this share, which makes the aggregate bound hold by construction;
+        :func:`repro.gpusim.multidevice.simulate_multi_device` additionally
+        re-checks the aggregate and reports the overflowing bytes.
+        """
+        return self.cpu_mem_capacity // self.devices
+
+    @property
+    def effective_allreduce_bandwidth(self) -> float:
+        """Gradient-exchange bandwidth: explicit, else the slower host-link
+        direction (a PCIe-routed ring is bounded by its weakest hop)."""
+        return self.allreduce_bandwidth or min(self.h2d_bandwidth,
+                                               self.d2h_bandwidth)
 
     def environment_table(self) -> list[tuple[str, str]]:
         """Rows matching the paper's Table 1 / Table 2 layout."""
-        return [
-            ("GPU", self.gpu),
+        rows = [
+            ("GPU", self.gpu if self.devices == 1
+             else f"{self.devices}x {self.gpu} (data parallel)"),
             ("GPU memory capacity", f"{self.gpu_mem_capacity / GiB:.0f} GB"),
             ("CPU", self.cpu),
             ("CPU memory capacity", f"{self.cpu_mem_capacity / GB:.0f} GB"),
             ("CPU-GPU interconnect", self.interconnect),
-            ("CPU-GPU bandwidth", f"{self.h2d_bandwidth / GB:.0f} GB/sec"),
+        ]
+        if self.h2d_bandwidth == self.d2h_bandwidth:
+            rows.append(("CPU-GPU bandwidth",
+                         f"{self.h2d_bandwidth / GB:.0f} GB/sec"))
+        else:
+            # asymmetric links (a degraded direction, host-biased DMA
+            # engines) must report both directions, not just H2D
+            rows.append(("CPU-GPU bandwidth (H2D)",
+                         f"{self.h2d_bandwidth / GB:.0f} GB/sec"))
+            rows.append(("CPU-GPU bandwidth (D2H)",
+                         f"{self.d2h_bandwidth / GB:.0f} GB/sec"))
+        if self.devices > 1:
+            rows.append(("Gradient-exchange bandwidth",
+                         f"{self.effective_allreduce_bandwidth / GB:.0f} "
+                         "GB/sec"))
+            rows.append(("Host link",
+                         "shared across devices" if self.link_shared
+                         else "dedicated per device"))
+        rows += [
             ("OS", self.os),
             ("CUDA", self.cuda),
             ("cuDNN", self.cudnn),
         ]
+        return rows
 
 
 #: the paper's x86 machine (Table 1): Xeon Gold 6140 + V100 over PCIe gen3.
@@ -86,6 +148,30 @@ POWER9_V100 = MachineSpec(
     os="RHEL 7.5 (Maipo)",
     cuda="CUDA 9.2",
 )
+
+
+def multi_gpu(base: MachineSpec, devices: int, *, name: str | None = None,
+              allreduce_bandwidth: float | None = None,
+              link_shared: bool | None = None) -> MachineSpec:
+    """Derive an N-device data-parallel machine from a single-GPU ``base``.
+
+    The device pools stay identical to ``base``; host DRAM and the host
+    link become shared resources (each replica plans against its
+    ``cpu_mem_capacity / N`` share, and the multi-device simulation
+    arbitrates the link).  ``devices=1`` returns a spec that simulates
+    bit-identically to ``base``.
+    """
+    if devices < 1:
+        raise ValueError(f"devices must be >= 1, got {devices!r}")
+    return replace(
+        base,
+        name=name or (base.name if devices == 1 else f"{base.name}x{devices}"),
+        devices=devices,
+        allreduce_bandwidth=(base.allreduce_bandwidth
+                             if allreduce_bandwidth is None
+                             else allreduce_bandwidth),
+        link_shared=base.link_shared if link_shared is None else link_shared,
+    )
 
 
 def degraded_machine(base: MachineSpec, *, name: str | None = None,

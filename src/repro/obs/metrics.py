@@ -25,22 +25,34 @@ from typing import Iterator
 
 #: schema identifier stamped into every RunMetrics document.  v1.1 added
 #: the structured *records* instrument (e.g. ``search.step2_rounds``);
-#: v1.2 added the ``faults`` section (seed-sweep row accounting).
+#: v1.2 added the ``faults`` section (seed-sweep row accounting); v1.3
+#: added the ``devices`` section (multi-device stagger planning).
 #: Documents remain readable by v1 consumers, and older documents remain
 #: acceptable to :func:`validate_run_metrics`.
-RUN_METRICS_SCHEMA = "repro.obs/run-metrics/v1.2"
+RUN_METRICS_SCHEMA = "repro.obs/run-metrics/v1.3"
 
 #: every schema revision a document may legitimately carry
 ACCEPTED_SCHEMAS = ("repro.obs/run-metrics/v1", "repro.obs/run-metrics/v1.1",
-                    RUN_METRICS_SCHEMA)
+                    "repro.obs/run-metrics/v1.2", RUN_METRICS_SCHEMA)
 
 #: sections pre-v1.2 documents carry — validation requires only these for
 #: documents that declare an older schema
 SECTIONS_V1 = ("search", "engine", "allocator", "resilience")
 
+#: sections a v1.2 document carries (pre-``devices``)
+SECTIONS_V1_2 = SECTIONS_V1 + ("faults",)
+
 #: sections every RunMetrics document carries, populated or not — consumers
 #: (the CI smoke test, the bench artifact reader) rely on their presence
-SECTIONS = SECTIONS_V1 + ("faults",)
+SECTIONS = SECTIONS_V1_2 + ("devices",)
+
+#: required sections per declared schema revision
+_REQUIRED_SECTIONS = {
+    "repro.obs/run-metrics/v1": SECTIONS_V1,
+    "repro.obs/run-metrics/v1.1": SECTIONS_V1,
+    "repro.obs/run-metrics/v1.2": SECTIONS_V1_2,
+    RUN_METRICS_SCHEMA: SECTIONS,
+}
 
 
 @dataclass
@@ -217,9 +229,9 @@ def validate_run_metrics(doc: dict) -> list[str]:
     if "records" in doc and not isinstance(doc["records"], dict):
         problems.append("'records' present but not an object")
     if isinstance(doc.get("sections"), dict):
-        # pre-v1.2 documents predate the "faults" section
-        required = (SECTIONS if doc.get("schema") == RUN_METRICS_SCHEMA
-                    else SECTIONS_V1)
+        # older documents predate the "faults" (v1.2) and "devices" (v1.3)
+        # sections; require only what the declared revision promises
+        required = _REQUIRED_SECTIONS.get(doc.get("schema"), SECTIONS_V1)
         for name in required:
             if not isinstance(doc["sections"].get(name), dict):
                 problems.append(f"sections.{name} missing or not an object")

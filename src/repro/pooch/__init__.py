@@ -16,6 +16,11 @@ The pipeline mirrors the paper's three phases:
 
 from repro.pooch.classifier import PoochClassifier, PoochConfig, SearchStats
 from repro.pooch.dynamic import DynamicPoocH, DynamicStats
+from repro.pooch.multidevice import (
+    MultiDevicePlan,
+    plan_staggered,
+    stagger_candidates,
+)
 from repro.pooch.overlap import OverlapAnalysis, analyze_overlap
 from repro.pooch.pipeline import PoocH, PoochResult
 from repro.pooch.predictor import PredictedOutcome, TimelinePredictor
@@ -26,6 +31,9 @@ __all__ = [
     "PoochConfig",
     "PoochClassifier",
     "SearchStats",
+    "MultiDevicePlan",
+    "plan_staggered",
+    "stagger_candidates",
     "TimelinePredictor",
     "PredictedOutcome",
     "OverlapAnalysis",

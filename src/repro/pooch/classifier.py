@@ -201,6 +201,14 @@ class SearchStats:
     vector_candidates: int = 0
     #: wall-clock seconds spent inside classify()
     wall_time_s: float = 0.0
+    #: multi-device planning (populated only when the machine has more than
+    #: one device): replica count, stagger candidates scored, the chosen
+    #: per-device start offsets, and the naive-vs-staggered makespans
+    devices: int = 1
+    stagger_candidates: int = 0
+    stagger_s: list[float] = field(default_factory=list)
+    multi_makespan_naive: float = 0.0
+    multi_makespan_chosen: float = 0.0
 
 
 #: bound on the retained per-round r-value history (each entry is one dict

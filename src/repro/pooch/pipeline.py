@@ -11,6 +11,7 @@ from repro.gpusim import RunResult
 from repro.hw import CostModel, MachineSpec
 from repro.obs import get_logger, metrics
 from repro.pooch.classifier import PoochClassifier, PoochConfig, SearchStats
+from repro.pooch.multidevice import MultiDevicePlan, plan_staggered
 from repro.pooch.predictor import PredictedOutcome, TimelinePredictor
 from repro.runtime.executor import execute
 from repro.runtime.plan import Classification
@@ -38,6 +39,9 @@ class PoochResult:
     predicted: PredictedOutcome
     config: PoochConfig = field(default_factory=PoochConfig)
     faults: FaultInjector | None = None
+    #: staggered swap-window plan across data-parallel replicas; populated
+    #: only when the machine has more than one device
+    multi: MultiDevicePlan | None = None
 
     def execute(
         self,
@@ -85,6 +89,33 @@ class PoochResult:
                 policy=self.config.policy,
                 forward_refetch_gap=self.config.forward_refetch_gap,
             ),
+        )
+
+    def grad_bytes(self) -> int:
+        """Gradient volume one replica contributes to the allreduce."""
+        return sum(layer.op.param_bytes for layer in self.graph)
+
+    def execute_multi(
+        self,
+        machine: MachineSpec | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        """Ground-truth multi-device execution of the chosen plan.
+
+        Runs the single-replica plan through the engine, then replays it on
+        every device of ``machine`` through the shared-link arbiter with this
+        result's chosen stagger (when its device count matches).  Returns a
+        :class:`~repro.gpusim.MultiDeviceResult`.
+        """
+        from repro.gpusim import simulate_multi_device
+
+        m = machine or self.machine
+        base = self.execute(machine=m, cost_model=cost_model)
+        stagger = None
+        if self.multi is not None and len(self.multi.stagger) == m.devices:
+            stagger = self.multi.stagger
+        return simulate_multi_device(
+            base, m, stagger=stagger, grad_bytes=self.grad_bytes()
         )
 
     def explain(self, top: int | None = None) -> str:
@@ -146,6 +177,10 @@ class PoochResult:
             f"{self.stats.subtrees_pruned} subtrees pruned",
             f"  search wall time: {self.stats.wall_time_s:.2f} s",
         ]
+        if self.multi is not None:
+            lines.extend(
+                "  " + ln for ln in self.multi.summary().splitlines()
+            )
         return "\n".join(lines)
 
 
@@ -250,7 +285,7 @@ class PoocH:
                              self.machine.name, outcome.time * 1e3)
                     stats = SearchStats(plan_cache_hit=True)
                     stats.time_after_step2 = outcome.time
-                    return PoochResult(
+                    return self._attach_multi(PoochResult(
                         graph=graph,
                         machine=self.machine,
                         classification=classification,
@@ -259,7 +294,7 @@ class PoocH:
                         predicted=outcome,
                         config=self.config,
                         faults=self.faults,
-                    )
+                    ))
                 metrics.count("search.plan_cache_rejections")
         classifier = PoochClassifier(
             graph, profile, self.machine, self.config, predictor
@@ -281,7 +316,7 @@ class PoocH:
             cache.merge_outcomes(graph, self.machine,
                                  predictor.sim_signature(),
                                  predictor.export_outcomes())
-        return PoochResult(
+        return self._attach_multi(PoochResult(
             graph=graph,
             machine=self.machine,
             classification=classification,
@@ -290,4 +325,37 @@ class PoocH:
             predicted=predicted,
             config=self.config,
             faults=self.faults,
+        ))
+
+    def _attach_multi(self, result: PoochResult) -> PoochResult:
+        """KARMA-style second planning stage for multi-device machines.
+
+        Executes the chosen single-replica plan once as ground truth, then
+        searches per-device start offsets that interleave the replicas' swap
+        windows on the shared host link (scored by the deterministic
+        multi-device simulation, allreduce overlapped with the backward
+        tail).  Single-device machines skip this entirely, so their results
+        stay bit-identical to the pre-multi-device pipeline.
+        """
+        if self.machine.devices <= 1:
+            return result
+        with metrics.span("stagger-plan", category="search",
+                          graph=result.graph.name,
+                          machine=self.machine.name):
+            base = result.execute(cost_model=self.cost_model)
+            plan = plan_staggered(
+                base, self.machine, grad_bytes=result.grad_bytes()
+            )
+        result.multi = plan
+        stats = result.stats
+        stats.devices = self.machine.devices
+        stats.stagger_candidates = plan.candidates_evaluated
+        stats.stagger_s = list(plan.stagger)
+        stats.multi_makespan_naive = plan.naive.makespan
+        stats.multi_makespan_chosen = plan.chosen.makespan
+        log.info(
+            "multi-device plan for %r on %s: %s",
+            result.graph.name, self.machine.name,
+            plan.summary().replace("\n", "; "),
         )
+        return result

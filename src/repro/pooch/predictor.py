@@ -305,7 +305,7 @@ class TimelinePredictor:
             tables = VectorTables(
                 tasks, queues, buffers,
                 self.machine.usable_gpu_memory - self.capacity_margin,
-                self.machine.cpu_mem_capacity, flips,
+                self.machine.host_swap_capacity, flips,
             )
         except (VectorUnsupported, ScheduleError):
             self._vec_failed = True
@@ -419,7 +419,7 @@ class TimelinePredictor:
         engine = Engine(
             schedule,
             device_capacity=self.machine.usable_gpu_memory - self.capacity_margin,
-            host_capacity=self.machine.cpu_mem_capacity,
+            host_capacity=self.machine.host_swap_capacity,
             validate=False,
         )
         result = engine.run()
@@ -734,7 +734,7 @@ class TimelinePredictor:
         engine = FastEngine(
             tasks, queues, buffers,
             device_capacity=self.machine.usable_gpu_memory - self.capacity_margin,
-            host_capacity=self.machine.cpu_mem_capacity,
+            host_capacity=self.machine.host_swap_capacity,
         )
         resume: EngineCheckpoint | None = None
         inherited: list[EngineCheckpoint] = []

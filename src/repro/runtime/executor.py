@@ -42,7 +42,7 @@ def execute(
     engine = Engine(
         schedule,
         device_capacity=machine.usable_gpu_memory,
-        host_capacity=machine.cpu_mem_capacity,
+        host_capacity=machine.host_swap_capacity,
         fragmentation=fragmentation,
         device_pool=device_pool,
         host_pool=host_pool,

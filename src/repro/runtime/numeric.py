@@ -375,7 +375,7 @@ def run_numeric(
     engine = Engine(
         schedule,
         device_capacity=machine.usable_gpu_memory,
-        host_capacity=machine.cpu_mem_capacity,
+        host_capacity=machine.host_swap_capacity,
         free_hook=ex.on_free,
     )
     result = engine.run()

@@ -58,12 +58,18 @@ def graph_signature(graph: NNGraph) -> str:
 
 def machine_signature(machine: "MachineSpec") -> str:
     """Identity of every machine field the simulations depend on."""
-    return (
+    sig = (
         f"{machine.name};gpu={machine.usable_gpu_memory};"
         f"cpu={machine.cpu_mem_capacity};flops={machine.gpu_peak_flops!r};"
         f"membw={machine.gpu_mem_bandwidth!r};h2d={machine.h2d_bandwidth!r};"
         f"d2h={machine.d2h_bandwidth!r};lat={machine.copy_latency!r}"
     )
+    if machine.devices != 1:
+        # devices shrink the per-device host share and add link contention;
+        # single-device signatures stay byte-identical to the v1 format so
+        # existing plan caches remain valid
+        sig += f";dev={machine.devices}"
+    return sig
 
 
 def profile_signature(profile: "Profile") -> str:

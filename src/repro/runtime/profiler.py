@@ -138,7 +138,7 @@ def run_profiling(
             result = Engine(
                 schedule,
                 device_capacity=machine.usable_gpu_memory,
-                host_capacity=machine.cpu_mem_capacity,
+                host_capacity=machine.host_swap_capacity,
             ).run()
             for rec in result.records:
                 key = (rec.kind, rec.layer)
@@ -179,7 +179,7 @@ def run_profiling(
         profile.baseline = Engine(
             baseline_schedule,
             device_capacity=machine.usable_gpu_memory,
-            host_capacity=machine.cpu_mem_capacity,
+            host_capacity=machine.host_swap_capacity,
         ).run()
     log.debug(
         "profiled %r on %s: %d iterations, %d layers, update %.3g s, "

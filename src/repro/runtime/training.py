@@ -203,7 +203,7 @@ class Trainer:
         engine = Engine(
             self.schedule,
             device_capacity=self.machine.usable_gpu_memory,
-            host_capacity=self.machine.cpu_mem_capacity,
+            host_capacity=self.machine.host_swap_capacity,
             validate=False,
             free_hook=ex.on_free,
         )

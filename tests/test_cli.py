@@ -131,6 +131,69 @@ class TestArgValidation:
         assert main(["run", "mlp", "--batch", "8", "--method", "in-core",
                      "--workers", "1", "--budget", "10"]) == 0
 
+    @pytest.mark.parametrize("value", ["0", "-8", "abc"])
+    def test_bad_batch_rejected(self, value, capsys):
+        # regression: --batch used to accept 0/-8 and crash deep inside
+        # graph construction instead of failing at the parser
+        with pytest.raises(SystemExit) as e:
+            main(["summary", "mlp", "--batch", value])
+        assert e.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("size", [["0", "112", "112"],
+                                      ["16", "-1", "112"]])
+    def test_bad_input_size_rejected(self, size, capsys):
+        with pytest.raises(SystemExit) as e:
+            main(["summary", "resnext101_3d", "--input-size", *size])
+        assert e.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-2", "x"])
+    def test_bad_devices_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as e:
+            main(["optimize", "mlp", "--devices", value])
+        assert e.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+
+class TestMultiDeviceFlags:
+    def test_optimize_devices(self, capsys):
+        assert main(["optimize", "mlp", "--batch", "8", "--budget", "20",
+                     "--devices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-device plan for 2 devices" in out
+        assert "naive (synchronized)" in out
+        assert "img/s aggregate" in out
+
+    def test_run_pooch_devices(self, capsys):
+        assert main(["run", "mlp", "--batch", "8", "--budget", "20",
+                     "--devices", "2"]) == 0
+        assert "2-device iteration" in capsys.readouterr().out
+
+    def test_run_baseline_devices_synchronized(self, capsys):
+        assert main(["run", "small_cnn", "--batch", "8",
+                     "--method", "swap-all", "--devices", "2"]) == 0
+        assert "(synchronized)" in capsys.readouterr().out
+
+    def test_single_device_output_unchanged(self, capsys):
+        argv = ["run", "mlp", "--batch", "8", "--method", "in-core"]
+        assert main(argv) == 0
+        clean = capsys.readouterr().out
+        assert main([*argv, "--devices", "1"]) == 0
+        assert capsys.readouterr().out == clean
+
+    def test_devices_metrics_section(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m.json"
+        assert main(["optimize", "mlp", "--batch", "8", "--budget", "20",
+                     "--devices", "2", "--metrics", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["meta"]["devices"] == 2
+        devices = doc["sections"]["devices"]
+        assert devices["count"] == 2
+        assert devices["makespan_staggered_s"] <= devices["makespan_naive_s"]
+
 
 class TestFaultFlags:
     def test_run_with_faults(self, capsys):

@@ -1,9 +1,11 @@
 """Machine specs (the paper's Tables 1/2) and derived machines."""
 
+import dataclasses
+
 import pytest
 
 from repro.common.units import GB, GiB
-from repro.hw import MachineSpec, POWER9_V100, X86_V100, scaled_machine
+from repro.hw import MachineSpec, POWER9_V100, X86_V100, multi_gpu, scaled_machine
 
 
 class TestPaperMachines:
@@ -36,6 +38,15 @@ class TestPaperMachines:
         assert rows["CPU-GPU bandwidth"] == "16 GB/sec"
         assert len(rows) == 9
 
+    def test_environment_table_asymmetric_bandwidths(self):
+        # a machine whose H2D and D2H rates differ must report both; the
+        # single "CPU-GPU bandwidth" row would silently hide the slower one
+        m = dataclasses.replace(X86_V100, d2h_bandwidth=12 * GB)
+        rows = dict(m.environment_table())
+        assert "CPU-GPU bandwidth" not in rows
+        assert rows["CPU-GPU bandwidth (H2D)"] == "16 GB/sec"
+        assert rows["CPU-GPU bandwidth (D2H)"] == "12 GB/sec"
+
     def test_frozen(self):
         with pytest.raises(AttributeError):
             X86_V100.gpu_mem_capacity = 1
@@ -57,3 +68,35 @@ class TestScaledMachine:
     def test_original_untouched(self):
         scaled_machine(X86_V100, mem_scale=0.1)
         assert X86_V100.gpu_mem_capacity == 16 * GiB
+
+
+class TestMultiGpu:
+    def test_devices_and_name(self):
+        m = multi_gpu(X86_V100, 4)
+        assert m.devices == 4
+        assert m.name == "x86x4"
+
+    def test_single_device_is_unchanged(self):
+        assert multi_gpu(X86_V100, 1) == X86_V100
+
+    def test_host_swap_capacity_is_per_device_share(self):
+        m = multi_gpu(X86_V100, 4)
+        assert m.host_swap_capacity == X86_V100.cpu_mem_capacity // 4
+        assert X86_V100.host_swap_capacity == X86_V100.cpu_mem_capacity
+
+    def test_allreduce_bandwidth_defaults_to_link(self):
+        m = multi_gpu(X86_V100, 2)
+        assert m.effective_allreduce_bandwidth == min(
+            m.h2d_bandwidth, m.d2h_bandwidth)
+        fast = multi_gpu(X86_V100, 2, allreduce_bandwidth=100 * GB)
+        assert fast.effective_allreduce_bandwidth == 100 * GB
+
+    def test_environment_table_gains_device_rows(self):
+        rows = dict(multi_gpu(X86_V100, 2).environment_table())
+        assert rows["GPU"].startswith("2x ")
+        assert "Gradient-exchange bandwidth" in rows
+        assert "Host link" in rows
+
+    def test_invalid_devices_rejected(self):
+        with pytest.raises(ValueError):
+            multi_gpu(X86_V100, 0)

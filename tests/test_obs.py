@@ -140,6 +140,18 @@ class TestRegistry:
         assert "repro.obs/run-metrics/v1" in ACCEPTED_SCHEMAS
         assert validate_run_metrics(doc) == []
 
+    def test_validate_accepts_v1_2_documents(self):
+        # a pre-devices v1.2 writer must keep validating without the
+        # "devices" section — only the current schema requires it
+        doc = MetricsRegistry().snapshot()
+        doc["schema"] = "repro.obs/run-metrics/v1.2"
+        del doc["sections"]["devices"]
+        assert "repro.obs/run-metrics/v1.2" in ACCEPTED_SCHEMAS
+        assert validate_run_metrics(doc) == []
+        current = MetricsRegistry().snapshot()
+        del current["sections"]["devices"]
+        assert any("devices" in p for p in validate_run_metrics(current))
+
     def test_validate_flags_non_dict_records(self):
         doc = MetricsRegistry().snapshot()
         doc["records"] = ["not", "a", "dict"]
