@@ -15,6 +15,11 @@ Commands:
   [--fault-seeds K]`` — sweep seeded fault levels, executing each scenario's
   plan under K fault seeds (lockstep-batched when the spec allows), and
   report P50/P95/P99 makespan, degradation, and OOM/fallback/retry rates.
+* ``serve [--port N] [--plan-cache DIR] [--serve-workers N] ...`` — run the
+  long-lived planning service (request coalescing, warm plan cache,
+  per-tenant quotas; see ``repro.serve``).
+* ``client <submit|status|result|cancel|events|stats|health|shutdown>`` —
+  talk to a running planning service.
 
 ``run`` additionally accepts ``--faults SPEC --fault-seed N`` to execute
 under deterministic injected faults (see ``repro.faults``).
@@ -349,6 +354,102 @@ def _cmd_robustness(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the planning service until interrupted (or POST /v1/shutdown)."""
+    from repro.serve import JobManager, PlannerServer, ServePlanner
+
+    manager = JobManager(
+        ServePlanner(plan_cache=args.plan_cache),
+        workers=args.serve_workers,
+        max_queue=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        warm_capacity=args.warm_capacity,
+        audit=args.audit,
+    )
+    server = PlannerServer(manager, host=args.host, port=args.port,
+                           allow_remote_shutdown=not args.no_remote_shutdown)
+    print(f"planning service listening on {server.url} "
+          f"(workers={args.serve_workers} queue={args.queue_depth} "
+          f"quota={args.tenant_quota}/tenant"
+          + (f" plan-cache={args.plan_cache}" if args.plan_cache else "")
+          + (f" audit={args.audit}" if args.audit else "") + ")",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupt: shutting down", flush=True)
+        server.httpd.server_close()
+    finally:
+        manager.shutdown()
+        manager.publish_metrics()
+        stats = manager.stats()
+        print("served: " + " ".join(
+            f"{k}={v}" for k, v in stats["counters"].items() if v))
+    return 0
+
+
+def _cmd_client(args) -> int:
+    """One client action against a running planning service."""
+    from repro.serve import PlannerClient, ServeClientError
+
+    client = PlannerClient(args.url, timeout=args.timeout)
+    try:
+        if args.action == "submit":
+            if not args.target:
+                print("error: submit needs a model name", file=sys.stderr)
+                return 1
+            config = {"budget": args.budget, "workers": args.workers}
+            doc = client.submit(
+                args.target, batch=args.batch, machine=args.machine,
+                devices=args.devices, tenant=args.tenant, config=config,
+            )
+            print(f"job {doc['id']}: {doc['state']}"
+                  + (f" (tier {doc['cache_tier']})"
+                     if doc.get("cache_tier") else ""))
+            if args.wait and doc["state"] not in ("done", "failed", "cancelled"):
+                doc = client.wait(doc["id"], timeout=args.timeout)
+            if doc["state"] == "done":
+                result = doc["result"]
+                counts: dict[str, int] = {}
+                for cls in result["plan"]["classes"].values():
+                    counts[cls] = counts.get(cls, 0) + 1
+                print(f"  plan: " + " ".join(
+                    f"{k}={v}" for k, v in sorted(counts.items())))
+                print(f"  predicted iteration: "
+                      f"{result['predicted_time_s'] * 1e3:.3f} ms; "
+                      f"tier {result['cache_tier']}"
+                      + (f" (coalesced with {result['coalesced_with']})"
+                         if result.get("coalesced_with") else ""))
+            elif args.wait:
+                print(f"  {doc['state']}: {doc.get('error')}")
+                return 1
+        elif args.action in ("status", "result", "cancel", "events"):
+            if not args.target:
+                print(f"error: {args.action} needs a job id", file=sys.stderr)
+                return 1
+            if args.action == "status":
+                print(json.dumps(client.job(args.target), indent=2))
+            elif args.action == "result":
+                print(json.dumps(client.result(args.target,
+                                               timeout=args.timeout), indent=2))
+            elif args.action == "cancel":
+                print(f"cancelled: {client.cancel(args.target)}")
+            else:
+                for event in client.events(args.target):
+                    print(json.dumps(event))
+        elif args.action == "stats":
+            print(json.dumps(client.stats(), indent=2))
+        elif args.action == "health":
+            print(json.dumps(client.health()))
+        else:  # shutdown
+            print(json.dumps(client.shutdown_server()))
+    except ServeClientError as e:
+        detail = f" (HTTP {e.status})" if e.status else ""
+        print(f"error: {e}{detail}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     """Collate generated benchmark result tables into one report."""
     import pathlib
@@ -496,6 +597,58 @@ def make_parser() -> argparse.ArgumentParser:
                         "--workers 1")
     _add_fault_args(p)
     p.set_defaults(fn=_cmd_robustness)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived planning service (coalescing + warm cache)",
+        parents=[obs])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8477,
+                   help="listen port (0 picks a free one; the chosen URL is "
+                        "printed on startup)")
+    p.add_argument("--plan-cache", metavar="DIR",
+                   help="persistent plan/outcome cache directory shared with "
+                        "the offline CLI and other servers (safe: writes are "
+                        "atomic)")
+    p.add_argument("--serve-workers", type=_positive_int, default=2,
+                   help="search worker threads (each runs one job at a time)")
+    p.add_argument("--queue-depth", type=_positive_int, default=16,
+                   help="bounded run-queue depth; submissions beyond it are "
+                        "rejected with 429")
+    p.add_argument("--tenant-quota", type=_positive_int, default=4,
+                   help="max active (queued+running+coalesced) jobs per "
+                        "tenant")
+    p.add_argument("--warm-capacity", type=_positive_int, default=128,
+                   help="entries in the in-memory warm response LRU")
+    p.add_argument("--audit", metavar="LOG.jsonl",
+                   help="append one JSONL audit record per settled request")
+    p.add_argument("--no-remote-shutdown", action="store_true",
+                   help="disable the POST /v1/shutdown endpoint")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("client", help="talk to a running planning service",
+                       parents=[obs])
+    p.add_argument("action",
+                   choices=["submit", "status", "result", "cancel", "events",
+                            "stats", "health", "shutdown"])
+    p.add_argument("target", nargs="?",
+                   help="model name (submit) or job id (status/result/"
+                        "cancel/events)")
+    p.add_argument("--url", default="http://127.0.0.1:8477",
+                   help="planning service base URL")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--batch", type=_positive_int, default=32)
+    p.add_argument("--machine", choices=sorted(_MACHINES), default="x86")
+    p.add_argument("--devices", type=_positive_int, default=1)
+    p.add_argument("--budget", type=_positive_int, default=600,
+                   help="step-1 simulation budget for submit")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="search process-pool width for submit")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the submitted job settles")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="client-side wait/transport timeout, seconds")
+    p.set_defaults(fn=_cmd_client)
 
     p = sub.add_parser("report", help="collate benchmark result tables",
                        parents=[obs])

@@ -82,8 +82,10 @@ class NNGraph:
                 raise GraphError(f"layer {layer.name} has no inputs")
         if not self.layers:
             raise GraphError("graph has no layers")
-        # invalidate caches after (re)validation
-        for attr in ("consumers", "_backward_users", "_last_forward_use"):
+        # invalidate caches after (re)validation (the structural signature
+        # memoized by repro.runtime.plan_io.graph_signature included)
+        for attr in ("consumers", "_backward_users", "_last_forward_use",
+                     "_graph_signature"):
             self.__dict__.pop(attr, None)
 
     # -- basic accessors ----------------------------------------------------

@@ -26,14 +26,16 @@ from typing import Iterator
 #: schema identifier stamped into every RunMetrics document.  v1.1 added
 #: the structured *records* instrument (e.g. ``search.step2_rounds``);
 #: v1.2 added the ``faults`` section (seed-sweep row accounting); v1.3
-#: added the ``devices`` section (multi-device stagger planning).
-#: Documents remain readable by v1 consumers, and older documents remain
-#: acceptable to :func:`validate_run_metrics`.
-RUN_METRICS_SCHEMA = "repro.obs/run-metrics/v1.3"
+#: added the ``devices`` section (multi-device stagger planning); v1.4
+#: added the ``serve`` section (planning-server request/coalesce/cache-tier
+#: accounting).  Documents remain readable by v1 consumers, and older
+#: documents remain acceptable to :func:`validate_run_metrics`.
+RUN_METRICS_SCHEMA = "repro.obs/run-metrics/v1.4"
 
 #: every schema revision a document may legitimately carry
 ACCEPTED_SCHEMAS = ("repro.obs/run-metrics/v1", "repro.obs/run-metrics/v1.1",
-                    "repro.obs/run-metrics/v1.2", RUN_METRICS_SCHEMA)
+                    "repro.obs/run-metrics/v1.2", "repro.obs/run-metrics/v1.3",
+                    RUN_METRICS_SCHEMA)
 
 #: sections pre-v1.2 documents carry — validation requires only these for
 #: documents that declare an older schema
@@ -42,15 +44,19 @@ SECTIONS_V1 = ("search", "engine", "allocator", "resilience")
 #: sections a v1.2 document carries (pre-``devices``)
 SECTIONS_V1_2 = SECTIONS_V1 + ("faults",)
 
+#: sections a v1.3 document carries (pre-``serve``)
+SECTIONS_V1_3 = SECTIONS_V1_2 + ("devices",)
+
 #: sections every RunMetrics document carries, populated or not — consumers
 #: (the CI smoke test, the bench artifact reader) rely on their presence
-SECTIONS = SECTIONS_V1_2 + ("devices",)
+SECTIONS = SECTIONS_V1_3 + ("serve",)
 
 #: required sections per declared schema revision
 _REQUIRED_SECTIONS = {
     "repro.obs/run-metrics/v1": SECTIONS_V1,
     "repro.obs/run-metrics/v1.1": SECTIONS_V1,
     "repro.obs/run-metrics/v1.2": SECTIONS_V1_2,
+    "repro.obs/run-metrics/v1.3": SECTIONS_V1_3,
     RUN_METRICS_SCHEMA: SECTIONS,
 }
 

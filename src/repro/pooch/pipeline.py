@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.faults import FaultInjector, FaultSpec, RetryPolicy, RobustResult
 from repro.graph import NNGraph
@@ -207,6 +208,14 @@ class PoocH:
             profile before classification, and
         :meth:`PoochResult.execute_resilient` runs under the same injector.
         fault_seed: seed for an injector built from a spec/string.
+        progress: optional ``callback(event, info)`` invoked at pipeline
+            phase boundaries (``profile:start``, ``profile:done``,
+            ``search:start``, ``search:done``, ``cache:hit``,
+            ``stagger:start``, ``stagger:done``) with a JSON-shaped info
+            dict.  The planning server streams these to job watchers.
+            Exceptions raised by the callback propagate and abort the
+            optimization — that is the server's cooperative-cancellation
+            mechanism, so ``optimize`` must not swallow them.
     """
 
     def __init__(
@@ -218,6 +227,7 @@ class PoocH:
         plan_cache: PlanCache | str | pathlib.Path | None = None,
         faults: FaultInjector | FaultSpec | str | None = None,
         fault_seed: int = 0,
+        progress: Callable[[str, dict[str, Any]], None] | None = None,
     ) -> None:
         self.machine = machine
         self.config = config or PoochConfig()
@@ -229,6 +239,11 @@ class PoocH:
         if faults is not None and not isinstance(faults, FaultInjector):
             faults = FaultInjector(faults, seed=fault_seed)
         self.faults = faults
+        self.progress = progress
+
+    def _emit(self, event: str, **info: Any) -> None:
+        if self.progress is not None:
+            self.progress(event, info)
 
     def optimize(self, graph: NNGraph, profile: Profile | None = None) -> PoochResult:
         """Run profiling (unless a profile is supplied) and classification."""
@@ -238,6 +253,9 @@ class PoocH:
 
     def _optimize(self, graph: NNGraph, profile: Profile | None) -> PoochResult:
         if profile is None:
+            self._emit("profile:start", graph=graph.name,
+                       machine=self.machine.name,
+                       iterations=self.profile_iterations)
             profile = run_profiling(
                 graph,
                 self.machine,
@@ -246,6 +264,7 @@ class PoocH:
                 policy=self.config.policy,
                 forward_refetch_gap=self.config.forward_refetch_gap,
             )
+            self._emit("profile:done", graph=graph.name)
         if self.faults is not None:
             # the classifier plans from what it *measured* — under profile
             # noise that is a perturbed copy of the truth
@@ -283,6 +302,8 @@ class PoocH:
                     log.info("plan cache hit for %r on %s (re-verified: "
                              "%.3f ms predicted)", graph.name,
                              self.machine.name, outcome.time * 1e3)
+                    self._emit("cache:hit", graph=graph.name,
+                               predicted_time_s=outcome.time)
                     stats = SearchStats(plan_cache_hit=True)
                     stats.time_after_step2 = outcome.time
                     return self._attach_multi(PoochResult(
@@ -296,11 +317,17 @@ class PoocH:
                         faults=self.faults,
                     ))
                 metrics.count("search.plan_cache_rejections")
+        self._emit("search:start", graph=graph.name,
+                   maps=len(graph.classifiable_maps()))
         classifier = PoochClassifier(
             graph, profile, self.machine, self.config, predictor
         )
         classification, stats = classifier.classify()
         predicted = predictor.predict(classification)
+        self._emit("search:done", graph=graph.name,
+                   predicted_time_s=predicted.time,
+                   sims_step1=stats.sims_step1, sims_step2=stats.sims_step2,
+                   wall_time_s=stats.wall_time_s)
         log.info(
             "chosen plan for %r on %s: %s, predicted %.3f ms",
             graph.name, self.machine.name,
@@ -339,6 +366,8 @@ class PoocH:
         """
         if self.machine.devices <= 1:
             return result
+        self._emit("stagger:start", graph=result.graph.name,
+                   devices=self.machine.devices)
         with metrics.span("stagger-plan", category="search",
                           graph=result.graph.name,
                           machine=self.machine.name):
@@ -346,6 +375,8 @@ class PoocH:
             plan = plan_staggered(
                 base, self.machine, grad_bytes=result.grad_bytes()
             )
+        self._emit("stagger:done", graph=result.graph.name,
+                   makespan_s=plan.chosen.makespan)
         result.multi = plan
         stats = result.stats
         stats.devices = self.machine.devices

@@ -16,9 +16,13 @@ warm-start instead of re-searching from scratch.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
+import os
 import pathlib
+import threading
+from collections import OrderedDict
 from typing import Any, TYPE_CHECKING
 
 from repro.common.errors import ScheduleError
@@ -39,7 +43,16 @@ def graph_signature(graph: NNGraph) -> str:
     classification — the property plan/outcome reuse rests on.  Deliberately
     *excludes* the graph name, so e.g. a renamed but structurally unchanged
     model still hits the cache.
+
+    The digest is memoized on the graph instance: graphs are immutable after
+    construction, and :meth:`NNGraph.validate` — the only sanctioned way to
+    re-check a mutated layer list — drops the memo along with the liveness
+    caches.  Signature-keyed lookups (PlanCache, the serve coalescer) are
+    therefore O(1) after the first computation.
     """
+    cached = graph.__dict__.get("_graph_signature")
+    if cached is not None:
+        return cached
     h = hashlib.sha256()
     for layer in graph:
         op = layer.op
@@ -53,11 +66,19 @@ def graph_signature(graph: NNGraph) -> str:
                 f"{','.join(map(str, layer.preds))}\n"
             ).encode()
         )
-    return h.hexdigest()[:32]
+    sig = h.hexdigest()[:32]
+    graph.__dict__["_graph_signature"] = sig
+    return sig
 
 
+@functools.lru_cache(maxsize=256)
 def machine_signature(machine: "MachineSpec") -> str:
-    """Identity of every machine field the simulations depend on."""
+    """Identity of every machine field the simulations depend on.
+
+    ``MachineSpec`` is a frozen dataclass, so the result is memoized per
+    spec — a server sharing one cache across thousands of lookups formats
+    the string once.
+    """
     sig = (
         f"{machine.name};gpu={machine.usable_gpu_memory};"
         f"cpu={machine.cpu_mem_capacity};flops={machine.gpu_peak_flops!r};"
@@ -135,6 +156,32 @@ def plan_from_dict(data: dict[str, Any], graph: NNGraph) -> Classification:
     return classification
 
 
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` without ever exposing a torn file.
+
+    A concurrent reader (a second optimize process, or another thread of the
+    planning server sharing one cache directory) must see either the old
+    complete document or the new complete document — never a prefix.  POSIX
+    ``os.replace`` of a same-directory temp file gives exactly that; the
+    temp name carries pid and thread id so concurrent writers never collide
+    on it.
+    """
+    tmp = path.with_name(
+        f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        # a failed replace (or an exception between the two calls) must not
+        # litter the cache directory with partial temp files
+        if tmp.exists():  # pragma: no cover - only reachable on errors
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
 def save_plan(
     path: str | pathlib.Path,
     classification: Classification,
@@ -143,10 +190,10 @@ def save_plan(
     machine: str = "",
     predicted_time: float | None = None,
 ) -> None:
-    """Write a plan JSON file."""
+    """Write a plan JSON file (atomically — see :func:`_atomic_write_text`)."""
     payload = plan_to_dict(classification, graph, machine=machine,
                            predicted_time=predicted_time)
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    _atomic_write_text(pathlib.Path(path), json.dumps(payload, indent=2) + "\n")
 
 
 def load_plan(path: str | pathlib.Path, graph: NNGraph) -> Classification:
@@ -192,9 +239,19 @@ class PlanCache:
     File names are content-hashed from the key signatures; each file also
     records the full signatures and is ignored on mismatch, so a hash
     collision degrades to a cache miss, never a wrong plan.
+
+    With ``lru_capacity > 0`` a bounded in-memory LRU sits in front of the
+    directory: plan hits return the already-deserialized
+    :class:`Classification` (no file read, no JSON parse, no re-validation)
+    and outcome hits return the parsed entry dict.  Stores write through, so
+    the memo never serves anything the directory does not also hold.  All
+    LRU state is lock-guarded — the planning server shares one ``PlanCache``
+    across its worker threads.  Entries are keyed by the *full* signature
+    triple (not the truncated file digest), so a digest collision still
+    cannot alias two problems in memory.
     """
 
-    def __init__(self, root: str | pathlib.Path) -> None:
+    def __init__(self, root: str | pathlib.Path, *, lru_capacity: int = 0) -> None:
         self.root = pathlib.Path(root)
         try:
             (self.root / "plans").mkdir(parents=True, exist_ok=True)
@@ -203,6 +260,14 @@ class PlanCache:
             raise ScheduleError(
                 f"cannot create plan cache directory at {self.root}: {e}"
             ) from e
+        self.lru_capacity = lru_capacity
+        self._lock = threading.Lock()
+        #: (kind, *signatures) -> cached value; ordered oldest-first
+        self._lru: OrderedDict[tuple, Any] = OrderedDict()
+        #: tier accounting for the serve benchmark / stats endpoint
+        self.lru_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
 
     # -- internals ---------------------------------------------------------------
 
@@ -222,6 +287,27 @@ class PlanCache:
                 return None
         return data
 
+    def _lru_get(self, key: tuple) -> Any | None:
+        if not self.lru_capacity:
+            return None
+        with self._lock:
+            try:
+                value = self._lru.pop(key)
+            except KeyError:
+                return None
+            self._lru[key] = value  # re-insert as most recent
+            self.lru_hits += 1
+            return value
+
+    def _lru_put(self, key: tuple, value: Any) -> None:
+        if not self.lru_capacity:
+            return
+        with self._lock:
+            self._lru.pop(key, None)
+            self._lru[key] = value
+            while len(self._lru) > self.lru_capacity:
+                self._lru.popitem(last=False)
+
     # -- plans -------------------------------------------------------------------
 
     def plan_path(self, graph: NNGraph, machine: "MachineSpec",
@@ -234,17 +320,29 @@ class PlanCache:
         self, graph: NNGraph, machine: "MachineSpec", config_signature: str
     ) -> tuple[Classification, dict[str, Any]] | None:
         """The cached plan and its provenance dict, or ``None`` on miss."""
+        gsig, msig = graph_signature(graph), machine_signature(machine)
+        key = ("plan", gsig, msig, config_signature)
+        cached = self._lru_get(key)
+        if cached is not None:
+            classification, data = cached
+            return classification, dict(data)
         data = self._read(
-            self.plan_path(graph, machine, config_signature),
+            self.root / "plans" / f"{self._digest(gsig, msig, config_signature)}.json",
             {
-                "graph_signature": graph_signature(graph),
-                "machine_signature": machine_signature(machine),
+                "graph_signature": gsig,
+                "machine_signature": msig,
                 "config_signature": config_signature,
             },
         )
         if data is None:
+            with self._lock:
+                self.misses += 1
             return None
-        return plan_from_dict(data, graph), data
+        classification = plan_from_dict(data, graph)
+        with self._lock:
+            self.disk_hits += 1
+        self._lru_put(key, (classification, data))
+        return classification, dict(data)
 
     def store_plan(
         self,
@@ -256,15 +354,18 @@ class PlanCache:
         predicted_time: float | None = None,
         extra: dict[str, Any] | None = None,
     ) -> pathlib.Path:
+        gsig, msig = graph_signature(graph), machine_signature(machine)
         payload = plan_to_dict(classification, graph, machine=machine.name,
                                predicted_time=predicted_time)
-        payload["graph_signature"] = graph_signature(graph)
-        payload["machine_signature"] = machine_signature(machine)
+        payload["graph_signature"] = gsig
+        payload["machine_signature"] = msig
         payload["config_signature"] = config_signature
         if extra:
             payload.update(extra)
-        path = self.plan_path(graph, machine, config_signature)
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        path = self.root / "plans" / f"{self._digest(gsig, msig, config_signature)}.json"
+        _atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+        self._lru_put(("plan", gsig, msig, config_signature),
+                      (classification, payload))
         return path
 
     # -- simulation outcomes -----------------------------------------------------
@@ -278,18 +379,29 @@ class PlanCache:
     def load_outcomes(
         self, graph: NNGraph, machine: "MachineSpec", sim_signature: str
     ) -> dict[tuple[tuple[int, str], ...], dict[str, Any]]:
-        """Cached simulation outcomes by classification key (empty on miss)."""
+        """Cached simulation outcomes by classification key (empty on miss).
+
+        Returns a fresh outer dict on every call (LRU hits included), so
+        callers may merge into the result without corrupting the memo.
+        """
+        gsig, msig = graph_signature(graph), machine_signature(machine)
+        key = ("outcomes", gsig, msig, sim_signature)
+        cached = self._lru_get(key)
+        if cached is not None:
+            return dict(cached)
         data = self._read(
-            self.outcomes_path(graph, machine, sim_signature),
+            self.root / "outcomes" / f"{self._digest(gsig, msig, sim_signature)}.json",
             {
-                "graph_signature": graph_signature(graph),
-                "machine_signature": machine_signature(machine),
+                "graph_signature": gsig,
+                "machine_signature": msig,
                 "sim_signature": sim_signature,
             },
         )
         if data is None:
             return {}
-        return {key_from_str(k): v for k, v in data.get("entries", {}).items()}
+        entries = {key_from_str(k): v for k, v in data.get("entries", {}).items()}
+        self._lru_put(key, entries)
+        return dict(entries)
 
     def merge_outcomes(
         self,
@@ -299,15 +411,17 @@ class PlanCache:
         entries: dict[tuple[tuple[int, str], ...], dict[str, Any]],
     ) -> int:
         """Union ``entries`` into the store; returns the total entry count."""
+        gsig, msig = graph_signature(graph), machine_signature(machine)
         existing = self.load_outcomes(graph, machine, sim_signature)
         existing.update(entries)
         payload = {
             "format_version": FORMAT_VERSION,
-            "graph_signature": graph_signature(graph),
-            "machine_signature": machine_signature(machine),
+            "graph_signature": gsig,
+            "machine_signature": msig,
             "sim_signature": sim_signature,
             "entries": {key_to_str(k): v for k, v in existing.items()},
         }
-        path = self.outcomes_path(graph, machine, sim_signature)
-        path.write_text(json.dumps(payload) + "\n")
+        path = self.root / "outcomes" / f"{self._digest(gsig, msig, sim_signature)}.json"
+        _atomic_write_text(path, json.dumps(payload) + "\n")
+        self._lru_put(("outcomes", gsig, msig, sim_signature), existing)
         return len(existing)

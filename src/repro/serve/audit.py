@@ -1,0 +1,56 @@
+"""Persisted per-request audit trail: one JSON line per settled job.
+
+Every job that reaches a terminal state appends one record — tenant, plan
+signatures, who it coalesced with, which cache tier answered it, wall time,
+and the error for failed jobs.  The format is append-only JSONL so the file
+is greppable mid-flight, survives crashes up to the last complete line, and
+can be tailed by external tooling; writes are serialized by a lock and each
+record is a single ``write`` of one line, so concurrent workers never
+interleave partial records.
+
+Timestamps are wall-clock (``time.time``) — the audit log is operational
+provenance, not part of any bit-reproducibility contract.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from typing import Any, Iterator
+
+
+class AuditLog:
+    """Append-only JSONL audit log."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.records_written = 0
+
+    def append(self, record: dict[str, Any]) -> None:
+        line = json.dumps({"ts": time.time(), **record},
+                          separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            with self.path.open("a", encoding="utf-8") as f:
+                f.write(line + "\n")
+            self.records_written += 1
+
+    def read(self) -> list[dict[str, Any]]:
+        """All complete records (a trailing partial line is skipped)."""
+        return list(self)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        if not self.path.exists():
+            return
+        with self.path.open(encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a crash; ignore

@@ -1,0 +1,141 @@
+"""The serve-side warm cache: complete optimize responses, in memory.
+
+Two cache levels serve a request (plus coalescing for in-flight overlap):
+
+* **L1 — warm response cache** (:class:`WarmPlanCache`): a bounded
+  thread-safe LRU of *complete* optimize responses — the JSON-ready plan
+  dict, the deserialized :class:`~repro.runtime.plan.Classification`, the
+  predicted outcome and the search-stats summary — keyed by the same
+  (graph signature, machine signature, config signature) triple the
+  persistent :class:`~repro.runtime.plan_io.PlanCache` uses.  A hit returns
+  without profiling, without simulation and without touching JSON: the hot
+  path of a duplicate-heavy workload is a dict lookup under a lock.
+
+* **L2 — persistent PlanCache**: the directory-backed store, shared across
+  server processes and with the offline CLI.  On an L1 miss the search
+  pipeline runs with the PlanCache attached, so a previously *persisted*
+  plan still short-circuits the search (profile + one verification
+  simulation instead of a full search); the resulting response is then
+  promoted into L1.
+
+Everything in a cached response is treated as immutable: the
+``Classification`` was produced once by the search (or one JSON parse) and
+is shared by reference with every subsequent hit — which is what makes the
+bit-identical-plans guarantee trivial, the same object is serialized every
+time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime.plan import Classification
+
+#: cache-tier labels stamped into responses and the audit log
+TIER_WARM = "warm-lru"
+TIER_PERSISTENT = "persistent"
+TIER_SEARCH = "miss-search"
+TIER_COALESCED = "coalesced"
+
+
+class LruCache:
+    """A small thread-safe bounded LRU (no TTL — entries are immutable and
+    keyed by content signatures, so they can never go stale, only cold)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            try:
+                value = self._entries.pop(key)
+            except KeyError:
+                self.misses += 1
+                return default
+            self._entries[key] = value
+            self.hits += 1
+            return value
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+#: the coalescing / cache key: (graph signature, machine signature,
+#: config signature) — identical to the persistent PlanCache plan key
+PlanKey = tuple[str, str, str]
+
+
+@dataclass
+class CachedResponse:
+    """One complete optimize result, ready to answer a repeat request."""
+
+    #: the chosen plan, deserialized — shared by reference with every hit
+    classification: Classification
+    #: JSON-ready response body (plan dict + prediction + search summary);
+    #: :meth:`response_for` copies the outer dict before stamping
+    #: job-specific fields, the nested plan dict is never mutated
+    payload: dict[str, Any]
+
+    def response_for(self, *, tier: str, coalesced_with: str | None = None
+                     ) -> dict[str, Any]:
+        response = dict(self.payload)
+        response["cache_tier"] = tier
+        response["coalesced_with"] = coalesced_with
+        return response
+
+
+@dataclass
+class WarmPlanCache:
+    """The L1 warm response cache plus its tier accounting."""
+
+    capacity: int = 128
+    _lru: LruCache = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._lru = LruCache(self.capacity)
+
+    def lookup(self, key: PlanKey) -> CachedResponse | None:
+        return self._lru.get(key)
+
+    def store(self, key: PlanKey, response: CachedResponse) -> None:
+        self._lru.put(key, response)
+
+    def stats(self) -> dict[str, int]:
+        return self._lru.stats()

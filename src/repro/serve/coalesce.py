@@ -1,0 +1,120 @@
+"""In-flight request coalescing: N identical searches become one.
+
+A *flight* is one in-progress optimization for a given plan key (graph
+signature, machine signature, config signature).  The first job to arrive
+for a key becomes the flight's **leader** and actually runs the search;
+every job that arrives while the flight is open joins as a **follower** and
+simply waits — when the leader completes, all members receive the same
+result object, so the whole cohort pays for exactly one profiling + search.
+
+Lifecycle rules (all transitions happen under one lock, so membership is
+race-free against completion):
+
+* ``join`` — open a new flight (caller is leader) or join an open one.
+* ``complete`` — the leader finished (result or error): the flight closes
+  and the follower list is returned to the caller for settlement.  Leader
+  *errors* settle the cohort with the same error — the request is
+  deterministic, so every follower would have failed identically.
+* ``leave`` — a member was cancelled.  A follower just drops out; a
+  cancelled **leader promotes the oldest follower** to leader instead of
+  failing the cohort — the promoted job re-enters the run queue and the
+  remaining followers keep waiting, now on the new leader.
+
+The flight's :class:`threading.Event` is for synchronous waiters (tests,
+in-process callers); the HTTP server never blocks a handler thread on it —
+followers settle through the job manager's completion callback.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable
+
+
+class Flight:
+    """One open coalesced optimization (leader + followers, all job ids)."""
+
+    def __init__(self, key: Hashable, leader: str) -> None:
+        self.key = key
+        self.leader = leader
+        self.followers: list[str] = []
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+    def members(self) -> list[str]:
+        return [self.leader, *self.followers]
+
+
+class Coalescer:
+    """Keyed registry of open flights."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[Hashable, Flight] = {}
+        #: followers that ever joined a flight (the benchmark's coalesce-rate
+        #: numerator) and flights opened (its denominator's search side)
+        self.coalesced_total = 0
+        self.flights_opened = 0
+
+    def join(self, key: Hashable, job_id: str) -> tuple[Flight, bool]:
+        """Register ``job_id`` under ``key``; returns ``(flight, is_leader)``."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = Flight(key, job_id)
+                self._flights[key] = flight
+                self.flights_opened += 1
+                return flight, True
+            flight.followers.append(job_id)
+            self.coalesced_total += 1
+            return flight, False
+
+    def complete(self, key: Hashable, result: Any = None,
+                 error: BaseException | None = None) -> list[str]:
+        """Close the flight for ``key``; returns the follower ids to settle
+        (empty when no flight was open — e.g. a non-coalesced job)."""
+        with self._lock:
+            flight = self._flights.pop(key, None)
+            if flight is None:
+                return []
+            flight.result = result
+            flight.error = error
+            followers = list(flight.followers)
+        flight.done.set()
+        return followers
+
+    def leave(self, key: Hashable, job_id: str) -> str | None:
+        """Remove a cancelled member.
+
+        Returns the id of a follower promoted to leader (the caller must
+        re-enqueue it for execution), or ``None`` when no promotion happened
+        (the member was a follower, or the flight had no followers left and
+        was closed).
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                return None
+            if flight.leader != job_id:
+                try:
+                    flight.followers.remove(job_id)
+                except ValueError:
+                    pass
+                return None
+            if not flight.followers:
+                # a lone cancelled leader closes the flight; the next
+                # request for this key starts fresh
+                del self._flights[key]
+                return None
+            promoted = flight.followers.pop(0)
+            flight.leader = promoted
+            return promoted
+
+    def open_flights(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def flight_for(self, key: Hashable) -> Flight | None:
+        with self._lock:
+            return self._flights.get(key)

@@ -8,6 +8,8 @@ validated on load.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.common.errors import ScheduleError
@@ -202,6 +204,163 @@ class TestDynamicPoochCache:
         finally:
             dyn.PoochClassifier = real
         assert {s: second._plans[s].key() for s in (16, 32)} == plans
+
+
+class TestSignatureMemoization:
+    def test_graph_signature_memoized_on_instance(self):
+        g = poster_example()
+        assert "_graph_signature" not in g.__dict__
+        sig = graph_signature(g)
+        assert g.__dict__["_graph_signature"] == sig
+        assert graph_signature(g) == sig  # served from the memo
+
+    def test_validate_drops_the_memo(self):
+        g = poster_example()
+        sig = graph_signature(g)
+        g.validate()  # the sanctioned re-check after mutation
+        assert "_graph_signature" not in g.__dict__
+        assert graph_signature(g) == sig  # recomputed, structurally equal
+
+    def test_memo_does_not_leak_across_instances(self):
+        assert graph_signature(poster_example(batch=64)) != graph_signature(
+            poster_example(batch=128)
+        )
+
+    def test_machine_signature_cached_per_spec(self):
+        machine_signature.cache_clear()
+        m = tiny_machine(mem_mib=192)
+        before = machine_signature.cache_info().hits
+        machine_signature(m)
+        machine_signature(m)
+        assert machine_signature.cache_info().hits == before + 1
+
+
+class TestAtomicWrites:
+    def test_no_temp_files_left_behind(self, tmp_path, machine):
+        g = poster_example()
+        cache = PlanCache(tmp_path)
+        cache.store_plan(g, machine, "cfg", Classification.all_swap(g))
+        cache.merge_outcomes(g, machine, "sig", {
+            ((0, "swap"),): {"feasible": True, "time": 1.0,
+                             "peak_memory": 1, "oom_context": ""},
+        })
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_concurrent_store_load_never_sees_a_torn_plan(
+        self, tmp_path, machine
+    ):
+        # regression: store_plan used a plain write_text, so a reader (a
+        # second optimize process, or another serve worker sharing the
+        # directory) could observe a JSON prefix mid-write and fail — or
+        # worse, a corrupt-but-parseable document
+        g = poster_example()
+        cache = PlanCache(tmp_path)
+        plans = [
+            Classification.all_swap(g),
+            Classification.all_swap(g).with_class(
+                g.classifiable_maps()[0], MapClass.KEEP
+            ),
+        ]
+        valid_keys = {c.key() for c in plans}
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer() -> None:
+            i = 0
+            try:
+                while not stop.is_set():
+                    cache.store_plan(g, machine, "cfg", plans[i % 2])
+                    i += 1
+            except BaseException as e:  # noqa: BLE001 - surfaced below
+                errors.append(e)
+
+        def reader() -> None:
+            # a fresh PlanCache per reader: no shared LRU, every load is a
+            # real file read racing the writer
+            mine = PlanCache(tmp_path)
+            try:
+                for _ in range(300):
+                    hit = mine.load_plan(g, machine, "cfg")
+                    if hit is not None:
+                        assert hit[0].key() in valid_keys
+            except BaseException as e:  # noqa: BLE001 - surfaced below
+                errors.append(e)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        w = threading.Thread(target=writer)
+        w.start()
+        for t in readers:
+            t.start()
+        for t in readers:
+            t.join()
+        stop.set()
+        w.join()
+        assert errors == []
+        assert not [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+
+
+class TestInMemoryLru:
+    def test_plan_hits_skip_the_disk_after_first_load(self, tmp_path, machine):
+        g = poster_example()
+        cache = PlanCache(tmp_path, lru_capacity=8)
+        cache.store_plan(g, machine, "cfg", Classification.all_swap(g))
+        # store writes through, so the very first load is already memoized
+        first = cache.load_plan(g, machine, "cfg")
+        assert first is not None
+        assert cache.lru_hits == 1 and cache.disk_hits == 0
+        # and the memoized Classification is shared by reference
+        second = cache.load_plan(g, machine, "cfg")
+        assert second[0] is first[0]
+        assert cache.lru_hits == 2
+
+    def test_cold_load_counts_a_disk_hit_then_memoizes(self, tmp_path, machine):
+        g = poster_example()
+        PlanCache(tmp_path).store_plan(g, machine, "cfg",
+                                       Classification.all_swap(g))
+        cache = PlanCache(tmp_path, lru_capacity=8)  # empty memo
+        cache.load_plan(g, machine, "cfg")
+        assert cache.disk_hits == 1 and cache.lru_hits == 0
+        cache.load_plan(g, machine, "cfg")
+        assert cache.disk_hits == 1 and cache.lru_hits == 1
+
+    def test_miss_counted(self, tmp_path, machine):
+        cache = PlanCache(tmp_path, lru_capacity=8)
+        assert cache.load_plan(poster_example(), machine, "cfg") is None
+        assert cache.misses == 1
+
+    def test_zero_capacity_disables_the_memo(self, tmp_path, machine):
+        g = poster_example()
+        cache = PlanCache(tmp_path)  # default: no LRU
+        cache.store_plan(g, machine, "cfg", Classification.all_swap(g))
+        cache.load_plan(g, machine, "cfg")
+        cache.load_plan(g, machine, "cfg")
+        assert cache.lru_hits == 0 and cache.disk_hits == 2
+
+    def test_memoized_outcomes_survive_caller_mutation(self, tmp_path, machine):
+        g = poster_example()
+        cache = PlanCache(tmp_path, lru_capacity=8)
+        entry = {((0, "swap"),): {"feasible": True, "time": 1.0,
+                                  "peak_memory": 1, "oom_context": ""}}
+        cache.merge_outcomes(g, machine, "sig", entry)
+        loaded = cache.load_outcomes(g, machine, "sig")
+        loaded[((9, "keep"),)] = {"feasible": True, "time": 9.0,
+                                  "peak_memory": 9, "oom_context": ""}
+        # the caller's edit must not poison the memo (merge_outcomes mutates
+        # the returned dict on every PoocH run)
+        assert len(cache.load_outcomes(g, machine, "sig")) == 1
+
+    def test_lru_eviction_is_bounded(self, tmp_path, machine):
+        g = poster_example()
+        cache = PlanCache(tmp_path, lru_capacity=2)
+        for i in range(4):
+            cache.store_plan(g, machine, f"cfg-{i}",
+                             Classification.all_swap(g))
+        assert len(cache._lru) == 2
+        # evicted entries fall back to disk, not to a miss
+        hit = cache.load_plan(g, machine, "cfg-0")
+        assert hit is not None
+        assert cache.disk_hits == 1
 
 
 class TestClassifiableMapsValidation:
